@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Keeps pytest-benchmark rounds minimal: every benchmark body is an entire
+experiment (many synchronisations or a full training run), so one round per
+benchmark is both sufficient and necessary to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

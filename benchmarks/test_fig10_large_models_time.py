@@ -1,0 +1,30 @@
+"""Fig. 10 — per-update time for ResNet-50 (ImageNet) and BERT (Wikipedia).
+
+The paper compares SparDL against Ok-Topk (its strongest baseline) on the two
+largest cases with 14 workers.  The assertions mirror the reported shape:
+SparDL's communication cost is roughly 2x lower (2.3x for ResNet-50, 2.0x for
+BERT in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import MethodSpec, measure_per_update, print_per_update_table
+
+NUM_WORKERS = 14
+DENSITY = 0.01
+METHODS = [MethodSpec("Ok-Topk", density=DENSITY), MethodSpec("SparDL", density=DENSITY)]
+CASES = {3: "ResNet-50 on ImageNet", 7: "BERT on Wikipedia"}
+
+
+@pytest.mark.parametrize("case_id", sorted(CASES))
+def test_fig10_per_update_time_large_models(case_id, run_once):
+    results = run_once(measure_per_update, case_id, METHODS, NUM_WORKERS)
+    print_per_update_table(f"Fig. 10 reproduction ({CASES[case_id]}, P={NUM_WORKERS})",
+                           results)
+    speedup = results["Ok-Topk"].communication_time / results["SparDL"].communication_time
+    print(f"communication speedup of SparDL over Ok-Topk: {speedup:.2f}x "
+          f"(paper: 2.3x for ResNet-50, 2.0x for BERT)")
+    assert speedup > 1.3
+    assert results["SparDL"].total < results["Ok-Topk"].total

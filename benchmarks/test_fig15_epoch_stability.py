@@ -1,0 +1,63 @@
+"""Fig. 15 — per-epoch time stability across training epochs for each d.
+
+The paper's point: per-epoch time is stable over epochs, so running one epoch
+with each candidate d is enough to pick the optimal team count.  This
+benchmark trains the VGG-16 case for several epochs with a selection of team
+counts on 14 and 12 workers, prints the per-epoch simulated time of each
+configuration, and asserts (i) low relative variation across epochs and
+(ii) that the configuration that is fastest in the first epoch stays fastest
+overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import MethodSpec, run_convergence
+from repro.analysis.reporting import format_table
+
+CASE_ID = 1
+DENSITY = 0.02
+EPOCHS = 3
+SAMPLES = 56
+
+
+def _configs(num_workers):
+    if num_workers == 14:
+        choices = [(1, "auto"), (2, "rsag"), (2, "bsag"), (7, "bsag"), (14, "bsag")]
+    else:
+        choices = [(1, "auto"), (2, "rsag"), (4, "rsag"), (3, "bsag"), (6, "bsag"), (12, "bsag")]
+    configs = []
+    for d, mode in choices:
+        label = "1" if d == 1 else f"{'R' if mode == 'rsag' else 'B'}{d}"
+        configs.append(MethodSpec("SparDL", label=label, density=DENSITY,
+                                  num_teams=d, sag_mode=mode))
+    return configs
+
+
+@pytest.mark.parametrize("num_workers", [14, 12])
+def test_fig15_per_epoch_time_stability(num_workers, run_once):
+    configs = _configs(num_workers)
+    histories = run_once(run_convergence, CASE_ID, configs, num_workers, EPOCHS, SAMPLES)
+
+    per_epoch = {name: [record.epoch_time for record in history.epochs]
+                 for name, history in histories.items()}
+    rows = [(name, *[round(t, 3) for t in times]) for name, times in per_epoch.items()]
+    print()
+    print(format_table(["config", *[f"epoch {e}" for e in range(EPOCHS)]], rows,
+                       title=f"Fig. 15 reproduction: per-epoch time across epochs "
+                             f"({num_workers} workers)"))
+
+    # (i) stability: the per-epoch time of each configuration varies little.
+    for name, times in per_epoch.items():
+        times = np.asarray(times)
+        assert times.std() / times.mean() < 0.25, f"{name} per-epoch time is unstable"
+
+    # (ii) the epoch-1 winner is also the overall winner, so users can pick d
+    # from a single epoch as the paper suggests.
+    first_epoch_winner = min(per_epoch, key=lambda name: per_epoch[name][0])
+    total_winner = min(histories, key=lambda name: histories[name].total_time)
+    assert first_epoch_winner == total_winner
+    # And the winner uses more than one team.
+    assert first_epoch_winner != "1"

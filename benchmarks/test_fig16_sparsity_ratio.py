@@ -1,0 +1,60 @@
+"""Fig. 16 — impact of the sparsity ratio k/n on training time and accuracy.
+
+Trains the VGG-16/CIFAR-10 and VGG-19/CIFAR-100 cases with SparDL at
+k/n in {1e-1, 1e-2, 1e-3, 1e-4, 1e-5} and reports total simulated training
+time and final accuracy for a fixed number of epochs.
+
+Shape asserted (as in the paper): training time decreases monotonically as
+k/n shrinks but saturates once the latency term dominates (the step from 1e-3
+to 1e-5 saves little), while accuracy degrades markedly at the most extreme
+sparsity (1e-5) compared to 1e-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import MethodSpec, run_convergence
+from repro.analysis.reporting import format_table
+
+NUM_WORKERS = 8
+EPOCHS = 3
+SAMPLES = 96
+RATIOS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+CASES = {1: "VGG-16 on CIFAR-10", 2: "VGG-19 on CIFAR-100"}
+
+
+@pytest.mark.parametrize("case_id", sorted(CASES))
+def test_fig16_sparsity_ratio(case_id, run_once):
+    configs = [MethodSpec("SparDL", label=f"k/n={ratio:g}", density=ratio)
+               for ratio in RATIOS]
+    histories = run_once(run_convergence, case_id, configs, NUM_WORKERS, EPOCHS, SAMPLES)
+
+    rows = []
+    times = {}
+    metrics = {}
+    for ratio in RATIOS:
+        label = f"k/n={ratio:g}"
+        history = histories[label]
+        times[ratio] = history.total_time
+        metrics[ratio] = history.final_metric
+        rows.append((label, history.total_time, history.total_communication_time,
+                     history.final_eval_loss, history.final_metric))
+    print()
+    print(format_table(
+        ["sparsity", "train time (s)", "comm time (s)", "final loss", "final accuracy"],
+        rows, title=f"Fig. 16 reproduction ({CASES[case_id]}, P={NUM_WORKERS})"))
+
+    # Training time decreases (weakly) with sparsity ...
+    assert times[1e-2] < times[1e-1]
+    assert times[1e-3] <= times[1e-2]
+    # ... but saturates once latency dominates: 1e-5 saves little over 1e-3.
+    saving_large = times[1e-1] - times[1e-2]
+    saving_small = times[1e-3] - times[1e-5]
+    assert saving_small < saving_large
+    assert times[1e-5] >= 0.80 * times[1e-3]
+
+    # Extreme sparsification hurts convergence relative to mild sparsification.
+    assert metrics[1e-5] <= metrics[1e-1] + 1e-9
+    assert np.isfinite(metrics[1e-5])

@@ -1,0 +1,61 @@
+"""Fig. 8 — per-update time with 14 workers on four deep-learning cases.
+
+Cases 2 (VGG-19/CIFAR-100), 4 (VGG-11/House), 5 (LSTM-IMDB) and 6 (LSTM-PTB)
+are synchronised with TopkDSA, TopkA, Ok-Topk and SparDL; the per-update time
+is split into the communication part (alpha-beta priced at the paper's model
+scale) and the per-case computation part, as in the paper's stacked bars.
+
+Qualitative shape asserted: SparDL has the lowest communication cost in every
+case; Ok-Topk is the strongest baseline; TopkDSA is the slowest; and the
+VGG-11 case is cheaper than the VGG-19 case (fewer parameters), while
+LSTM-PTB is more expensive than LSTM-IMDB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import MethodSpec, measure_per_update, print_per_update_table
+
+NUM_WORKERS = 14
+DENSITY = 0.01
+METHODS = [
+    MethodSpec("TopkDSA", density=DENSITY),
+    MethodSpec("TopkA", density=DENSITY),
+    MethodSpec("Ok-Topk", density=DENSITY),
+    MethodSpec("SparDL", density=DENSITY),
+]
+CASES = {2: "VGG-19 on CIFAR-100", 4: "VGG-11 on House",
+         5: "LSTM-IMDB on IMDB", 6: "LSTM-PTB on PTB"}
+
+
+@pytest.mark.parametrize("case_id", sorted(CASES))
+def test_fig8_per_update_time(case_id, run_once):
+    results = run_once(measure_per_update, case_id, METHODS, NUM_WORKERS)
+    print_per_update_table(f"Fig. 8 reproduction ({CASES[case_id]}, P={NUM_WORKERS})", results)
+
+    comm = {name: r.communication_time for name, r in results.items()}
+    assert min(comm, key=comm.get) == "SparDL"
+    assert comm["SparDL"] < comm["Ok-Topk"] < comm["TopkDSA"]
+    assert comm["SparDL"] < comm["TopkA"]
+    # The paper reports 1.6x-2.3x over Ok-Topk and larger factors over the rest.
+    assert comm["Ok-Topk"] / comm["SparDL"] > 1.2
+    assert comm["TopkDSA"] / comm["SparDL"] > 2.0
+
+
+def test_fig8_cross_case_ordering(run_once):
+    """More parameters -> more bandwidth -> higher communication time."""
+    def run():
+        times = {}
+        for case_id in (2, 4, 5, 6):
+            results = measure_per_update(case_id, [MethodSpec("SparDL", density=DENSITY)],
+                                         NUM_WORKERS)
+            times[case_id] = results["SparDL"].communication_time
+        return times
+
+    times = run_once(run)
+    print()
+    print("SparDL communication time per case:",
+          {CASES[c]: round(t, 4) for c, t in times.items()})
+    assert times[4] < times[2]   # VGG-11 (9.2M) cheaper than VGG-19 (20.1M)
+    assert times[5] < times[6]   # LSTM-IMDB (35.2M) cheaper than LSTM-PTB (66M)

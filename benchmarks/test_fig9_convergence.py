@@ -1,0 +1,60 @@
+"""Fig. 9 — convergence (accuracy / loss vs training time) on four cases.
+
+Trains the scaled-down Cases 2, 4, 5 and 6 with TopkDSA, TopkA, Ok-Topk and
+SparDL over the simulated cluster and reports the metric-versus-simulated-time
+curves.  The qualitative claims checked are the paper's: SparDL finishes the
+same number of epochs in the least simulated time while converging to a
+similar accuracy / loss as the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import MethodSpec, print_convergence_table, run_convergence
+from repro.analysis.reporting import Series, format_series
+
+NUM_WORKERS = 6
+DENSITY = 0.02
+EPOCHS = 3
+SAMPLES = 72
+METHODS = [
+    MethodSpec("TopkDSA", density=DENSITY),
+    MethodSpec("TopkA", density=DENSITY),
+    MethodSpec("Ok-Topk", density=DENSITY),
+    MethodSpec("SparDL", density=DENSITY),
+]
+
+CASES = {2: "VGG-19 on CIFAR-100", 4: "VGG-11 on House",
+         5: "LSTM-IMDB on IMDB", 6: "LSTM-PTB on PTB"}
+
+
+@pytest.mark.parametrize("case_id", sorted(CASES))
+def test_fig9_convergence(case_id, run_once):
+    histories = run_once(run_convergence, case_id, METHODS, NUM_WORKERS, EPOCHS,
+                         SAMPLES)
+    print_convergence_table(f"Fig. 9 reproduction ({CASES[case_id]}, P={NUM_WORKERS})",
+                            histories)
+    series = []
+    for name, history in histories.items():
+        curve = history.metric_curve()
+        s = Series(name)
+        for t, metric in zip(curve["time"], curve["metric"]):
+            s.append(t, metric)
+        series.append(s)
+    print()
+    print(format_series(series, x_label="simulated time (s)", y_label="metric",
+                        title=f"Fig. 9 curves ({CASES[case_id]})"))
+
+    times = {name: history.total_time for name, history in histories.items()}
+    assert min(times, key=times.get) == "SparDL"
+    assert times["TopkDSA"] > times["SparDL"]
+    assert times["Ok-Topk"] > times["SparDL"]
+
+    # Same number of epochs -> comparable final quality (global residual
+    # collection keeps SparDL's convergence rate).
+    losses = {name: history.final_eval_loss for name, history in histories.items()}
+    baseline_best = min(losses[name] for name in losses if name != "SparDL")
+    assert np.isfinite(losses["SparDL"])
+    assert losses["SparDL"] <= baseline_best * 2.0 + 0.5

@@ -1,0 +1,74 @@
+"""Distributed language-model training with sparse communication (Case 6).
+
+Trains the 2-layer LSTM language model on the synthetic PTB stand-in with
+SparDL at several sparsity ratios and reports perplexity versus simulated
+training time — a miniature of the paper's Fig. 16 trade-off between
+communication savings and convergence.
+
+Run with::
+
+    python examples/train_language_model.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import make_synchronizer
+from repro.comm import ETHERNET, SimulatedCluster
+from repro.nn import perplexity
+from repro.training import DistributedTrainer, TrainerConfig, get_case
+
+NUM_WORKERS = 6
+EPOCHS = 6
+SAMPLES = 240
+RATIOS = (1.0, 1e-1, 1e-2, 1e-3)
+
+
+def train_at_density(density: float):
+    case = get_case(6)  # LSTM-PTB
+    train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
+    cluster = SimulatedCluster(NUM_WORKERS)
+    num_elements = case.build_model(0).num_parameters()
+    if density >= 1.0:
+        synchronizer = make_synchronizer("Dense", cluster, num_elements)
+    else:
+        synchronizer = make_synchronizer("SparDL", cluster, num_elements, density=density)
+    trainer = DistributedTrainer(
+        cluster, synchronizer, case.build_model, train_set, test_set,
+        config=TrainerConfig(batch_size=case.batch_size, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0),
+        network=ETHERNET, compute_profile=case.compute_profile, case_name=case.name,
+    )
+    return trainer.train(EPOCHS)
+
+
+def main() -> None:
+    case = get_case(6)
+    print(f"Training {case.describe()} on {NUM_WORKERS} simulated workers")
+    print()
+
+    rows = []
+    for density in RATIOS:
+        history = train_at_density(density)
+        label = "dense" if density >= 1.0 else f"SparDL k/n={density:g}"
+        rows.append((
+            label,
+            history.total_time,
+            history.total_communication_time,
+            history.final_eval_loss,
+            perplexity(history.final_eval_loss),
+        ))
+    print(format_table(
+        ["configuration", "simulated train time (s)", "comm time (s)",
+         "final loss", "final perplexity"],
+        rows, title=f"LSTM language model, {EPOCHS} epochs, {NUM_WORKERS} workers"))
+
+    print()
+    print("Reading the table: shrinking k/n cuts the communication time with only")
+    print("a modest perplexity penalty down to about k/n = 1e-2 .. 1e-3, after which")
+    print("latency dominates and further sparsification stops paying off —")
+    print("the same trade-off as the paper's Fig. 16.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Choosing the Spar-All-Gather team count d (Section III-D of the paper).
+
+The paper recommends running one epoch with every candidate team count and
+keeping the fastest.  This example does exactly that for a 12-worker cluster
+on the VGG-16-like case: it measures the per-epoch simulated time of SparDL
+with every divisor of P (R-SAG for powers of two, B-SAG otherwise), prints
+the ranking, and then verifies the choice by timing a second epoch.
+
+Run with::
+
+    python examples/tune_team_count.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, spardl_bsag_complexity, spardl_rsag_complexity
+from repro.baselines import make_synchronizer
+from repro.comm import ETHERNET, SimulatedCluster
+from repro.training import DistributedTrainer, TrainerConfig, get_case
+
+NUM_WORKERS = 12
+SAMPLES = 96
+DENSITY = 0.02
+
+
+def divisors(value: int):
+    return [d for d in range(1, value + 1) if value % d == 0]
+
+
+def one_epoch_time(num_teams: int, sag_mode: str, epochs: int = 1) -> tuple[float, float]:
+    case = get_case(1)
+    train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
+    cluster = SimulatedCluster(NUM_WORKERS)
+    num_elements = case.build_model(0).num_parameters()
+    synchronizer = make_synchronizer("SparDL", cluster, num_elements, density=DENSITY,
+                                     num_teams=num_teams, sag_mode=sag_mode)
+    trainer = DistributedTrainer(
+        cluster, synchronizer, case.build_model, train_set, test_set,
+        config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0),
+        network=ETHERNET, compute_profile=case.compute_profile, case_name=case.name,
+    )
+    history = trainer.train(epochs, eval_every=epochs)
+    first_epoch = history.epochs[0].epoch_time
+    return first_epoch, history.total_time
+
+
+def main() -> None:
+    print(f"Tuning the team count d for SparDL on {NUM_WORKERS} workers (VGG-16-like case)")
+    print()
+
+    candidates = []
+    for d in divisors(NUM_WORKERS):
+        if d == 1:
+            candidates.append((1, "auto", "d=1 (no SAG)"))
+        else:
+            if d & (d - 1) == 0:
+                candidates.append((d, "rsag", f"R-SAG d={d}"))
+            candidates.append((d, "bsag", f"B-SAG d={d}"))
+
+    rows = []
+    timings = {}
+    k = int(DENSITY * get_case(1).build_model(0).num_parameters())
+    for d, mode, label in candidates:
+        epoch_time, _ = one_epoch_time(d, mode)
+        timings[label] = (d, mode, epoch_time)
+        if d == 1:
+            analytical = "-"
+        elif mode == "rsag":
+            analytical = spardl_rsag_complexity(NUM_WORKERS, 10 ** 6, k, d).describe()
+        else:
+            analytical = spardl_bsag_complexity(NUM_WORKERS, 10 ** 6, k, d).describe()
+        rows.append((label, epoch_time, analytical))
+    rows.sort(key=lambda row: row[1])
+    print(format_table(["configuration", "first-epoch time (s)", "Table I complexity"],
+                       rows, title="One-epoch timing of every candidate d"))
+
+    best_label = min(timings, key=lambda label: timings[label][2])
+    best_d, best_mode, _ = timings[best_label]
+    print()
+    print(f"Selected configuration: {best_label}")
+
+    # Verify the choice on a longer run, as a user would.
+    _, total_best = one_epoch_time(best_d, best_mode, epochs=2)
+    _, total_base = one_epoch_time(1, "auto", epochs=2)
+    print(f"two-epoch time with {best_label}: {total_best:.2f} s")
+    print(f"two-epoch time without SAG     : {total_base:.2f} s")
+    print(f"speedup from Spar-All-Gather   : {total_base / total_best:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that the
+project can also be installed with legacy tooling (``pip install -e .
+--no-use-pep517``) on environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="spardl-repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,35 @@
+"""Analytical complexity (Table I) and report formatting."""
+
+from .complexity import (
+    ComplexityBound,
+    dense_allreduce_complexity,
+    gtopk_complexity,
+    ok_topk_complexity,
+    predicted_time,
+    spardl_bsag_complexity,
+    spardl_complexity,
+    spardl_rsag_complexity,
+    table1,
+    topk_a_complexity,
+    topk_dsa_complexity,
+)
+from .reporting import ExperimentReport, Series, format_series, format_table, speedup_table
+
+__all__ = [
+    "ComplexityBound",
+    "dense_allreduce_complexity",
+    "gtopk_complexity",
+    "ok_topk_complexity",
+    "predicted_time",
+    "spardl_bsag_complexity",
+    "spardl_complexity",
+    "spardl_rsag_complexity",
+    "table1",
+    "topk_a_complexity",
+    "topk_dsa_complexity",
+    "ExperimentReport",
+    "Series",
+    "format_series",
+    "format_table",
+    "speedup_table",
+]

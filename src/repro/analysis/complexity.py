@@ -1,0 +1,198 @@
+"""Closed-form communication complexity of every method (Table I).
+
+The paper summarises each sparse All-Reduce method in the alpha-beta cost
+model as a latency term (number of rounds multiplied by ``alpha``) and a
+bandwidth term (elements received by a worker multiplied by ``beta``).  This
+module reproduces those formulas so the simulator's measured rounds and
+volumes can be cross-checked against the theory, and so the Table I benchmark
+can print the analytical and measured numbers side by side.
+
+All functions take the same parameters as the table:
+
+* ``P`` — number of workers,
+* ``n`` — number of dense gradients,
+* ``k`` — number of sparse gradients selected per worker (``k << n``),
+* ``d`` — number of teams (SparDL with Spar-All-Gather only).
+
+Bandwidth values are in *elements* (the ``k beta`` convention of the paper,
+where a COO entry costs two elements is already folded into the constants of
+each formula, exactly as printed in Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ComplexityBound",
+    "topk_a_complexity",
+    "topk_dsa_complexity",
+    "gtopk_complexity",
+    "ok_topk_complexity",
+    "spardl_complexity",
+    "spardl_rsag_complexity",
+    "spardl_bsag_complexity",
+    "dense_allreduce_complexity",
+    "table1",
+    "predicted_time",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityBound:
+    """Latency rounds and bandwidth bounds of one method.
+
+    ``bandwidth_low`` and ``bandwidth_high`` coincide for methods whose cost
+    is a single expression rather than a range.
+    """
+
+    method: str
+    latency_rounds: float
+    bandwidth_low: float
+    bandwidth_high: float
+
+    @property
+    def has_range(self) -> bool:
+        return not math.isclose(self.bandwidth_low, self.bandwidth_high)
+
+    def time(self, alpha: float, beta: float, *, upper: bool = True) -> float:
+        """Predicted time under an alpha-beta network."""
+        bandwidth = self.bandwidth_high if upper else self.bandwidth_low
+        return alpha * self.latency_rounds + beta * bandwidth
+
+    def describe(self) -> str:
+        if self.has_range:
+            return (f"{self.method}: {self.latency_rounds:.1f} alpha + "
+                    f"[{self.bandwidth_low:.1f}, {self.bandwidth_high:.1f}] beta")
+        return f"{self.method}: {self.latency_rounds:.1f} alpha + {self.bandwidth_low:.1f} beta"
+
+
+def _check(P: int, n: int, k: int) -> None:
+    if P <= 0:
+        raise ValueError("P must be positive")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < k <= n:
+        raise ValueError("k must be in (0, n]")
+
+
+# ---------------------------------------------------------------------------
+# Table I rows
+# ---------------------------------------------------------------------------
+def topk_a_complexity(P: int, n: int, k: int) -> ComplexityBound:
+    """TopkA: ``log2 P`` rounds, ``2 (P-1) k`` elements."""
+    _check(P, n, k)
+    latency = math.ceil(math.log2(P)) if P > 1 else 0
+    bandwidth = 2.0 * (P - 1) * k
+    return ComplexityBound("TopkA", latency, bandwidth, bandwidth)
+
+
+def topk_dsa_complexity(P: int, n: int, k: int) -> ComplexityBound:
+    """TopkDSA: ``(P + 2 log2 P)`` rounds, ``[4k(P-1)/P, (2k + n)(P-1)/P]``."""
+    _check(P, n, k)
+    log_p = math.ceil(math.log2(P)) if P > 1 else 0
+    latency = P + 2 * log_p
+    low = 4.0 * k * (P - 1) / P
+    high = (2.0 * k + n) * (P - 1) / P
+    return ComplexityBound("TopkDSA", latency, low, max(low, high))
+
+
+def gtopk_complexity(P: int, n: int, k: int) -> ComplexityBound:
+    """gTopk: ``2 log2 P`` rounds, ``4 log2 P k`` elements."""
+    _check(P, n, k)
+    log_p = math.ceil(math.log2(P)) if P > 1 else 0
+    latency = 2 * log_p
+    bandwidth = 4.0 * log_p * k
+    return ComplexityBound("gTopk", latency, bandwidth, bandwidth)
+
+
+def ok_topk_complexity(P: int, n: int, k: int) -> ComplexityBound:
+    """Ok-Topk: ``2 (P + log2 P)`` rounds, ``[2k(P-1)/P, 6k(P-1)/P]``."""
+    _check(P, n, k)
+    log_p = math.ceil(math.log2(P)) if P > 1 else 0
+    latency = 2 * (P + log_p)
+    low = 2.0 * k * (P - 1) / P
+    high = 6.0 * k * (P - 1) / P
+    return ComplexityBound("Ok-Topk", latency, low, high)
+
+
+def spardl_complexity(P: int, n: int, k: int) -> ComplexityBound:
+    """SparDL without SAG (``d = 1``): ``2 ceil(log2 P)`` rounds,
+    ``4 k (P-1)/P`` elements (Equation 4)."""
+    _check(P, n, k)
+    latency = 2 * (math.ceil(math.log2(P)) if P > 1 else 0)
+    bandwidth = 4.0 * k * (P - 1) / P
+    return ComplexityBound("SparDL", latency, bandwidth, bandwidth)
+
+
+def spardl_rsag_complexity(P: int, n: int, k: int, d: int) -> ComplexityBound:
+    """SparDL with R-SAG (Equation 7): ``2 ceil(log2 (P/d)) + log2 d`` rounds
+    and ``2k((2P - 2d)/P + (d/P) log2 d)`` elements.  ``d`` must be a power of
+    two dividing ``P``."""
+    _check(P, n, k)
+    if d <= 0 or P % d != 0:
+        raise ValueError("d must divide P")
+    if d & (d - 1):
+        raise ValueError("R-SAG requires a power-of-two d")
+    team = P // d
+    latency = 2 * (math.ceil(math.log2(team)) if team > 1 else 0)
+    latency += int(math.log2(d)) if d > 1 else 0
+    bandwidth = 2.0 * k * ((2 * P - 2 * d) / P + (d / P) * (math.log2(d) if d > 1 else 0))
+    return ComplexityBound(f"SparDL(R-SAG,d={d})", latency, bandwidth, bandwidth)
+
+
+def spardl_bsag_complexity(P: int, n: int, k: int, d: int) -> ComplexityBound:
+    """SparDL with B-SAG (Equation 10): ``2 ceil(log2 (P/d)) + ceil(log2 d)``
+    rounds and bandwidth in ``[2k (d^2 + P - 2d)/(P d), 2k (d^2 + 2P - 3d)/P]``."""
+    _check(P, n, k)
+    if d <= 0 or P % d != 0:
+        raise ValueError("d must divide P")
+    team = P // d
+    latency = 2 * (math.ceil(math.log2(team)) if team > 1 else 0)
+    latency += math.ceil(math.log2(d)) if d > 1 else 0
+    low = 2.0 * k * (d * d + P - 2 * d) / (P * d)
+    high = 2.0 * k * (d * d + 2 * P - 3 * d) / P
+    return ComplexityBound(f"SparDL(B-SAG,d={d})", latency, low, max(low, high))
+
+
+def dense_allreduce_complexity(P: int, n: int) -> ComplexityBound:
+    """Bandwidth-optimal dense All-Reduce: ``2 (P-1)`` ring rounds (or
+    ``2 log2 P`` for Rabenseifner) and ``2 n (P-1)/P`` elements."""
+    if P <= 0 or n <= 0:
+        raise ValueError("P and n must be positive")
+    if P > 1 and (P & (P - 1)) == 0:
+        latency = 2 * int(math.log2(P))
+    else:
+        latency = 2 * (P - 1)
+    bandwidth = 2.0 * n * (P - 1) / P
+    return ComplexityBound("Dense", latency, bandwidth, bandwidth)
+
+
+# ---------------------------------------------------------------------------
+# convenience
+# ---------------------------------------------------------------------------
+def table1(P: int, n: int, k: int, d: Optional[int] = None) -> Dict[str, ComplexityBound]:
+    """All rows of Table I for the given parameters.
+
+    When ``d`` is given (and valid) the SparDL (R-SAG) and/or (B-SAG) rows are
+    included as well.
+    """
+    rows = {
+        "TopkA": topk_a_complexity(P, n, k),
+        "TopkDSA": topk_dsa_complexity(P, n, k),
+        "gTopk": gtopk_complexity(P, n, k),
+        "Ok-Topk": ok_topk_complexity(P, n, k),
+        "SparDL": spardl_complexity(P, n, k),
+    }
+    if d is not None and d > 1 and P % d == 0:
+        if (d & (d - 1)) == 0:
+            rows[f"SparDL(R-SAG,d={d})"] = spardl_rsag_complexity(P, n, k, d)
+        rows[f"SparDL(B-SAG,d={d})"] = spardl_bsag_complexity(P, n, k, d)
+    return rows
+
+
+def predicted_time(bound: ComplexityBound, alpha: float, beta: float) -> Tuple[float, float]:
+    """Lower and upper predicted times for a bound under ``alpha``/``beta``."""
+    return bound.time(alpha, beta, upper=False), bound.time(alpha, beta, upper=True)

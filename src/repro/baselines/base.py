@@ -1,0 +1,96 @@
+"""Shared plumbing for the baseline sparse All-Reduce methods.
+
+Every baseline follows the same outline the paper describes for the
+competitors (TopkA, TopkDSA, gTopk, Ok-Topk): add the stored residual to the
+new local gradient, sparsify, run a method-specific exchange, and keep the
+values the sparsifications dropped according to the method's residual
+policy.  :class:`SparseBaseline` owns the shared state (resolved ``k`` and a
+:class:`~repro.core.residuals.ResidualManager`); subclasses implement only
+the exchange itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm.cluster import SimulatedCluster
+from ..core.base import GradientSynchronizer, resolve_k
+from ..core.residuals import ResidualManager, ResidualPolicy
+from ..sparse.vector import SparseGradient
+
+__all__ = ["SparseBaseline", "power_of_two_split", "is_power_of_two"]
+
+
+def is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def power_of_two_split(num_workers: int) -> Tuple[int, int]:
+    """Split ``P`` into ``(p2, r)`` with ``p2`` the largest power of two not
+    exceeding ``P`` and ``r = P - p2`` the number of "extra" workers folded
+    in and out of a recursive-doubling exchange (the standard MPI trick for
+    non-power-of-two worker counts)."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    p2 = 1 << (num_workers.bit_length() - 1)
+    return p2, num_workers - p2
+
+
+class SparseBaseline(GradientSynchronizer):
+    """Base class for the baseline sparse synchronisation methods.
+
+    Parameters
+    ----------
+    cluster, num_elements:
+        As for :class:`~repro.core.base.GradientSynchronizer`.
+    k, density:
+        Sparsity of the local selection; exactly one must be given.
+    residual_policy:
+        Error-feedback policy used by the method (the paper's competitors use
+        local or partial residual collection).
+    """
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+                 k: Optional[int] = None, density: Optional[float] = None,
+                 residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL) -> None:
+        super().__init__(cluster, num_elements)
+        self.k = resolve_k(num_elements, k, density)
+        self.residuals = ResidualManager(cluster.num_workers, num_elements, residual_policy)
+
+    # ------------------------------------------------------------------
+    def local_select(self, gradients: Dict[int, np.ndarray]) -> Dict[int, SparseGradient]:
+        """Residual-corrected local top-k selection for every worker.
+
+        The dropped values are collected as local residuals.  Returns the
+        per-worker sparse selection in global coordinates.
+        """
+        corrected = self.residuals.apply(gradients)
+        selected: Dict[int, SparseGradient] = {}
+        for rank, dense in corrected.items():
+            sparse, residual = SparseGradient.top_k_of_dense(dense, self.k,
+                                                             length=self.num_elements)
+            self.residuals.collect_local(rank, residual)
+            selected[rank] = sparse
+        return selected
+
+    def finalize_residuals(self, final: SparseGradient) -> None:
+        """Resolve deferred (PRES) procedure discards against the final
+        global index set."""
+        self.residuals.finalize(final.indices)
+
+    @staticmethod
+    def merge_sum(pieces: Sequence[SparseGradient]) -> SparseGradient:
+        """Merge-sum a non-empty sequence of sparse gradients."""
+        if not pieces:
+            raise ValueError("merge_sum needs at least one sparse gradient")
+        merged = pieces[0]
+        for piece in pieces[1:]:
+            merged = merged.add(piece)
+        return merged
+
+    @staticmethod
+    def num_doubling_steps(size: int) -> int:
+        return int(math.log2(size)) if size > 1 else 0

@@ -1,0 +1,79 @@
+"""gTopk: global top-k sparse All-Reduce with tree-structured exchanges.
+
+gTopk [Shi et al., ICDCS'19] keeps exactly ``k`` global gradients by
+re-selecting the top-k after every pairwise merge.  The exchange follows a
+recursive-doubling pattern in which *both* partners send their current
+selection to each other; because both sides then hold identical data and
+apply the same deterministic selection, every cohort of ``2^(t+1)`` workers
+stays perfectly consistent, which is what makes the method usable for
+synchronous SGD.  The price is bandwidth: each of the ``log2 P`` rounds moves
+a full ``k``-entry selection in each direction (the ``4 log2 P k`` term of
+Table I counts the equivalent reduction-tree + broadcast-tree realisation).
+
+As in the paper's evaluation, the method is only defined for power-of-two
+worker counts (Fig. 12 evaluates gTopk at 8 workers only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..comm.cluster import Message, SimulatedCluster
+from ..core.base import SyncResult
+from ..core.residuals import ResidualPolicy
+from .base import SparseBaseline, is_power_of_two
+
+__all__ = ["GTopkSynchronizer"]
+
+
+class GTopkSynchronizer(SparseBaseline):
+    """Global top-k All-Reduce (power-of-two worker counts only)."""
+
+    name = "gTopk"
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+        if not is_power_of_two(cluster.num_workers):
+            raise ValueError(
+                "gTopk requires a power-of-two number of workers "
+                f"(got {cluster.num_workers}); the paper evaluates it at 8 workers only"
+            )
+        super().__init__(cluster, num_elements, k=k, density=density,
+                         residual_policy=ResidualPolicy.PARTIAL)
+
+    # ------------------------------------------------------------------
+    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
+        selected = self.local_select(gradients)
+        P = self.num_workers
+        current = dict(selected)
+
+        step = 1
+        level = 0
+        while step < P:
+            messages = []
+            for rank in range(P):
+                partner = rank ^ step
+                messages.append(Message(src=rank, dst=partner, payload=current[rank],
+                                        tag=f"gtopk-{step}"))
+            inboxes = self.cluster.exchange(messages)
+            # Every worker of a 2^(level+1) cohort ends up with the same merged
+            # set and discards the same values, so each keeps the matching share.
+            share = 1.0 / float(2 << level)
+            for rank in range(P):
+                for message in inboxes.get(rank, []):
+                    current[rank] = current[rank].add(message.payload)
+                kept, dropped = current[rank].top_k(self.k)
+                current[rank] = kept
+                self.residuals.collect_procedure(rank, dropped, share=share)
+            step <<= 1
+            level += 1
+
+        reference = current[0]
+        self.finalize_residuals(reference)
+        return SyncResult(
+            global_gradients={rank: sparse.to_dense() for rank, sparse in current.items()},
+            stats=None,
+            info={"k": self.k, "final_nnz": reference.nnz},
+        )

@@ -1,0 +1,101 @@
+"""TopkA: sparse All-Gather All-Reduce (SparCML's allgather variant).
+
+TopkA [Renggli et al., SC'19] handles the SGA dilemma by never re-reducing
+during the exchange: every worker's local top-k selection is *gathered* on
+every worker with a recursive-doubling All-Gather and only summed at the end.
+Messages therefore grow with the number of accumulated contributions, giving
+the ``2(P-1)k`` bandwidth bound of Table I, but the number of rounds stays at
+``log2 P`` (plus the usual fold-in/fold-out rounds when ``P`` is not a power
+of two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..comm.cluster import Message, SimulatedCluster
+from ..core.base import SyncResult
+from ..core.residuals import ResidualPolicy
+from ..sparse.vector import SparseGradient
+from .base import SparseBaseline, power_of_two_split
+
+__all__ = ["TopkASynchronizer"]
+
+
+class TopkASynchronizer(SparseBaseline):
+    """Sparse All-Gather All-Reduce with recursive doubling."""
+
+    name = "TopkA"
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+        super().__init__(cluster, num_elements, k=k, density=density,
+                         residual_policy=ResidualPolicy.LOCAL)
+
+    # ------------------------------------------------------------------
+    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
+        selected = self.local_select(gradients)
+        P = self.num_workers
+
+        if P == 1:
+            only = selected[0]
+            return SyncResult(global_gradients={0: only.to_dense()}, stats=None,
+                              info={"k": self.k, "final_nnz": only.nnz})
+
+        # Per-worker accumulation of gathered contributions.  The exchange
+        # only concatenates; summation happens once at the end so that the
+        # SGA dilemma manifests purely as growing message sizes.
+        gathered: Dict[int, List[SparseGradient]] = {rank: [selected[rank]] for rank in range(P)}
+
+        p2, extra = power_of_two_split(P)
+
+        # Fold-in: the last ``extra`` workers hand their contribution to a
+        # partner inside the power-of-two core.
+        if extra:
+            messages = [Message(src=p2 + i, dst=i, payload=gathered[p2 + i],
+                                tag="topka-fold-in") for i in range(extra)]
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst].extend(message.payload)
+
+        # Recursive doubling over the power-of-two core.
+        step = 1
+        while step < p2:
+            messages = []
+            for rank in range(p2):
+                partner = rank ^ step
+                messages.append(Message(src=rank, dst=partner, payload=list(gathered[rank]),
+                                        tag=f"topka-rd-{step}"))
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst].extend(message.payload)
+            step <<= 1
+
+        # Fold-out: send the gathered set back to the extra workers.  The
+        # receiver already holds its own contribution, so that part of the
+        # payload costs no bandwidth (keeping the total at 2(P-1)k as in
+        # Table I).
+        if extra:
+            messages = []
+            for i in range(extra):
+                payload = list(gathered[i])
+                size = sum(item.comm_size for item in payload) - selected[p2 + i].comm_size
+                messages.append(Message(src=i, dst=p2 + i, payload=payload,
+                                        size=max(size, 0.0), tag="topka-fold-out"))
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst] = list(message.payload)
+
+        global_sparse = {rank: self.merge_sum(pieces) for rank, pieces in gathered.items()}
+        reference = global_sparse[0]
+        self.finalize_residuals(reference)
+        return SyncResult(
+            global_gradients={rank: sparse.to_dense() for rank, sparse in global_sparse.items()},
+            stats=None,
+            info={"k": self.k, "final_nnz": reference.nnz},
+        )

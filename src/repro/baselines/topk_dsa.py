@@ -1,0 +1,148 @@
+"""TopkDSA: direct-send Reduce-Scatter + dense-switching All-Gather.
+
+TopkDSA [Renggli et al., SC'19] splits the sparse All-Reduce into a
+Reduce-Scatter and an All-Gather:
+
+* **Reduce-Scatter** — every worker partitions its local top-k selection by
+  block owner and sends each partition *directly* to its owner, one peer per
+  round (``P - 1`` rounds, the latency-heavy pattern the paper criticises).
+  The owner merge-sums what it receives, so the SGA dilemma is confined to
+  the owner's block.
+* **All-Gather** — the reduced blocks are gathered with recursive doubling.
+  No re-sparsification happens, so accumulated blocks keep growing; each
+  block is transmitted in COO form until that becomes larger than the dense
+  block, at which point the transfer switches to dense representation.  This
+  is what produces the ``(P-1)/P (2k + n)`` upper bound of Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..comm.cluster import Message, SimulatedCluster
+from ..core.base import SyncResult
+from ..core.residuals import ResidualPolicy
+from ..sparse.blocks import BlockLayout
+from ..sparse.vector import SparseGradient
+from .base import SparseBaseline, power_of_two_split
+
+__all__ = ["TopkDSASynchronizer"]
+
+
+class TopkDSASynchronizer(SparseBaseline):
+    """Sparse Reduce-Scatter / All-Gather All-Reduce with dense switching."""
+
+    name = "TopkDSA"
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+        super().__init__(cluster, num_elements, k=k, density=density,
+                         residual_policy=ResidualPolicy.LOCAL)
+        self.layout = BlockLayout(num_elements, cluster.num_workers)
+
+    # ------------------------------------------------------------------
+    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
+        selected = self.local_select(gradients)
+        P = self.num_workers
+        if P == 1:
+            only = selected[0]
+            return SyncResult(global_gradients={0: only.to_dense()}, stats=None,
+                              info={"k": self.k, "final_nnz": only.nnz})
+
+        reduced = self._reduce_scatter_direct(selected)
+        gathered = self._allgather_dense_switching(reduced)
+
+        global_sparse = {rank: self.merge_sum([piece for _, piece in pieces])
+                         for rank, pieces in gathered.items()}
+        reference = global_sparse[0]
+        self.finalize_residuals(reference)
+        return SyncResult(
+            global_gradients={rank: sparse.to_dense() for rank, sparse in global_sparse.items()},
+            stats=None,
+            info={"k": self.k, "final_nnz": reference.nnz},
+        )
+
+    # ------------------------------------------------------------------
+    def _reduce_scatter_direct(self, selected: Dict[int, SparseGradient]) -> Dict[int, SparseGradient]:
+        """Direct-send Reduce-Scatter of the sparse selections (one peer per
+        round, ``P - 1`` rounds)."""
+        P = self.num_workers
+        reduced: Dict[int, SparseGradient] = {
+            rank: self.layout.restrict(selected[rank], rank) for rank in range(P)
+        }
+        for shift in range(1, P):
+            messages: List[Message] = []
+            for rank in range(P):
+                dst = (rank + shift) % P
+                part = self.layout.restrict(selected[rank], dst)
+                messages.append(Message(src=rank, dst=dst, payload=part,
+                                        tag=f"dsa-rs-{shift}"))
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    reduced[dst] = reduced[dst].add(message.payload)
+        return reduced
+
+    def _allgather_dense_switching(
+        self, reduced: Dict[int, SparseGradient]
+    ) -> Dict[int, List[Tuple[int, SparseGradient]]]:
+        """Recursive-doubling All-Gather of the reduced blocks.
+
+        Accumulated payloads keep every block tagged with its owner so the
+        message size can switch from COO (two elements per non-zero) to the
+        dense block size, whichever is smaller.
+        """
+        P = self.num_workers
+        gathered: Dict[int, List[Tuple[int, SparseGradient]]] = {
+            rank: [(rank, reduced[rank])] for rank in range(P)
+        }
+        p2, extra = power_of_two_split(P)
+
+        if extra:
+            messages = [
+                Message(src=p2 + i, dst=i, payload=gathered[p2 + i],
+                        size=self._payload_size(gathered[p2 + i]), tag="dsa-fold-in")
+                for i in range(extra)
+            ]
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst].extend(message.payload)
+
+        step = 1
+        while step < p2:
+            messages = []
+            for rank in range(p2):
+                partner = rank ^ step
+                payload = list(gathered[rank])
+                messages.append(Message(src=rank, dst=partner, payload=payload,
+                                        size=self._payload_size(payload),
+                                        tag=f"dsa-ag-{step}"))
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst].extend(message.payload)
+            step <<= 1
+
+        if extra:
+            messages = [
+                Message(src=i, dst=p2 + i, payload=list(gathered[i]),
+                        size=self._payload_size(gathered[i]), tag="dsa-fold-out")
+                for i in range(extra)
+            ]
+            inboxes = self.cluster.exchange(messages)
+            for dst, inbox in inboxes.items():
+                for message in inbox:
+                    gathered[dst] = list(message.payload)
+        return gathered
+
+    def _payload_size(self, payload: List[Tuple[int, SparseGradient]]) -> float:
+        """COO size per block, capped at the dense block size (TopkDSA's
+        switch to dense transmission)."""
+        total = 0.0
+        for block, sparse in payload:
+            dense_size = float(self.layout.block_size(block))
+            total += min(2.0 * sparse.nnz, dense_size)
+        return total

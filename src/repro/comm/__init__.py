@@ -1,0 +1,34 @@
+"""Communication substrate: simulated cluster, cost model and collectives."""
+
+from .cluster import Message, SimulatedCluster, payload_size
+from .collectives import (
+    allgather_bruck,
+    allgather_bruck_grouped,
+    allgather_recursive_doubling,
+    allgather_recursive_doubling_grouped,
+    allreduce_dense,
+    allreduce_rabenseifner,
+    allreduce_ring,
+    reduce_scatter_direct,
+)
+from .network import ETHERNET, PERFECT, RDMA, NetworkProfile
+from .stats import CommStats
+
+__all__ = [
+    "Message",
+    "SimulatedCluster",
+    "payload_size",
+    "CommStats",
+    "NetworkProfile",
+    "ETHERNET",
+    "RDMA",
+    "PERFECT",
+    "allgather_bruck",
+    "allgather_bruck_grouped",
+    "allgather_recursive_doubling",
+    "allgather_recursive_doubling_grouped",
+    "allreduce_dense",
+    "allreduce_rabenseifner",
+    "allreduce_ring",
+    "reduce_scatter_direct",
+]

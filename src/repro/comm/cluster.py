@@ -1,0 +1,161 @@
+"""A simulated, step-synchronous cluster of workers.
+
+The paper evaluates SparDL on a physical 14-machine GPU cluster connected by
+MPI.  This repository substitutes that testbed with an in-process simulator:
+``P`` workers exchange messages through :class:`SimulatedCluster`, one
+synchronous round at a time.  The simulator is *not* a performance model by
+itself — it executes the real communication algorithms on real gradient data
+— but it records exactly the quantities the alpha-beta model needs (rounds
+and per-worker received volume) in :class:`repro.comm.stats.CommStats`.
+
+Design notes
+------------
+* A call to :meth:`SimulatedCluster.exchange` is one synchronous round: all
+  messages passed in are considered concurrent, exactly like one step of a
+  bulk-synchronous collective.
+* Payload sizes are derived automatically: NumPy arrays count one element
+  per entry, objects exposing a ``comm_size`` attribute (sparse gradients)
+  use it, and an explicit size can always be given.
+* Workers are plain integer ranks; algorithm state lives in the algorithms
+  themselves, which keeps every collective a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .stats import CommStats
+
+__all__ = ["Message", "SimulatedCluster", "payload_size"]
+
+
+def payload_size(payload: Any) -> float:
+    """Number of transmitted elements for ``payload``.
+
+    * ``None`` has size 0 (control message).
+    * NumPy arrays: one element per entry.
+    * Objects with a ``comm_size`` attribute (e.g. sparse gradients in COO
+      form) report their own size.
+    * Lists / tuples: sum of their items.
+    * Scalars: 1.
+    """
+    if payload is None:
+        return 0.0
+    if isinstance(payload, np.ndarray):
+        return float(payload.size)
+    comm_size = getattr(payload, "comm_size", None)
+    if comm_size is not None:
+        return float(comm_size)
+    if isinstance(payload, (list, tuple)):
+        return float(sum(payload_size(item) for item in payload))
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 1.0
+    raise TypeError(f"cannot determine communication size of {type(payload)!r}")
+
+
+@dataclass
+class Message:
+    """A point-to-point message between two workers.
+
+    ``size`` may be given explicitly (for example to model compressed
+    payloads); otherwise it is derived from the payload via
+    :func:`payload_size`.
+    """
+
+    src: int
+    dst: int
+    payload: Any = None
+    size: Optional[float] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            self.size = payload_size(self.payload)
+        if self.size < 0:
+            raise ValueError("message size must be non-negative")
+
+
+class SimulatedCluster:
+    """``P`` workers connected by a fully-switched, step-synchronous network."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError("a cluster needs at least one worker")
+        self._num_workers = int(num_workers)
+        self._stats = CommStats(num_workers=self._num_workers)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def ranks(self) -> range:
+        return range(self._num_workers)
+
+    @property
+    def stats(self) -> CommStats:
+        return self._stats
+
+    def reset_stats(self) -> CommStats:
+        """Reset accounting and return the statistics accumulated so far."""
+        old = self._stats
+        self._stats = CommStats(num_workers=self._num_workers)
+        return old
+
+    # ------------------------------------------------------------------
+    # message passing
+    # ------------------------------------------------------------------
+    def exchange(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
+        """Deliver one synchronous round of messages.
+
+        Returns the inbox of every worker that received something:
+        ``{dst_rank: [messages in arrival order]}``.  Raises if any rank is
+        out of range or a worker messages itself (local data movement is
+        free and must not be modelled as communication).
+        """
+        transfers = []
+        inboxes: Dict[int, List[Message]] = {}
+        for message in messages:
+            self._check_rank(message.src)
+            self._check_rank(message.dst)
+            if message.src == message.dst:
+                raise ValueError("workers must not send messages to themselves")
+            transfers.append((message.src, message.dst, float(message.size)))
+            inboxes.setdefault(message.dst, []).append(message)
+        if not transfers:
+            return {}
+        self._stats.record_round(transfers)
+        return inboxes
+
+    def sendrecv(self, sends: Dict[int, tuple[int, Any]]) -> Dict[int, Any]:
+        """Convenience wrapper for one round of pairwise sends.
+
+        ``sends`` maps source rank to ``(dst, payload)``; the return value
+        maps destination rank to the received payload.  Destinations that
+        receive more than one payload get a list.
+        """
+        messages = [Message(src=s, dst=d, payload=p) for s, (d, p) in sends.items()]
+        inboxes = self.exchange(messages)
+        received: Dict[int, Any] = {}
+        for dst, inbox in inboxes.items():
+            if len(inbox) == 1:
+                received[dst] = inbox[0].payload
+            else:
+                received[dst] = [m.payload for m in inbox]
+        return received
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._num_workers:
+            raise ValueError(
+                f"worker rank {rank} out of range [0, {self._num_workers})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedCluster(num_workers={self._num_workers})"

@@ -1,0 +1,377 @@
+"""Dense collective communication algorithms over the simulated cluster.
+
+These are the textbook building blocks the paper relies on (Section II and
+Figure 3):
+
+* **Bruck All-Gather** — efficient for any number of workers, used by
+  SparDL's final intra-team gather and by B-SAG.
+* **Recursive-doubling All-Gather** — efficient for power-of-two worker
+  counts, used by R-SAG and by the TopkA baseline.
+* **Ring All-Reduce** and **Rabenseifner All-Reduce** — the dense baselines.
+* **Direct-send Reduce-Scatter** — the latency-heavy pattern used by the
+  TopkDSA and Ok-Topk baselines.
+
+All collectives support *grouped* execution: several disjoint groups of
+workers run the same collective concurrently and share communication
+rounds, which is how SparDL's teams overlap their intra-team phases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cluster import Message, SimulatedCluster
+
+__all__ = [
+    "allgather_bruck",
+    "allgather_bruck_grouped",
+    "allgather_recursive_doubling",
+    "allgather_recursive_doubling_grouped",
+    "reduce_scatter_direct",
+    "allreduce_ring",
+    "allreduce_rabenseifner",
+    "allreduce_dense",
+]
+
+
+def _validate_group(group: Sequence[int], cluster: SimulatedCluster) -> None:
+    if len(set(group)) != len(group):
+        raise ValueError("group contains duplicate ranks")
+    for rank in group:
+        if not 0 <= rank < cluster.num_workers:
+            raise ValueError(f"rank {rank} outside cluster of size {cluster.num_workers}")
+
+
+# ---------------------------------------------------------------------------
+# Bruck All-Gather
+# ---------------------------------------------------------------------------
+def allgather_bruck_grouped(
+    cluster: SimulatedCluster,
+    groups: Sequence[Sequence[int]],
+    items: Dict[int, Any],
+) -> Dict[int, List[Any]]:
+    """Bruck All-Gather run concurrently inside each group.
+
+    ``items`` maps every participating global rank to its local item.  The
+    result maps every participating rank to the list of items of its whole
+    group, ordered by position within the group (so ``result[rank][j]`` is
+    the item contributed by ``group[j]``).
+
+    All groups advance in lock-step; a communication step performed by any
+    group counts as a single shared round, which models teams communicating
+    in parallel.
+    """
+    for group in groups:
+        _validate_group(group, cluster)
+
+    # Per-rank rolling buffer, starting with the local item.
+    buffers: Dict[int, List[Any]] = {rank: [items[rank]] for group in groups for rank in group}
+    max_size = max((len(group) for group in groups), default=0)
+    if max_size == 0:
+        return {}
+    num_steps = max(1, math.ceil(math.log2(max_size))) if max_size > 1 else 0
+
+    for step in range(num_steps):
+        distance = 1 << step
+        messages: List[Message] = []
+        for group in groups:
+            size = len(group)
+            if distance >= size:
+                continue
+            for pos, rank in enumerate(group):
+                dst = group[(pos - distance) % size]
+                # At step t each worker forwards the first min(2^t, P - 2^t)
+                # items it holds; the receiver then holds min(2^(t+1), P).
+                count = min(distance, size - distance)
+                payload = buffers[rank][:count]
+                messages.append(Message(src=rank, dst=dst, payload=payload, tag=f"bruck-{step}"))
+        if not messages:
+            continue
+        inboxes = cluster.exchange(messages)
+        for dst, inbox in inboxes.items():
+            for message in inbox:
+                buffers[dst].extend(message.payload)
+
+    # Trim and rotate so results are in absolute group order.
+    results: Dict[int, List[Any]] = {}
+    for group in groups:
+        size = len(group)
+        for pos, rank in enumerate(group):
+            rolled = buffers[rank][:size]
+            if len(rolled) != size:
+                raise RuntimeError("Bruck All-Gather did not converge")
+            ordered = [None] * size
+            for offset, item in enumerate(rolled):
+                ordered[(pos + offset) % size] = item
+            results[rank] = ordered
+    return results
+
+
+def allgather_bruck(
+    cluster: SimulatedCluster,
+    items: Dict[int, Any],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, List[Any]]:
+    """Bruck All-Gather over one group (default: the whole cluster)."""
+    if group is None:
+        group = list(cluster.ranks)
+    return allgather_bruck_grouped(cluster, [list(group)], items)
+
+
+# ---------------------------------------------------------------------------
+# Recursive doubling All-Gather
+# ---------------------------------------------------------------------------
+def allgather_recursive_doubling_grouped(
+    cluster: SimulatedCluster,
+    groups: Sequence[Sequence[int]],
+    items: Dict[int, Any],
+) -> Dict[int, List[Any]]:
+    """Recursive-doubling All-Gather inside each (power-of-two sized) group."""
+    for group in groups:
+        _validate_group(group, cluster)
+        size = len(group)
+        if size & (size - 1):
+            raise ValueError(
+                "recursive doubling requires a power-of-two group size; "
+                f"got {size} (use Bruck All-Gather instead)"
+            )
+
+    # gathered[rank] maps group position -> item
+    gathered: Dict[int, Dict[int, Any]] = {}
+    for group in groups:
+        for pos, rank in enumerate(group):
+            gathered[rank] = {pos: items[rank]}
+
+    max_size = max((len(group) for group in groups), default=1)
+    num_steps = int(math.log2(max_size)) if max_size > 1 else 0
+    for step in range(num_steps):
+        distance = 1 << step
+        messages: List[Message] = []
+        for group in groups:
+            size = len(group)
+            if distance >= size:
+                continue
+            for pos, rank in enumerate(group):
+                partner_pos = pos ^ distance
+                partner = group[partner_pos]
+                payload = dict(gathered[rank])
+                messages.append(Message(src=rank, dst=partner, payload=list(payload.items()),
+                                         tag=f"rd-{step}"))
+        inboxes = cluster.exchange(messages)
+        for dst, inbox in inboxes.items():
+            for message in inbox:
+                gathered[dst].update(dict(message.payload))
+
+    results: Dict[int, List[Any]] = {}
+    for group in groups:
+        size = len(group)
+        for rank in group:
+            ordered = [gathered[rank][pos] for pos in range(size)]
+            results[rank] = ordered
+    return results
+
+
+def allgather_recursive_doubling(
+    cluster: SimulatedCluster,
+    items: Dict[int, Any],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, List[Any]]:
+    if group is None:
+        group = list(cluster.ranks)
+    return allgather_recursive_doubling_grouped(cluster, [list(group)], items)
+
+
+# ---------------------------------------------------------------------------
+# Reduce-Scatter (direct sends)
+# ---------------------------------------------------------------------------
+def reduce_scatter_direct(
+    cluster: SimulatedCluster,
+    vectors: Dict[int, np.ndarray],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Reduce-Scatter where every worker sends each partition straight to its
+    owner (the latency-heavy pattern of TopkDSA / Ok-Topk, one peer per
+    round, ``P - 1`` rounds)."""
+    if group is None:
+        group = list(cluster.ranks)
+    group = list(group)
+    _validate_group(group, cluster)
+    size = len(group)
+    first = vectors[group[0]]
+    n = first.shape[0]
+    bounds = _partition_bounds(n, size)
+
+    partial: Dict[int, np.ndarray] = {}
+    for pos, rank in enumerate(group):
+        lo, hi = bounds[pos]
+        partial[rank] = vectors[rank][lo:hi].astype(np.float64, copy=True)
+
+    for shift in range(1, size):
+        messages = []
+        for pos, rank in enumerate(group):
+            dst_pos = (pos + shift) % size
+            dst = group[dst_pos]
+            lo, hi = bounds[dst_pos]
+            messages.append(Message(src=rank, dst=dst, payload=vectors[rank][lo:hi]))
+        inboxes = cluster.exchange(messages)
+        for dst, inbox in inboxes.items():
+            for message in inbox:
+                partial[dst] = partial[dst] + np.asarray(message.payload, dtype=np.float64)
+    return partial
+
+
+# ---------------------------------------------------------------------------
+# Dense All-Reduce
+# ---------------------------------------------------------------------------
+def allreduce_ring(
+    cluster: SimulatedCluster,
+    vectors: Dict[int, np.ndarray],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Bandwidth-optimal ring All-Reduce (2(P-1) rounds, 2n(P-1)/P volume)."""
+    if group is None:
+        group = list(cluster.ranks)
+    group = list(group)
+    _validate_group(group, cluster)
+    size = len(group)
+    n = vectors[group[0]].shape[0]
+    if size == 1:
+        only = group[0]
+        return {only: vectors[only].astype(np.float64, copy=True)}
+    bounds = _partition_bounds(n, size)
+
+    chunks: Dict[int, List[np.ndarray]] = {
+        rank: [vectors[rank][lo:hi].astype(np.float64, copy=True) for lo, hi in bounds]
+        for rank in group
+    }
+
+    # Reduce-scatter phase.
+    for step in range(size - 1):
+        messages = []
+        for pos, rank in enumerate(group):
+            chunk_idx = (pos - step) % size
+            dst = group[(pos + 1) % size]
+            messages.append(Message(src=rank, dst=dst, payload=chunks[rank][chunk_idx],
+                                     tag=f"ring-rs-{chunk_idx}"))
+        inboxes = cluster.exchange(messages)
+        for pos, rank in enumerate(group):
+            chunk_idx = (pos - 1 - step) % size
+            for message in inboxes.get(rank, []):
+                chunks[rank][chunk_idx] = chunks[rank][chunk_idx] + np.asarray(message.payload)
+
+    # All-gather phase.
+    for step in range(size - 1):
+        messages = []
+        for pos, rank in enumerate(group):
+            chunk_idx = (pos + 1 - step) % size
+            dst = group[(pos + 1) % size]
+            messages.append(Message(src=rank, dst=dst, payload=chunks[rank][chunk_idx],
+                                     tag=f"ring-ag-{chunk_idx}"))
+        inboxes = cluster.exchange(messages)
+        for pos, rank in enumerate(group):
+            chunk_idx = (pos - step) % size
+            for message in inboxes.get(rank, []):
+                chunks[rank][chunk_idx] = np.asarray(message.payload, dtype=np.float64)
+
+    return {rank: np.concatenate(chunks[rank]) for rank in group}
+
+
+def allreduce_rabenseifner(
+    cluster: SimulatedCluster,
+    vectors: Dict[int, np.ndarray],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Rabenseifner's All-Reduce: recursive-halving Reduce-Scatter followed by
+    recursive-doubling All-Gather.  Requires a power-of-two group size."""
+    if group is None:
+        group = list(cluster.ranks)
+    group = list(group)
+    _validate_group(group, cluster)
+    size = len(group)
+    if size & (size - 1):
+        raise ValueError("Rabenseifner's All-Reduce requires a power-of-two group size")
+    if size == 1:
+        only = group[0]
+        return {only: vectors[only].astype(np.float64, copy=True)}
+
+    n = vectors[group[0]].shape[0]
+    working: Dict[int, np.ndarray] = {rank: vectors[rank].astype(np.float64, copy=True) for rank in group}
+    # Track the index range each worker is currently responsible for.
+    ranges: Dict[int, tuple[int, int]] = {rank: (0, n) for rank in group}
+
+    num_steps = int(math.log2(size))
+    # Recursive halving reduce-scatter.
+    for step in range(num_steps):
+        distance = size >> (step + 1)
+        messages = []
+        plan = {}
+        for pos, rank in enumerate(group):
+            partner = group[pos ^ distance]
+            lo, hi = ranges[rank]
+            mid = (lo + hi) // 2
+            keep_high = bool(pos & distance)
+            if keep_high:
+                send_lo, send_hi, keep = lo, mid, (mid, hi)
+            else:
+                send_lo, send_hi, keep = mid, hi, (lo, mid)
+            plan[rank] = keep
+            messages.append(Message(src=rank, dst=partner,
+                                     payload=(send_lo, working[rank][send_lo:send_hi])))
+        inboxes = cluster.exchange(messages)
+        for rank in group:
+            ranges[rank] = plan[rank]
+            for message in inboxes.get(rank, []):
+                lo, chunk = message.payload
+                working[rank][lo:lo + len(chunk)] += chunk
+
+    # Recursive doubling all-gather of the owned ranges.
+    for step in reversed(range(num_steps)):
+        distance = size >> (step + 1)
+        messages = []
+        for pos, rank in enumerate(group):
+            partner = group[pos ^ distance]
+            lo, hi = ranges[rank]
+            messages.append(Message(src=rank, dst=partner, payload=(lo, working[rank][lo:hi])))
+        inboxes = cluster.exchange(messages)
+        for rank in group:
+            lo, hi = ranges[rank]
+            for message in inboxes.get(rank, []):
+                other_lo, chunk = message.payload
+                working[rank][other_lo:other_lo + len(chunk)] = chunk
+                lo = min(lo, other_lo)
+                hi = max(hi, other_lo + len(chunk))
+            ranges[rank] = (lo, hi)
+
+    return {rank: working[rank] for rank in group}
+
+
+def allreduce_dense(
+    cluster: SimulatedCluster,
+    vectors: Dict[int, np.ndarray],
+    group: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Dense All-Reduce choosing Rabenseifner for power-of-two groups and the
+    ring algorithm otherwise."""
+    if group is None:
+        group = list(cluster.ranks)
+    size = len(group)
+    if size and not size & (size - 1):
+        return allreduce_rabenseifner(cluster, vectors, group)
+    return allreduce_ring(cluster, vectors, group)
+
+
+# ---------------------------------------------------------------------------
+def _partition_bounds(n: int, parts: int) -> List[tuple[int, int]]:
+    """Split ``[0, n)`` into ``parts`` contiguous, nearly equal ranges."""
+    base = n // parts
+    remainder = n % parts
+    bounds = []
+    start = 0
+    for i in range(parts):
+        length = base + (1 if i < remainder else 0)
+        bounds.append((start, start + length))
+        start += length
+    return bounds

@@ -1,0 +1,133 @@
+"""Communication accounting.
+
+Every message that flows through :class:`repro.comm.cluster.SimulatedCluster`
+is recorded here.  The statistics mirror the two quantities of the
+alpha-beta cost model used throughout the paper:
+
+* the number of synchronous communication *rounds* (latency term), and
+* the *volume* of elements received per worker (bandwidth term).
+
+A "round" corresponds to one call to ``SimulatedCluster.exchange`` — all
+messages inside one call are considered to be in flight simultaneously, as
+in a synchronous MPI step.  Because distributed training is bulk
+synchronous, the time of a round is governed by the busiest receiver; the
+:meth:`CommStats.simulated_time` helper therefore sums
+``alpha + beta * max_received`` over rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from .network import NetworkProfile
+
+__all__ = ["CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication statistics for one or more synchronisations."""
+
+    num_workers: int
+    rounds: int = 0
+    total_messages: int = 0
+    sent_per_worker: List[float] = field(default_factory=list)
+    received_per_worker: List[float] = field(default_factory=list)
+    per_round_max_received: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not self.sent_per_worker:
+            self.sent_per_worker = [0.0] * self.num_workers
+        if not self.received_per_worker:
+            self.received_per_worker = [0.0] * self.num_workers
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_round(self, transfers: Iterable[tuple[int, int, float]]) -> None:
+        """Record one synchronous round.
+
+        ``transfers`` is an iterable of ``(src, dst, size_elements)``
+        triples.  An empty iterable still counts as a round only if the
+        caller explicitly wants that; by convention callers skip the call
+        entirely when nothing is exchanged.
+        """
+        round_received = [0.0] * self.num_workers
+        count = 0
+        for src, dst, size in transfers:
+            self._check_rank(src)
+            self._check_rank(dst)
+            if size < 0:
+                raise ValueError("message size must be non-negative")
+            self.sent_per_worker[src] += size
+            self.received_per_worker[dst] += size
+            round_received[dst] += size
+            count += 1
+        self.rounds += 1
+        self.total_messages += count
+        self.per_round_max_received.append(max(round_received) if round_received else 0.0)
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another stats object (from the same cluster size) into this one."""
+        if other.num_workers != self.num_workers:
+            raise ValueError("cannot merge stats from clusters of different sizes")
+        self.rounds += other.rounds
+        self.total_messages += other.total_messages
+        for w in range(self.num_workers):
+            self.sent_per_worker[w] += other.sent_per_worker[w]
+            self.received_per_worker[w] += other.received_per_worker[w]
+        self.per_round_max_received.extend(other.per_round_max_received)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_received(self) -> float:
+        """Largest total volume received by any single worker (the paper's
+        bandwidth term ``y``)."""
+        return max(self.received_per_worker)
+
+    @property
+    def mean_received(self) -> float:
+        return sum(self.received_per_worker) / self.num_workers
+
+    @property
+    def total_volume(self) -> float:
+        """Total number of elements moved across the network."""
+        return sum(self.received_per_worker)
+
+    def simulated_time(self, network: NetworkProfile) -> float:
+        """Bulk-synchronous time under ``network``: each round costs
+        ``alpha`` plus ``beta`` times the busiest receiver of that round."""
+        time = network.alpha * self.rounds
+        time += network.beta * sum(self.per_round_max_received)
+        return time
+
+    def aggregate_time(self, network: NetworkProfile) -> float:
+        """Aggregate-form time ``alpha * rounds + beta * max_received``,
+        matching the closed-form expressions of Table I."""
+        return network.time(self.rounds, self.max_received)
+
+    def copy(self) -> "CommStats":
+        return CommStats(
+            num_workers=self.num_workers,
+            rounds=self.rounds,
+            total_messages=self.total_messages,
+            sent_per_worker=list(self.sent_per_worker),
+            received_per_worker=list(self.received_per_worker),
+            per_round_max_received=list(self.per_round_max_received),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_workers:
+            raise ValueError(f"worker rank {rank} out of range [0, {self.num_workers})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommStats(P={self.num_workers}, rounds={self.rounds}, "
+            f"max_received={self.max_received:.1f}, messages={self.total_messages})"
+        )

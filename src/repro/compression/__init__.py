@@ -1,0 +1,15 @@
+"""Value quantization for combining with sparse communication (Section VI)."""
+
+from .quantization import (
+    StochasticQuantizer,
+    quantize_sparse,
+    quantized_bandwidth,
+    quantized_complexity,
+)
+
+__all__ = [
+    "StochasticQuantizer",
+    "quantize_sparse",
+    "quantized_bandwidth",
+    "quantized_complexity",
+]

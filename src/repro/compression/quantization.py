@@ -1,0 +1,140 @@
+"""Gradient value quantization (the paper's "future work" extension).
+
+Section VI of the paper lists combining SparDL's sparsification with
+quantization as future work: after top-k selection, the transmitted COO pairs
+still carry full-precision values, so quantizing the value half of each pair
+multiplies the bandwidth term by ``(1 + b/32) / 2`` for ``b``-bit values.
+
+This module provides the building blocks for that combination:
+
+* :class:`StochasticQuantizer` — unbiased QSGD-style uniform quantization of
+  a value vector to ``b`` bits (plus one full-precision scale per message);
+* :func:`quantize_sparse` — quantize the values of a
+  :class:`~repro.sparse.vector.SparseGradient` and report the compressed
+  transmission size in 32-bit elements;
+* :func:`quantized_bandwidth` / :func:`quantized_complexity` — adjust a
+  Table I :class:`~repro.analysis.complexity.ComplexityBound` for quantized
+  values, so the combined scheme can be analysed next to the pure-sparse
+  methods.
+
+The quantizer is unbiased, so the usual error-feedback argument for
+convergence applies unchanged; the quantization error of each message can
+additionally be folded into the residual store exactly like a sparsification
+discard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..analysis.complexity import ComplexityBound
+from ..sparse.vector import SparseGradient
+
+__all__ = [
+    "StochasticQuantizer",
+    "quantize_sparse",
+    "quantized_bandwidth",
+    "quantized_complexity",
+]
+
+#: Number of bits of one uncompressed element (index or value) in the paper's
+#: COO accounting.
+_ELEMENT_BITS = 32
+
+
+class StochasticQuantizer:
+    """Unbiased uniform quantization of gradient values to ``num_bits`` bits.
+
+    Values are mapped onto ``2**num_bits - 1`` uniform levels spanning
+    ``[-scale, +scale]`` where ``scale`` is the maximum magnitude of the
+    message; each value is rounded stochastically to one of its two
+    neighbouring levels so that the expectation equals the input
+    (QSGD-style).  The per-message ``scale`` travels at full precision and is
+    accounted for by :func:`quantize_sparse`.
+    """
+
+    def __init__(self, num_bits: int = 8, seed: int = 0) -> None:
+        if not 1 <= num_bits <= 32:
+            raise ValueError("num_bits must be between 1 and 32")
+        self.num_bits = int(num_bits)
+        self.num_levels = (1 << self.num_bits) - 1
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def element_cost(self) -> float:
+        """Cost of one quantized value in 32-bit elements."""
+        return self.num_bits / _ELEMENT_BITS
+
+    def quantize(self, values: np.ndarray,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the dequantized representation of ``values``.
+
+        The result only takes ``2**num_bits - 1`` distinct levels (scaled by
+        the message's maximum magnitude) but is returned as float64 so it can
+        flow through the rest of the library unchanged.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return values.copy()
+        scale = float(np.abs(values).max())
+        if scale == 0.0:
+            return np.zeros_like(values)
+        rng = rng or self._rng
+        normalised = values / scale  # in [-1, 1]
+        scaled = (normalised + 1.0) / 2.0 * self.num_levels  # in [0, levels]
+        lower = np.floor(scaled)
+        probability_up = scaled - lower
+        level = lower + (rng.random(values.shape) < probability_up)
+        level = np.clip(level, 0, self.num_levels)
+        return (level / self.num_levels * 2.0 - 1.0) * scale
+
+    def quantization_error(self, values: np.ndarray,
+                           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """``values - quantize(values)`` (what error feedback would collect)."""
+        return np.asarray(values, dtype=np.float64) - self.quantize(values, rng=rng)
+
+
+def quantize_sparse(sparse: SparseGradient, quantizer: StochasticQuantizer,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> Tuple[SparseGradient, float]:
+    """Quantize the values of a sparse gradient.
+
+    Returns ``(quantized, comm_size)`` where ``comm_size`` is the compressed
+    transmission size in 32-bit elements: one full element per index, a
+    ``num_bits``-bit value per entry and one full-precision scale for the
+    whole message.
+    """
+    quantized_values = quantizer.quantize(sparse.values, rng=rng)
+    quantized = SparseGradient(sparse.indices, quantized_values, sparse.length)
+    comm_size = sparse.nnz * (1.0 + quantizer.element_cost) + (1.0 if sparse.nnz else 0.0)
+    return quantized, comm_size
+
+
+def quantized_bandwidth(bandwidth_elements: float, num_bits: int) -> float:
+    """Bandwidth of a sparse transfer after quantizing its values.
+
+    ``bandwidth_elements`` follows the paper's COO accounting (two elements
+    per non-zero: one index, one value); quantizing the values to
+    ``num_bits`` bits turns this into ``(1 + num_bits/32) / 2`` of the
+    original volume.
+    """
+    if not 1 <= num_bits <= 32:
+        raise ValueError("num_bits must be between 1 and 32")
+    return bandwidth_elements * (1.0 + num_bits / _ELEMENT_BITS) / 2.0
+
+
+def quantized_complexity(bound: ComplexityBound, num_bits: int) -> ComplexityBound:
+    """A Table I row with its bandwidth term adjusted for quantized values.
+
+    Latency is unchanged (the number of rounds does not depend on message
+    encoding); both bandwidth bounds are scaled by the quantization factor.
+    """
+    return ComplexityBound(
+        method=f"{bound.method}+{num_bits}bit",
+        latency_rounds=bound.latency_rounds,
+        bandwidth_low=quantized_bandwidth(bound.bandwidth_low, num_bits),
+        bandwidth_high=quantized_bandwidth(bound.bandwidth_high, num_bits),
+    )

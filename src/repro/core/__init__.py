@@ -1,0 +1,32 @@
+"""SparDL core: Spar-Reduce-Scatter, Spar-All-Gather and residual collection."""
+
+from .base import GradientSynchronizer, SyncResult, resolve_k
+from .config import SAGMode, SparDLConfig
+from .partition import BagPlan, plan_bags, transmission_distances
+from .residuals import ResidualManager, ResidualPolicy, ResidualStore
+from .sag import CompressionRatioController, SAGOutput, b_sag, cross_team_groups, r_sag
+from .spardl import SparDLSynchronizer, make_teams
+from .srs import SRSOutput, spar_reduce_scatter
+
+__all__ = [
+    "GradientSynchronizer",
+    "SyncResult",
+    "resolve_k",
+    "SAGMode",
+    "SparDLConfig",
+    "BagPlan",
+    "plan_bags",
+    "transmission_distances",
+    "ResidualManager",
+    "ResidualPolicy",
+    "ResidualStore",
+    "CompressionRatioController",
+    "SAGOutput",
+    "b_sag",
+    "r_sag",
+    "cross_team_groups",
+    "SparDLSynchronizer",
+    "make_teams",
+    "SRSOutput",
+    "spar_reduce_scatter",
+]

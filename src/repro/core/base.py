@@ -1,0 +1,128 @@
+"""Common interface for gradient synchronisation methods.
+
+Every communication method in this repository — SparDL and all baselines —
+implements :class:`GradientSynchronizer`: given the local dense gradient of
+every worker it returns the synchronised (summed) global gradient each worker
+ends up holding, together with the communication statistics of the exchange.
+
+Keeping a single interface lets the distributed trainer, the examples and
+every benchmark swap methods freely, exactly as the paper swaps its
+communication backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..comm.cluster import SimulatedCluster
+from ..comm.stats import CommStats
+
+__all__ = ["SyncResult", "GradientSynchronizer", "resolve_k"]
+
+
+def resolve_k(num_elements: int, k: Optional[int], density: Optional[float]) -> int:
+    """Resolve the number of selected gradients from ``k`` or ``density``.
+
+    Exactly one of the two should be provided; the result is clamped to
+    ``[1, num_elements]``.
+    """
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    if k is None and density is None:
+        raise ValueError("either k or density must be given")
+    if k is not None and density is not None:
+        raise ValueError("give only one of k and density")
+    if k is None:
+        if not 0 < density <= 1:
+            raise ValueError("density must be in (0, 1]")
+        k = int(round(density * num_elements))
+    k = int(k)
+    return max(1, min(num_elements, k))
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one gradient synchronisation."""
+
+    #: Per-worker dense global gradient (sum over all workers' contributions).
+    global_gradients: Dict[int, np.ndarray]
+    #: Communication accounting for this synchronisation only.
+    stats: CommStats
+    #: Method-specific diagnostics (final nnz, thresholds, team size, ...).
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def gradient(self, worker: int = 0) -> np.ndarray:
+        return self.global_gradients[worker]
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when every worker holds numerically identical global gradients."""
+        ranks = sorted(self.global_gradients)
+        reference = self.global_gradients[ranks[0]]
+        return all(
+            np.allclose(self.global_gradients[rank], reference, rtol=1e-9, atol=1e-12)
+            for rank in ranks[1:]
+        )
+
+
+class GradientSynchronizer(ABC):
+    """Base class for dense and sparse All-Reduce methods."""
+
+    #: Short human-readable name used in reports and figures.
+    name: str = "synchronizer"
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int) -> None:
+        if num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+        self.cluster = cluster
+        self.num_elements = int(num_elements)
+        self.iteration = 0
+
+    @property
+    def num_workers(self) -> int:
+        return self.cluster.num_workers
+
+    # ------------------------------------------------------------------
+    def synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
+        """Synchronise the workers' local gradients.
+
+        ``gradients`` maps every worker rank to its local dense gradient of
+        length ``num_elements``.  The concrete algorithm runs inside a fresh
+        statistics window so the returned :class:`SyncResult` accounts for
+        this call only.
+        """
+        self._validate(gradients)
+        self.cluster.reset_stats()
+        result = self._synchronize(
+            {rank: np.asarray(grad, dtype=np.float64) for rank, grad in gradients.items()}
+        )
+        result.stats = self.cluster.reset_stats()
+        self.iteration += 1
+        return result
+
+    @abstractmethod
+    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
+        """Method-specific synchronisation; statistics are captured by the caller."""
+
+    # ------------------------------------------------------------------
+    def _validate(self, gradients: Dict[int, np.ndarray]) -> None:
+        expected = set(self.cluster.ranks)
+        provided = set(gradients)
+        if provided != expected:
+            raise ValueError(
+                f"gradients must be provided for every worker: expected {sorted(expected)}, "
+                f"got {sorted(provided)}"
+            )
+        for rank, grad in gradients.items():
+            grad = np.asarray(grad)
+            if grad.ndim != 1 or grad.shape[0] != self.num_elements:
+                raise ValueError(
+                    f"worker {rank}: gradient must be a vector of length {self.num_elements}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(P={self.num_workers}, n={self.num_elements})"

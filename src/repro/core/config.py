@@ -1,0 +1,133 @@
+"""Configuration of the SparDL framework.
+
+:class:`SparDLConfig` collects every knob the paper exposes: the sparsity
+(``k`` or a density ratio), the team count ``d``, the Spar-All-Gather variant
+and the residual collection policy.  The configuration validates itself
+against a cluster size so misconfigurations (``d`` not dividing ``P``, R-SAG
+with a non-power-of-two ``d``, ...) fail loudly before any communication
+happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .residuals import ResidualPolicy
+
+__all__ = ["SAGMode", "SparDLConfig"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+class SAGMode(str, Enum):
+    """Which Spar-All-Gather variant synchronises the teams."""
+
+    #: Pick R-SAG when ``d`` is a power of two, B-SAG otherwise.
+    AUTO = "auto"
+    #: Recursive-doubling SAG; requires ``d`` to be a power of two.
+    RSAG = "rsag"
+    #: Bruck-based SAG with the adaptive top-h controller; any ``d``.
+    BSAG = "bsag"
+
+    @classmethod
+    def coerce(cls, value: "SAGMode | str") -> "SAGMode":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+@dataclass
+class SparDLConfig:
+    """Hyper-parameters of one SparDL synchroniser.
+
+    Parameters
+    ----------
+    k:
+        Number of gradients selected per worker.  Mutually exclusive with
+        ``density``.
+    density:
+        Fraction ``k/n`` of gradients selected per worker (the paper sweeps
+        1e-1 .. 1e-5 in Fig. 16).  Mutually exclusive with ``k``.
+    num_teams:
+        The paper's ``d``.  ``d = 1`` disables Spar-All-Gather entirely
+        (SparDL is then SRS followed by a Bruck All-Gather).
+    sag_mode:
+        Which SAG variant to use when ``num_teams > 1``.
+    residual_policy:
+        Residual collection policy (GRES / PRES / LRES / none).
+    sparsify_all_blocks:
+        Disable the paper's "Optimization for SRS": re-sparsify every held
+        block after each summation instead of only the blocks about to be
+        sent.  Only used by the ablation benchmark.
+    """
+
+    k: Optional[int] = None
+    density: Optional[float] = None
+    num_teams: int = 1
+    sag_mode: SAGMode | str = SAGMode.AUTO
+    residual_policy: ResidualPolicy | str = ResidualPolicy.GLOBAL
+    sparsify_all_blocks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k is None and self.density is None:
+            raise ValueError("either k or density must be given")
+        if self.k is not None and self.density is not None:
+            raise ValueError("give only one of k and density")
+        if self.k is not None and self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.density is not None and not 0 < self.density <= 1:
+            raise ValueError("density must be in (0, 1]")
+        if self.num_teams <= 0:
+            raise ValueError("num_teams must be positive")
+        self.sag_mode = SAGMode.coerce(self.sag_mode)
+        self.residual_policy = ResidualPolicy.coerce(self.residual_policy)
+
+    # ------------------------------------------------------------------
+    def resolve_k(self, num_elements: int) -> int:
+        """Number of selected gradients for a vector of ``num_elements``."""
+        if num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+        if self.k is not None:
+            k = self.k
+        else:
+            k = int(round(self.density * num_elements))
+        return max(1, min(num_elements, int(k)))
+
+    def validate_for_cluster(self, num_workers: int) -> None:
+        """Raise when this configuration cannot run on ``num_workers``."""
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.num_teams > num_workers:
+            raise ValueError(
+                f"num_teams={self.num_teams} exceeds the number of workers {num_workers}"
+            )
+        if num_workers % self.num_teams != 0:
+            raise ValueError(
+                f"num_teams={self.num_teams} must divide the number of workers {num_workers}"
+            )
+        if (self.num_teams > 1 and self.sag_mode is SAGMode.RSAG
+                and not _is_power_of_two(self.num_teams)):
+            raise ValueError("R-SAG requires a power-of-two number of teams")
+
+    def effective_sag_mode(self) -> SAGMode:
+        """The variant actually executed for this ``num_teams``."""
+        if self.num_teams == 1:
+            return SAGMode.AUTO
+        if self.sag_mode is SAGMode.AUTO:
+            return SAGMode.RSAG if _is_power_of_two(self.num_teams) else SAGMode.BSAG
+        return SAGMode.coerce(self.sag_mode)
+
+    def team_size(self, num_workers: int) -> int:
+        self.validate_for_cluster(num_workers)
+        return num_workers // self.num_teams
+
+    def describe(self) -> str:
+        """Short human-readable label used in figures and reports."""
+        sparsity = f"k={self.k}" if self.k is not None else f"k/n={self.density:g}"
+        if self.num_teams == 1:
+            return f"SparDL({sparsity})"
+        return f"SparDL({sparsity}, {self.effective_sag_mode().value.upper()}, d={self.num_teams})"

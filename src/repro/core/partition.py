@@ -1,0 +1,114 @@
+"""Bag partitioning for Spar-Reduce-Scatter (Section III-B, step 1).
+
+Each worker partitions its ``m`` gradient blocks (``m`` = number of workers
+in its team) into one *preservation bag* ``B0`` holding its own block and
+``l = ceil(log2 m)`` *sending bags* ``B1 .. Bl``.  Bag ``Bi`` holds the next
+``2^(i-1)`` blocks walking circularly from the worker's own block; the last
+bag may be partially filled with the remaining ``E = m - 2^(l-1)`` blocks.
+
+During transmission, bags are sent from the last to the first: at step ``i``
+(``1 <= i <= l``) the worker sends bag ``B_(l-i+1)`` to the worker at
+distance ``2^(l-i)`` ahead and receives the matching bag from the worker at
+the same distance behind.  Theorem 1 of the paper guarantees the received
+blocks are always a subset of the blocks the receiver still holds; a checker
+for that invariant is provided for the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+__all__ = [
+    "BagPlan",
+    "plan_bags",
+    "transmission_distances",
+    "held_blocks_before_step",
+    "last_bag_capacity_shortfall",
+]
+
+
+@dataclass(frozen=True)
+class BagPlan:
+    """Bag assignment of one worker's blocks."""
+
+    worker: int
+    num_blocks: int
+    preserved: int
+    sending_bags: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.sending_bags)
+
+    def bag_for_step(self, step: int) -> Tuple[int, ...]:
+        """Blocks sent at transmission step ``step`` (1-based): bag
+        ``B_(l-step+1)``."""
+        if not 1 <= step <= self.num_steps:
+            raise ValueError(f"step must be in [1, {self.num_steps}]")
+        return self.sending_bags[self.num_steps - step]
+
+    def all_blocks(self) -> List[int]:
+        blocks = [self.preserved]
+        for bag in self.sending_bags:
+            blocks.extend(bag)
+        return blocks
+
+
+def plan_bags(worker: int, num_blocks: int) -> BagPlan:
+    """Partition ``num_blocks`` circularly-ordered blocks into bags for
+    ``worker`` (rank within its team)."""
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    if not 0 <= worker < num_blocks:
+        raise ValueError("worker rank must be within [0, num_blocks)")
+    preserved = worker
+    if num_blocks == 1:
+        return BagPlan(worker=worker, num_blocks=1, preserved=preserved, sending_bags=())
+
+    num_steps = math.ceil(math.log2(num_blocks))
+    bags: List[Tuple[int, ...]] = []
+    next_block = worker + 1
+    remaining = num_blocks - 1
+    for i in range(num_steps):
+        capacity = 1 << i
+        take = min(capacity, remaining)
+        bag = tuple((next_block + j) % num_blocks for j in range(take))
+        bags.append(bag)
+        next_block += take
+        remaining -= take
+    if remaining != 0:
+        raise RuntimeError("bag partitioning did not consume every block")  # pragma: no cover
+    return BagPlan(worker=worker, num_blocks=num_blocks, preserved=preserved,
+                   sending_bags=tuple(bags))
+
+
+def transmission_distances(num_blocks: int) -> List[int]:
+    """Communication distance of each transmission step: step ``i`` uses
+    distance ``2^(l-i)`` (paper Example 2)."""
+    if num_blocks <= 1:
+        return []
+    num_steps = math.ceil(math.log2(num_blocks))
+    return [1 << (num_steps - step) for step in range(1, num_steps + 1)]
+
+
+def last_bag_capacity_shortfall(num_blocks: int) -> int:
+    """Number of unfilled slots in the last sending bag: ``2^(l-1) - E``
+    where ``E = num_blocks - 2^(l-1)``; zero for power-of-two block counts."""
+    if num_blocks <= 1:
+        return 0
+    num_steps = math.ceil(math.log2(num_blocks))
+    capacity = 1 << (num_steps - 1)
+    filled = num_blocks - capacity
+    return capacity - filled
+
+
+def held_blocks_before_step(worker: int, num_blocks: int, step: int) -> Set[int]:
+    """Blocks still held by ``worker`` just before transmission step ``step``
+    (1-based).  Used to verify Theorem 1."""
+    plan = plan_bags(worker, num_blocks)
+    held = set(plan.all_blocks())
+    for earlier in range(1, step):
+        held.difference_update(plan.bag_for_step(earlier))
+    return held

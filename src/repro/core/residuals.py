@@ -1,0 +1,206 @@
+"""Residual collection (error feedback) strategies.
+
+Top-k sparsification discards gradient mass; error feedback keeps the
+discarded values as *residuals* and adds them back to the next iteration's
+gradients so nothing is permanently lost.  The paper distinguishes three
+kinds of discarded gradients inside SparDL (Section III-C):
+
+* **local residuals** — dropped by a worker's own block-wise top-k *before*
+  any transmission,
+* **end-procedure residuals** — dropped during the communication procedure,
+  whose indices never appear in the final global gradient,
+* **in-procedure residuals** — dropped during the procedure although their
+  index *does* appear in the final global gradient (contributed by another
+  worker).
+
+Three policies are provided, matching the paper's Section IV-I ablation:
+
+* :class:`ResidualPolicy.GLOBAL` (GRES, the paper's contribution) collects
+  all three kinds.  Collection is event-driven: every discarded value is
+  accumulated on the worker that performed the discard, which yields the
+  conservation invariant ``sum_w residual_w + global = sum_w input``.
+* :class:`ResidualPolicy.PARTIAL` (PRES, as in Ok-Topk / gTopk) collects
+  local and end-procedure residuals only.
+* :class:`ResidualPolicy.LOCAL` (LRES, as in DGC) collects local residuals
+  only.
+* :class:`ResidualPolicy.NONE` disables error feedback entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..sparse.vector import SparseGradient
+
+__all__ = ["ResidualPolicy", "ResidualStore", "ResidualManager"]
+
+
+class ResidualPolicy(str, Enum):
+    """Which discarded gradients are kept for the next iteration."""
+
+    GLOBAL = "global"
+    PARTIAL = "partial"
+    LOCAL = "local"
+    NONE = "none"
+
+    @classmethod
+    def coerce(cls, value: "ResidualPolicy | str") -> "ResidualPolicy":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+class ResidualStore:
+    """Dense per-worker accumulator of discarded gradient mass."""
+
+    def __init__(self, num_elements: int) -> None:
+        if num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+        self._data = np.zeros(num_elements, dtype=np.float64)
+
+    @property
+    def num_elements(self) -> int:
+        return self._data.shape[0]
+
+    def add_dense(self, values: np.ndarray, offset: int = 0) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self._data[offset:offset + values.shape[0]] += values
+
+    def add_sparse(self, sparse: SparseGradient, share: float = 1.0) -> None:
+        if sparse.nnz == 0:
+            return
+        np.add.at(self._data, sparse.indices, sparse.values * float(share))
+
+    def peek(self) -> np.ndarray:
+        """Current residual (read-only view semantics: copy)."""
+        return self._data.copy()
+
+    def drain(self) -> np.ndarray:
+        """Return the accumulated residual and reset the store."""
+        data = self._data
+        self._data = np.zeros_like(data)
+        return data
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+
+@dataclass
+class _PendingDiscard:
+    """A procedure discard whose fate depends on the final global indices."""
+
+    worker: int
+    sparse: SparseGradient
+    share: float
+
+
+class ResidualManager:
+    """Collects discarded gradients according to a :class:`ResidualPolicy`.
+
+    The manager owns one :class:`ResidualStore` per worker.  A
+    synchronisation round uses it in three phases:
+
+    1. :meth:`apply` adds the stored residuals to the new local gradients
+       (and empties the stores),
+    2. :meth:`collect_local` / :meth:`collect_procedure` are called whenever
+       a sparsification discards values,
+    3. :meth:`finalize` resolves deferred (PARTIAL-policy) discards once the
+       final global gradient's index set is known.
+    """
+
+    def __init__(self, num_workers: int, num_elements: int,
+                 policy: ResidualPolicy | str = ResidualPolicy.GLOBAL) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.policy = ResidualPolicy.coerce(policy)
+        self.num_workers = num_workers
+        self.num_elements = num_elements
+        self._stores: Dict[int, ResidualStore] = {
+            worker: ResidualStore(num_elements) for worker in range(num_workers)
+        }
+        self._pending: List[_PendingDiscard] = []
+
+    # ------------------------------------------------------------------
+    def store(self, worker: int) -> ResidualStore:
+        return self._stores[worker]
+
+    def apply(self, gradients: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Return ``gradient + residual`` per worker and reset the stores."""
+        corrected = {}
+        for worker, gradient in gradients.items():
+            residual = self._stores[worker].drain()
+            corrected[worker] = np.asarray(gradient, dtype=np.float64) + residual
+        return corrected
+
+    # ------------------------------------------------------------------
+    # collection hooks
+    # ------------------------------------------------------------------
+    def collect_local(self, worker: int, residual_block: np.ndarray, offset: int = 0) -> None:
+        """Collect a *local* residual: a dense block with the transmitted
+        entries already zeroed, produced before any communication."""
+        if self.policy is ResidualPolicy.NONE:
+            return
+        self._stores[worker].add_dense(residual_block, offset)
+
+    def collect_local_sparse(self, worker: int, dropped: SparseGradient, share: float = 1.0) -> None:
+        """Sparse variant of :meth:`collect_local`."""
+        if self.policy is ResidualPolicy.NONE:
+            return
+        self._stores[worker].add_sparse(dropped, share)
+
+    def collect_procedure(self, worker: int, dropped: SparseGradient, share: float = 1.0) -> None:
+        """Collect gradients discarded *during* the communication procedure.
+
+        Under GRES they are stored immediately on the discarding worker.
+        Under PRES they are deferred until :meth:`finalize` decides whether
+        they are end-procedure (kept) or in-procedure (dropped).  Under
+        LRES / NONE they are discarded.
+        """
+        if dropped.nnz == 0:
+            return
+        if self.policy is ResidualPolicy.GLOBAL:
+            self._stores[worker].add_sparse(dropped, share)
+        elif self.policy is ResidualPolicy.PARTIAL:
+            self._pending.append(_PendingDiscard(worker, dropped, share))
+        # LOCAL and NONE intentionally drop procedure residuals.
+
+    def finalize(self, final_indices: Optional[Iterable[int]]) -> None:
+        """Resolve deferred discards given the final global index set."""
+        if self.policy is not ResidualPolicy.PARTIAL:
+            self._pending.clear()
+            return
+        final: Set[int] = set(int(i) for i in final_indices) if final_indices is not None else set()
+        for pending in self._pending:
+            if pending.sparse.nnz == 0:
+                continue
+            mask = np.fromiter(
+                (int(idx) not in final for idx in pending.sparse.indices),
+                dtype=bool,
+                count=pending.sparse.nnz,
+            )
+            if not mask.any():
+                continue
+            end_procedure = SparseGradient(
+                pending.sparse.indices[mask], pending.sparse.values[mask],
+                pending.sparse.length,
+            )
+            self._stores[pending.worker].add_sparse(end_procedure, pending.share)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def total_residual(self) -> np.ndarray:
+        """Coordinate-wise sum of all workers' residuals (used by the
+        conservation tests and by convergence diagnostics)."""
+        total = np.zeros(self.num_elements, dtype=np.float64)
+        for store in self._stores.values():
+            total += store.peek()
+        return total
+
+    def residual_norms(self) -> Dict[int, float]:
+        return {worker: store.norm() for worker, store in self._stores.items()}

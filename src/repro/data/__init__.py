@@ -1,0 +1,23 @@
+"""Synthetic datasets, batching and sharding."""
+
+from .datasets import DataLoader, Dataset, TaskType, shard_dataset, train_test_split
+from .synthetic import (
+    synthetic_image_classification,
+    synthetic_image_regression,
+    synthetic_language_modeling,
+    synthetic_masked_lm,
+    synthetic_text_classification,
+)
+
+__all__ = [
+    "DataLoader",
+    "Dataset",
+    "TaskType",
+    "shard_dataset",
+    "train_test_split",
+    "synthetic_image_classification",
+    "synthetic_image_regression",
+    "synthetic_language_modeling",
+    "synthetic_masked_lm",
+    "synthetic_text_classification",
+]

@@ -1,0 +1,169 @@
+"""Seeded synthetic datasets for the paper's seven evaluation cases.
+
+The paper trains on CIFAR-10/100, ImageNet, the House price dataset, IMDB,
+PTB and Wikipedia — none of which can be bundled or downloaded here.  Each
+generator below produces a synthetic dataset with the same input/target
+*structure* (image tensors, class-conditional token sequences, Markov-chain
+corpora) and, crucially, learnable signal, so the convergence experiments can
+show accuracy/loss improving over epochs with the gradient statistics that
+drive sparsification behaviour.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from .datasets import Dataset, TaskType
+
+__all__ = [
+    "synthetic_image_classification",
+    "synthetic_image_regression",
+    "synthetic_text_classification",
+    "synthetic_language_modeling",
+    "synthetic_masked_lm",
+]
+
+
+def synthetic_image_classification(num_samples: int = 512, num_classes: int = 10,
+                                   image_size: int = 16, channels: int = 3,
+                                   noise: float = 0.6, seed: int = 0,
+                                   name: str = "synthetic-cifar") -> Dataset:
+    """Images drawn from per-class prototypes plus Gaussian noise.
+
+    Stands in for CIFAR-10 / CIFAR-100 / ImageNet (Cases 1-3).  Each class has
+    a random low-frequency prototype pattern; samples are the prototype plus
+    noise, so a CNN can learn the classes but not trivially.
+    """
+    if num_samples <= 0 or num_classes <= 1:
+        raise ValueError("need at least one sample and two classes")
+    rng = np.random.default_rng(seed)
+    # Low-frequency prototypes: upsampled coarse random grids.
+    coarse = max(2, image_size // 4)
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, channels, coarse, coarse))
+    repeat = int(np.ceil(image_size / coarse))
+    prototypes = np.repeat(np.repeat(prototypes, repeat, axis=2), repeat, axis=3)
+    prototypes = prototypes[:, :, :image_size, :image_size]
+
+    labels = rng.integers(0, num_classes, size=num_samples)
+    images = prototypes[labels] + noise * rng.normal(size=(num_samples, channels,
+                                                           image_size, image_size))
+    return Dataset(images.astype(np.float64), labels.astype(np.int64),
+                   TaskType.IMAGE_CLASSIFICATION, name=name)
+
+
+def synthetic_image_regression(num_samples: int = 512, image_size: int = 16,
+                               channels: int = 3, noise: float = 0.3, seed: int = 0,
+                               name: str = "synthetic-house") -> Dataset:
+    """Images whose scalar target is a smooth function of latent factors.
+
+    Stands in for the House price estimation dataset (Case 4): each sample is
+    generated from a small latent vector that controls both the image content
+    and the regression target.
+    """
+    if num_samples <= 0:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    latent_dim = 4
+    latents = rng.normal(size=(num_samples, latent_dim))
+    # Basis patterns mixing the latent factors into the image.
+    basis = rng.normal(size=(latent_dim, channels, image_size, image_size))
+    images = np.tensordot(latents, basis, axes=(1, 0))
+    images += noise * rng.normal(size=images.shape)
+    weights = rng.normal(size=latent_dim)
+    targets = latents @ weights + 0.1 * rng.normal(size=num_samples)
+    return Dataset(images.astype(np.float64), targets.reshape(-1, 1).astype(np.float64),
+                   TaskType.IMAGE_REGRESSION, name=name)
+
+
+def synthetic_text_classification(num_samples: int = 512, vocab_size: int = 64,
+                                  sequence_length: int = 16, num_classes: int = 2,
+                                  signal: float = 3.0, seed: int = 0,
+                                  name: str = "synthetic-imdb") -> Dataset:
+    """Token sequences drawn from class-conditional unigram distributions.
+
+    Stands in for IMDB sentiment classification (Case 5): each class prefers a
+    different subset of the vocabulary, so an LSTM (or bag of embeddings) can
+    separate the classes.
+    """
+    if vocab_size <= num_classes:
+        raise ValueError("vocab_size must exceed num_classes")
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(num_classes, vocab_size))
+    # Boost a class-specific slice of the vocabulary to create signal.
+    slice_size = vocab_size // num_classes
+    for label in range(num_classes):
+        logits[label, label * slice_size:(label + 1) * slice_size] += signal
+    probabilities = np.exp(logits)
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+
+    labels = rng.integers(0, num_classes, size=num_samples)
+    sequences = np.zeros((num_samples, sequence_length), dtype=np.int64)
+    for index, label in enumerate(labels):
+        sequences[index] = rng.choice(vocab_size, size=sequence_length,
+                                      p=probabilities[label])
+    return Dataset(sequences, labels.astype(np.int64), TaskType.TEXT_CLASSIFICATION,
+                   name=name)
+
+
+def _markov_chain(rng: np.random.Generator, vocab_size: int, concentration: float
+                  ) -> np.ndarray:
+    """A random row-stochastic transition matrix with peaked rows."""
+    matrix = rng.dirichlet(np.full(vocab_size, concentration), size=vocab_size)
+    return matrix
+
+
+def synthetic_language_modeling(num_samples: int = 512, vocab_size: int = 64,
+                                sequence_length: int = 16, concentration: float = 0.05,
+                                seed: int = 0, name: str = "synthetic-ptb"
+                                ) -> Dataset:
+    """Next-token prediction over a random Markov chain (Case 6, LSTM-PTB).
+
+    Inputs are token sequences; targets are the same sequences shifted by one
+    position (the final target is the token that would follow).
+    """
+    rng = np.random.default_rng(seed)
+    transition = _markov_chain(rng, vocab_size, concentration)
+    sequences = np.zeros((num_samples, sequence_length + 1), dtype=np.int64)
+    sequences[:, 0] = rng.integers(0, vocab_size, size=num_samples)
+    for t in range(1, sequence_length + 1):
+        for index in range(num_samples):
+            sequences[index, t] = rng.choice(vocab_size, p=transition[sequences[index, t - 1]])
+    inputs = sequences[:, :-1]
+    targets = sequences[:, 1:]
+    return Dataset(inputs, targets, TaskType.LANGUAGE_MODELING, name=name)
+
+
+def synthetic_masked_lm(num_samples: int = 512, vocab_size: int = 64,
+                        sequence_length: int = 16, mask_fraction: float = 0.15,
+                        concentration: float = 0.05, seed: int = 0,
+                        name: str = "synthetic-wikipedia") -> Dataset:
+    """Masked-token prediction over a random Markov chain (Case 7, BERT).
+
+    The last vocabulary id is reserved as the ``[MASK]`` token.  Inputs are
+    sequences with ``mask_fraction`` of the positions replaced by the mask id;
+    targets hold the original token at masked positions and ``-1`` (the
+    ignore index of :class:`repro.nn.losses.CrossEntropyLoss`) elsewhere.
+    """
+    if not 0 < mask_fraction < 1:
+        raise ValueError("mask_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    mask_token = vocab_size - 1
+    content_vocab = vocab_size - 1
+    transition = _markov_chain(rng, content_vocab, concentration)
+
+    sequences = np.zeros((num_samples, sequence_length), dtype=np.int64)
+    sequences[:, 0] = rng.integers(0, content_vocab, size=num_samples)
+    for t in range(1, sequence_length):
+        for index in range(num_samples):
+            sequences[index, t] = rng.choice(content_vocab, p=transition[sequences[index, t - 1]])
+
+    masked = sequences.copy()
+    targets = np.full_like(sequences, -1)
+    mask = rng.random(sequences.shape) < mask_fraction
+    # Guarantee at least one masked position per sequence.
+    rows_without_mask = np.flatnonzero(~mask.any(axis=1))
+    mask[rows_without_mask, rng.integers(0, sequence_length, size=rows_without_mask.shape[0])] = True
+    targets[mask] = sequences[mask]
+    masked[mask] = mask_token
+    return Dataset(masked, targets, TaskType.MASKED_LM, name=name)

@@ -1,0 +1,97 @@
+"""NumPy deep-learning substrate: layers, models, losses and optimisers."""
+
+from .attention import (
+    LearnedPositionalEmbedding,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+    softmax,
+)
+from .conv import BatchNorm2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+from .initializers import he_normal, normal_init, orthogonal, xavier_uniform, zeros
+from .layers import (
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    MeanOverTime,
+    ReLU,
+    SelectLast,
+    Sigmoid,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, Loss, MSELoss, accuracy, perplexity
+from .models import (
+    ResidualBlock,
+    build_lstm_classifier,
+    build_lstm_language_model,
+    build_mlp,
+    build_regression_cnn,
+    build_resnet,
+    build_transformer_mlm,
+    build_vgg,
+)
+from .module import Identity, Module, Sequential
+from .optim import SGD, ConstantLRSchedule, StepLRSchedule
+from .parameter import (
+    Parameter,
+    assign_flat_gradients,
+    assign_flat_values,
+    flatten_gradients,
+    flatten_values,
+    parameter_count,
+)
+from .rnn import LSTM, LSTMCell
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "Identity",
+    "Parameter",
+    "parameter_count",
+    "flatten_values",
+    "flatten_gradients",
+    "assign_flat_values",
+    "assign_flat_gradients",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "SelectLast",
+    "MeanOverTime",
+    "Conv2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "LSTM",
+    "LSTMCell",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "LearnedPositionalEmbedding",
+    "softmax",
+    "Loss",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "accuracy",
+    "perplexity",
+    "SGD",
+    "ConstantLRSchedule",
+    "StepLRSchedule",
+    "xavier_uniform",
+    "he_normal",
+    "normal_init",
+    "orthogonal",
+    "zeros",
+    "ResidualBlock",
+    "build_mlp",
+    "build_vgg",
+    "build_regression_cnn",
+    "build_resnet",
+    "build_lstm_classifier",
+    "build_lstm_language_model",
+    "build_transformer_mlm",
+]

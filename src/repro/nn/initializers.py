@@ -1,0 +1,72 @@
+"""Weight initialisation helpers.
+
+All initialisers take an explicit :class:`numpy.random.Generator`.  Model
+builders thread a seeded generator through every layer so that all worker
+replicas (and repeated runs) start from identical weights — a requirement
+for the synchronous-SGD consistency checks in the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "he_normal", "normal_init", "zeros", "orthogonal"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Sequence[int],
+                   fan_in: int | None = None, fan_out: int | None = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation."""
+    shape = tuple(int(s) for s in shape)
+    if fan_in is None or fan_out is None:
+        fan_in_eff, fan_out_eff = _default_fans(shape)
+        fan_in = fan_in if fan_in is not None else fan_in_eff
+        fan_out = fan_out if fan_out is not None else fan_out_eff
+    limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: Sequence[int],
+              fan_in: int | None = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks."""
+    shape = tuple(int(s) for s in shape)
+    if fan_in is None:
+        fan_in, _ = _default_fans(shape)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal_init(rng: np.random.Generator, shape: Sequence[int], std: float = 0.02) -> np.ndarray:
+    """Plain Gaussian initialisation (used for embeddings, as in BERT)."""
+    return rng.normal(0.0, std, size=tuple(int(s) for s in shape))
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
+
+
+def orthogonal(rng: np.random.Generator, shape: Sequence[int], gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (used for recurrent weight matrices)."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) < 2:
+        raise ValueError("orthogonal initialisation needs at least a 2-D shape")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return gain * q.reshape(shape)
+
+
+def _default_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for dense and convolutional weight shapes."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolution: (out_channels, in_channels, *kernel)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,97 @@
+"""Loss functions.
+
+Every loss returns ``(value, gradient)`` where the gradient has the shape of
+the predictions and already includes the ``1/N`` averaging factor, so it can
+be fed straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Loss", "CrossEntropyLoss", "MSELoss", "accuracy", "perplexity"]
+
+
+class Loss:
+    """Base class; concrete losses implement :meth:`compute`."""
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.compute(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over the last axis.
+
+    Accepts logits of shape ``(N, C)`` with integer targets ``(N,)`` or
+    sequence logits ``(N, T, C)`` with targets ``(N, T)`` (used by the
+    language-modelling cases).  Positions with the target equal to
+    ``ignore_index`` contribute neither loss nor gradient, which implements
+    masked language modelling.
+    """
+
+    def __init__(self, ignore_index: int = -1) -> None:
+        self.ignore_index = ignore_index
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        original_shape = predictions.shape
+        num_classes = original_shape[-1]
+        logits = predictions.reshape(-1, num_classes)
+        labels = np.asarray(targets, dtype=np.int64).reshape(-1)
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("targets do not match the predictions' batch shape")
+
+        mask = labels != self.ignore_index
+        count = int(mask.sum())
+        if count == 0:
+            return 0.0, np.zeros(original_shape, dtype=np.float64)
+
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
+
+        safe_labels = np.where(mask, labels, 0)
+        picked = probabilities[np.arange(labels.shape[0]), safe_labels]
+        losses = -np.log(np.clip(picked, 1e-12, None))
+        loss = float(losses[mask].mean())
+
+        gradient = probabilities
+        gradient[np.arange(labels.shape[0]), safe_labels] -= 1.0
+        gradient[~mask] = 0.0
+        gradient /= count
+        return loss, gradient.reshape(original_shape)
+
+
+class MSELoss(Loss):
+    """Mean squared error (used by the image-regression case)."""
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
+        difference = predictions - targets
+        loss = float(np.mean(difference ** 2))
+        gradient = 2.0 * difference / difference.size
+        return loss, gradient
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+def accuracy(predictions: np.ndarray, targets: np.ndarray, ignore_index: int = -1) -> float:
+    """Classification accuracy from logits of shape ``(..., C)``."""
+    num_classes = predictions.shape[-1]
+    logits = predictions.reshape(-1, num_classes)
+    labels = np.asarray(targets, dtype=np.int64).reshape(-1)
+    mask = labels != ignore_index
+    if not mask.any():
+        return 0.0
+    predicted = logits.argmax(axis=1)
+    return float((predicted[mask] == labels[mask]).mean())
+
+
+def perplexity(loss: float) -> float:
+    """Perplexity of a language model from its cross-entropy loss."""
+    return float(np.exp(min(loss, 50.0)))

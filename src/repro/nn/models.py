@@ -1,0 +1,225 @@
+"""Model zoo for the paper's seven evaluation cases.
+
+The paper trains VGG-16/19/11, ResNet-50, two 2-layer LSTMs and BERT.  The
+builders below create architecturally faithful but scaled-down NumPy models
+(same layer types, same gradient structure, orders of magnitude fewer
+parameters) so the distributed-training experiments run on CPU.  Every
+builder takes a ``seed`` so all worker replicas initialise identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .attention import LearnedPositionalEmbedding, TransformerEncoderLayer
+from .conv import BatchNorm2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+from .layers import (
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    ReLU,
+    SelectLast,
+)
+from .module import Identity, Module, Sequential
+from .rnn import LSTM
+
+__all__ = [
+    "ResidualBlock",
+    "build_mlp",
+    "build_vgg",
+    "build_regression_cnn",
+    "build_resnet",
+    "build_lstm_classifier",
+    "build_lstm_language_model",
+    "build_transformer_mlm",
+]
+
+
+# ---------------------------------------------------------------------------
+# building blocks
+# ---------------------------------------------------------------------------
+class ResidualBlock(Module):
+    """Two 3x3 convolutions with batch norm and an identity / projection skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None, name: str = "res") -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            rng=rng, name=f"{name}.conv1")
+        self.bn1 = BatchNorm2d(out_channels, name=f"{name}.bn1")
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            rng=rng, name=f"{name}.conv2")
+        self.bn2 = BatchNorm2d(out_channels, name=f"{name}.bn2")
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Conv2d(in_channels, out_channels, 1, stride=stride,
+                                           padding=0, rng=rng, name=f"{name}.proj")
+        else:
+            self.shortcut = Identity()
+        self.act_out = ReLU()
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        main = self.bn1(self.conv1(inputs))
+        main = self.act1(main)
+        main = self.bn2(self.conv2(main))
+        skip = self.shortcut(inputs)
+        return self.act_out(main + skip)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.act_out.backward(grad_output)
+        grad_skip = self.shortcut.backward(grad_sum)
+        grad_main = self.bn2.backward(grad_sum)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.act1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        return grad_main + grad_skip
+
+
+# ---------------------------------------------------------------------------
+# dense and convolutional models
+# ---------------------------------------------------------------------------
+def build_mlp(input_dim: int, hidden_dims: Sequence[int], num_outputs: int,
+              seed: int = 0) -> Sequential:
+    """A simple multi-layer perceptron (used by tests and the quickstart)."""
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = []
+    previous = input_dim
+    for index, hidden in enumerate(hidden_dims):
+        layers.append(Linear(previous, hidden, rng=rng, name=f"mlp.fc{index}"))
+        layers.append(ReLU())
+        previous = hidden
+    layers.append(Linear(previous, num_outputs, rng=rng, name="mlp.out"))
+    return Sequential(*layers)
+
+
+#: Convolutional plans of the scaled-down VGG variants: each entry is either a
+#: channel count (3x3 convolution) or "M" (2x2 max pooling).  The layer
+#: *count* per stage matches the real VGG-11/16/19; the channel widths are
+#: scaled down for CPU training.
+_VGG_PLANS = {
+    "vgg11": (8, "M", 16, "M", 32, 32, "M", 64, 64, "M", 64, 64, "M"),
+    "vgg16": (8, 8, "M", 16, 16, "M", 32, 32, 32, "M", 64, 64, 64, "M", 64, 64, 64, "M"),
+    "vgg19": (8, 8, "M", 16, 16, "M", 32, 32, 32, 32, "M",
+              64, 64, 64, 64, "M", 64, 64, 64, 64, "M"),
+}
+
+
+def build_vgg(variant: str, in_channels: int = 3, image_size: int = 16,
+              num_classes: int = 10, width_multiplier: float = 1.0,
+              seed: int = 0) -> Sequential:
+    """A scaled-down VGG-style CNN (Cases 1, 2 and the backbone of Case 4)."""
+    plan = _VGG_PLANS.get(variant.lower())
+    if plan is None:
+        raise ValueError(f"unknown VGG variant {variant!r}; expected one of {sorted(_VGG_PLANS)}")
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = []
+    channels = in_channels
+    size = image_size
+    conv_index = 0
+    for entry in plan:
+        if entry == "M":
+            if size >= 2:
+                layers.append(MaxPool2d(2))
+                size //= 2
+            continue
+        out_channels = max(4, int(entry * width_multiplier))
+        layers.append(Conv2d(channels, out_channels, 3, stride=1, padding=1, rng=rng,
+                             name=f"{variant}.conv{conv_index}"))
+        layers.append(BatchNorm2d(out_channels, name=f"{variant}.bn{conv_index}"))
+        layers.append(ReLU())
+        channels = out_channels
+        conv_index += 1
+    layers.append(Flatten())
+    flat_dim = channels * size * size
+    hidden = max(32, flat_dim // 4)
+    layers.append(Linear(flat_dim, hidden, rng=rng, name=f"{variant}.fc0"))
+    layers.append(ReLU())
+    layers.append(Linear(hidden, num_classes, rng=rng, name=f"{variant}.fc1"))
+    return Sequential(*layers)
+
+
+def build_regression_cnn(in_channels: int = 3, image_size: int = 16,
+                         width_multiplier: float = 1.0, seed: int = 0) -> Sequential:
+    """VGG-11-style CNN with a single regression output (Case 4, House)."""
+    model = build_vgg("vgg11", in_channels=in_channels, image_size=image_size,
+                      num_classes=1, width_multiplier=width_multiplier, seed=seed)
+    return model
+
+
+def build_resnet(num_blocks_per_stage: Sequence[int] = (2, 2, 2),
+                 in_channels: int = 3, num_classes: int = 10,
+                 base_width: int = 8, seed: int = 0) -> Sequential:
+    """A scaled-down ResNet (Case 3's stand-in for ResNet-50).
+
+    ``num_blocks_per_stage`` controls depth; each stage doubles the channel
+    width and halves the spatial resolution (except the first).
+    """
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = [
+        Conv2d(in_channels, base_width, 3, stride=1, padding=1, rng=rng, name="resnet.stem"),
+        BatchNorm2d(base_width, name="resnet.stem_bn"),
+        ReLU(),
+    ]
+    channels = base_width
+    for stage, blocks in enumerate(num_blocks_per_stage):
+        out_channels = base_width * (2 ** stage)
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(ResidualBlock(channels, out_channels, stride=stride, rng=rng,
+                                        name=f"resnet.s{stage}b{block}"))
+            channels = out_channels
+    layers.append(GlobalAvgPool2d())
+    layers.append(Linear(channels, num_classes, rng=rng, name="resnet.fc"))
+    return Sequential(*layers)
+
+
+# ---------------------------------------------------------------------------
+# sequence models
+# ---------------------------------------------------------------------------
+def build_lstm_classifier(vocab_size: int, num_classes: int, embedding_dim: int = 16,
+                          hidden_dim: int = 32, num_layers: int = 2,
+                          seed: int = 0) -> Sequential:
+    """2-layer LSTM text classifier (Case 5, LSTM-IMDB)."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Embedding(vocab_size, embedding_dim, rng=rng, name="lstmcls.embed"),
+        LSTM(embedding_dim, hidden_dim, num_layers=num_layers, rng=rng, name="lstmcls.lstm"),
+        SelectLast(),
+        Linear(hidden_dim, num_classes, rng=rng, name="lstmcls.fc"),
+    )
+
+
+def build_lstm_language_model(vocab_size: int, embedding_dim: int = 16,
+                              hidden_dim: int = 32, num_layers: int = 2,
+                              seed: int = 0) -> Sequential:
+    """2-layer LSTM language model predicting the next token (Case 6, LSTM-PTB)."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Embedding(vocab_size, embedding_dim, rng=rng, name="lstmlm.embed"),
+        LSTM(embedding_dim, hidden_dim, num_layers=num_layers, rng=rng, name="lstmlm.lstm"),
+        Linear(hidden_dim, vocab_size, rng=rng, name="lstmlm.fc"),
+    )
+
+
+def build_transformer_mlm(vocab_size: int, max_length: int = 32, model_dim: int = 32,
+                          num_heads: int = 4, num_layers: int = 2,
+                          dropout: float = 0.0, seed: int = 0) -> Sequential:
+    """BERT-style masked language model (Case 7, BERT on Wikipedia)."""
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = [
+        Embedding(vocab_size, model_dim, rng=rng, name="bert.embed"),
+        LearnedPositionalEmbedding(max_length, model_dim, rng=rng, name="bert.pos"),
+    ]
+    for index in range(num_layers):
+        layers.append(TransformerEncoderLayer(model_dim, num_heads, dropout=dropout,
+                                              rng=rng, seed=seed + index,
+                                              name=f"bert.layer{index}"))
+    layers.append(LayerNorm(model_dim, name="bert.final_ln"))
+    layers.append(Linear(model_dim, vocab_size, rng=rng, name="bert.mlm_head"))
+    return Sequential(*layers)

@@ -1,0 +1,98 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains every case with synchronous mini-batch SGD (with momentum
+for the CNN cases); the trainer applies the same update on every worker's
+replica after gradient synchronisation, so the optimiser works on a list of
+:class:`~repro.nn.parameter.Parameter` objects and can also consume an
+externally supplied flat gradient vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .parameter import Parameter, assign_flat_gradients
+
+__all__ = ["SGD", "StepLRSchedule", "ConstantLRSchedule"]
+
+
+class ConstantLRSchedule:
+    """A constant learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def at_epoch(self, epoch: int) -> float:
+        return self.learning_rate
+
+
+class StepLRSchedule:
+    """Step decay: multiply the rate by ``gamma`` every ``step_epochs``.
+
+    The paper's Fig. 17 notes the learning rate is reduced at epoch 80; this
+    schedule reproduces that behaviour.
+    """
+
+    def __init__(self, learning_rate: float, step_epochs: int, gamma: float = 0.1) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if step_epochs <= 0:
+            raise ValueError("step_epochs must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.learning_rate = learning_rate
+        self.step_epochs = step_epochs
+        self.gamma = gamma
+
+    def at_epoch(self, epoch: int) -> float:
+        return self.learning_rate * (self.gamma ** (epoch // self.step_epochs))
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.1,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.parameters: List[Parameter] = list(parameters)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[List[np.ndarray]] = None
+        if momentum > 0:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self, flat_gradient: Optional[np.ndarray] = None,
+             learning_rate: Optional[float] = None) -> None:
+        """Apply one update.
+
+        With ``flat_gradient`` given, the vector is first scattered back into
+        the parameters' ``grad`` buffers (this is how the trainer applies the
+        synchronised global gradient); otherwise the currently accumulated
+        gradients are used.
+        """
+        if flat_gradient is not None:
+            assign_flat_gradients(self.parameters, flat_gradient)
+        rate = self.learning_rate if learning_rate is None else learning_rate
+        for index, parameter in enumerate(self.parameters):
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self._velocity is not None:
+                self._velocity[index] = self.momentum * self._velocity[index] + gradient
+                gradient = self._velocity[index]
+            parameter.data -= rate * gradient

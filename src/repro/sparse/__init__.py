@@ -1,0 +1,15 @@
+"""Sparse gradient substrate: COO vectors, top-k selection and block layout."""
+
+from .blocks import BlockLayout, block_bounds
+from .topk import kth_largest_magnitude, threshold_indices, top_k_indices, top_k_mask
+from .vector import SparseGradient
+
+__all__ = [
+    "SparseGradient",
+    "BlockLayout",
+    "block_bounds",
+    "top_k_indices",
+    "top_k_mask",
+    "threshold_indices",
+    "kth_largest_magnitude",
+]

@@ -1,0 +1,74 @@
+"""Top-k and threshold selection primitives.
+
+Top-k sparsification keeps the ``k`` entries of a gradient vector with the
+largest absolute value.  The paper additionally contrasts exact top-k
+selection (used by SparDL, TopkA, TopkDSA, gTopk) with *threshold pruning*
+(used by Ok-Topk), which selects every entry whose magnitude exceeds an
+estimated threshold and therefore may return more or fewer than ``k``
+entries.
+
+All selections are deterministic: ties are broken towards the lower index so
+repeated runs (and different workers holding identical data) agree exactly.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+__all__ = [
+    "top_k_indices",
+    "top_k_mask",
+    "threshold_indices",
+    "kth_largest_magnitude",
+]
+
+
+def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries of ``values``.
+
+    Returns a sorted index array.  ``k`` larger than the vector length
+    returns all indices; ``k <= 0`` returns an empty array.  Ties are broken
+    deterministically towards lower indices.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if k <= 0 or n == 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    magnitude = np.abs(values)
+    # argsort on (-magnitude, index) gives deterministic tie-breaking; kind
+    # "stable" preserves index order among equal magnitudes.
+    order = np.argsort(-magnitude, kind="stable")
+    selected = order[:k]
+    return np.sort(selected.astype(np.int64))
+
+
+def top_k_mask(values: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask marking the top-k entries of ``values``."""
+    mask = np.zeros(np.asarray(values).shape[0], dtype=bool)
+    mask[top_k_indices(values, k)] = True
+    return mask
+
+
+def kth_largest_magnitude(values: np.ndarray, k: int) -> float:
+    """Magnitude of the k-th largest-magnitude entry (the exact top-k
+    threshold).  Returns 0.0 when ``k`` exceeds the number of entries."""
+    values = np.asarray(values)
+    n = values.shape[0]
+    if n == 0 or k <= 0:
+        return float("inf") if n == 0 and k > 0 else 0.0
+    if k >= n:
+        return float(np.min(np.abs(values))) if n else 0.0
+    magnitude = np.abs(values)
+    return float(np.partition(magnitude, n - k)[n - k])
+
+
+def threshold_indices(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Indices whose magnitude is at least ``threshold`` (threshold pruning,
+    as used by Ok-Topk).  Entries exactly equal to the threshold are kept."""
+    values = np.asarray(values)
+    if threshold <= 0:
+        return np.arange(values.shape[0], dtype=np.int64)
+    return np.flatnonzero(np.abs(values) >= threshold).astype(np.int64)

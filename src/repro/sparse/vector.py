@@ -1,0 +1,185 @@
+"""Sparse gradients in coordinate (COO) form.
+
+The paper transmits sparse gradients as ``(index, value)`` pairs, so every
+non-zero costs two elements of bandwidth.  :class:`SparseGradient` is an
+immutable-by-convention container over sorted, unique indices; it provides
+exactly the operations the communication algorithms need:
+
+* construction from a dense vector (optionally restricted to a block),
+* merge-summation of two sparse gradients (the operation whose output can be
+  larger than its inputs — the root of the SGA dilemma),
+* exact top-k re-sparsification with the discarded remainder returned so
+  residual collection can keep it,
+* densification and block restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .topk import threshold_indices, top_k_indices
+
+__all__ = ["SparseGradient"]
+
+
+@dataclass(frozen=True)
+class SparseGradient:
+    """A sparse slice of a length-``length`` gradient vector.
+
+    ``indices`` are global coordinates (sorted, unique, ``int64``);
+    ``values`` are the corresponding gradient entries (``float64``).
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if indices.ndim != 1 or values.ndim != 1:
+            raise ValueError("indices and values must be one-dimensional")
+        if indices.shape[0] != values.shape[0]:
+            raise ValueError("indices and values must have the same length")
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        if indices.shape[0]:
+            if indices.min() < 0 or indices.max() >= self.length:
+                raise ValueError("indices out of range")
+            if np.any(np.diff(indices) <= 0):
+                # Sort and merge duplicates to restore the invariant.
+                order = np.argsort(indices, kind="stable")
+                indices = indices[order]
+                values = values[order]
+                unique, inverse = np.unique(indices, return_inverse=True)
+                summed = np.zeros(unique.shape[0], dtype=np.float64)
+                np.add.at(summed, inverse, values)
+                indices, values = unique, summed
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, length: int) -> "SparseGradient":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), length)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, indices: Optional[np.ndarray] = None,
+                   offset: int = 0, length: Optional[int] = None) -> "SparseGradient":
+        """Build from a dense array.
+
+        With ``indices`` given, only those (local) positions are kept; the
+        ``offset`` shifts them into global coordinates.  Without ``indices``
+        all non-zero positions are kept.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if length is None:
+            length = offset + dense.shape[0]
+        if indices is None:
+            indices = np.flatnonzero(dense)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = dense[indices]
+        return cls(indices + offset, values, length)
+
+    @classmethod
+    def top_k_of_dense(cls, dense: np.ndarray, k: int, offset: int = 0,
+                       length: Optional[int] = None) -> Tuple["SparseGradient", np.ndarray]:
+        """Top-k selection on a dense block.
+
+        Returns ``(selected, residual_dense)`` where ``residual_dense`` is
+        the dense block with the selected entries zeroed (the local residual
+        of error feedback).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        picked = top_k_indices(dense, k)
+        selected = cls.from_dense(dense, picked, offset=offset, length=length)
+        residual = dense.copy()
+        residual[picked] = 0.0
+        return selected, residual
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def comm_size(self) -> float:
+        """Transmission size in elements: one index plus one value per entry
+        (the COO convention used by the paper's cost analysis)."""
+        return 2.0 * self.nnz
+
+    def to_dense(self, length: Optional[int] = None) -> np.ndarray:
+        length = self.length if length is None else length
+        dense = np.zeros(length, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def add(self, other: "SparseGradient") -> "SparseGradient":
+        """Merge-sum with another sparse gradient over the same vector."""
+        if other.length != self.length:
+            raise ValueError("cannot add sparse gradients of different lengths")
+        if self.nnz == 0:
+            return other
+        if other.nnz == 0:
+            return self
+        indices = np.concatenate([self.indices, other.indices])
+        values = np.concatenate([self.values, other.values])
+        unique, inverse = np.unique(indices, return_inverse=True)
+        summed = np.zeros(unique.shape[0], dtype=np.float64)
+        np.add.at(summed, inverse, values)
+        return SparseGradient(unique, summed, self.length)
+
+    def scale(self, factor: float) -> "SparseGradient":
+        return SparseGradient(self.indices, self.values * float(factor), self.length)
+
+    # ------------------------------------------------------------------
+    # sparsification
+    # ------------------------------------------------------------------
+    def top_k(self, k: int) -> Tuple["SparseGradient", "SparseGradient"]:
+        """Keep the top-k entries; return ``(kept, dropped)``."""
+        if k >= self.nnz:
+            return self, SparseGradient.empty(self.length)
+        if k <= 0:
+            return SparseGradient.empty(self.length), self
+        picked_local = top_k_indices(self.values, k)
+        mask = np.zeros(self.nnz, dtype=bool)
+        mask[picked_local] = True
+        kept = SparseGradient(self.indices[mask], self.values[mask], self.length)
+        dropped = SparseGradient(self.indices[~mask], self.values[~mask], self.length)
+        return kept, dropped
+
+    def threshold(self, tau: float) -> Tuple["SparseGradient", "SparseGradient"]:
+        """Threshold pruning; return ``(kept, dropped)``."""
+        picked_local = threshold_indices(self.values, tau)
+        mask = np.zeros(self.nnz, dtype=bool)
+        mask[picked_local] = True
+        kept = SparseGradient(self.indices[mask], self.values[mask], self.length)
+        dropped = SparseGradient(self.indices[~mask], self.values[~mask], self.length)
+        return kept, dropped
+
+    # ------------------------------------------------------------------
+    # slicing
+    # ------------------------------------------------------------------
+    def restrict(self, lo: int, hi: int) -> "SparseGradient":
+        """Entries with ``lo <= index < hi`` (still in global coordinates)."""
+        mask = (self.indices >= lo) & (self.indices < hi)
+        return SparseGradient(self.indices[mask], self.values[mask], self.length)
+
+    def index_set(self) -> set:
+        return set(int(i) for i in self.indices)
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseGradient(nnz={self.nnz}, length={self.length})"

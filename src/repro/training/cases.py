@@ -1,0 +1,196 @@
+"""The seven distributed deep-learning cases of the evaluation (Table II).
+
+Each :class:`CaseSpec` bundles everything the experiments need: a model
+factory, a synthetic dataset generator standing in for the paper's dataset, a
+compute-time profile, the paper's model size (used to scale the bandwidth
+term of the simulated timing) and sensible optimisation hyper-parameters.
+
+The models are scaled-down versions of the paper's (see
+:mod:`repro.nn.models`); ``scale`` lets the benchmarks shrink them further
+when many configurations must be compared in one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..data.datasets import Dataset, TaskType, train_test_split
+from ..data.synthetic import (
+    synthetic_image_classification,
+    synthetic_image_regression,
+    synthetic_language_modeling,
+    synthetic_masked_lm,
+    synthetic_text_classification,
+)
+from ..nn.models import (
+    build_lstm_classifier,
+    build_lstm_language_model,
+    build_regression_cnn,
+    build_resnet,
+    build_transformer_mlm,
+    build_vgg,
+)
+from ..nn.module import Module
+from .timing import ComputeProfile
+
+__all__ = ["CaseSpec", "CASES", "get_case", "case_names"]
+
+#: Vocabulary shared by the sequence cases.
+_VOCAB = 64
+#: Sequence length shared by the sequence cases.
+_SEQ_LEN = 16
+
+
+@dataclass
+class CaseSpec:
+    """One evaluation case: model, dataset, timing and hyper-parameters."""
+
+    case_id: int
+    name: str
+    task: TaskType
+    model_name: str
+    dataset_name: str
+    model_factory: Callable[[int], Module]
+    dataset_factory: Callable[[int, int], Dataset]
+    compute_profile: ComputeProfile
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    batch_size: int = 32
+    metric_name: str = "accuracy"
+    higher_is_better: bool = True
+
+    # ------------------------------------------------------------------
+    def build_model(self, seed: int = 0) -> Module:
+        return self.model_factory(seed)
+
+    def build_datasets(self, num_samples: int = 512, seed: int = 0,
+                       test_fraction: float = 0.25) -> Tuple[Dataset, Dataset]:
+        dataset = self.dataset_factory(num_samples, seed)
+        return train_test_split(dataset, test_fraction=test_fraction, seed=seed)
+
+    def describe(self) -> str:
+        return f"Case {self.case_id}: {self.model_name} on {self.dataset_name}"
+
+
+def _case1_model(seed: int) -> Module:
+    return build_vgg("vgg16", image_size=16, num_classes=10, seed=seed)
+
+
+def _case2_model(seed: int) -> Module:
+    return build_vgg("vgg19", image_size=16, num_classes=20, seed=seed)
+
+
+def _case3_model(seed: int) -> Module:
+    return build_resnet((2, 2, 2), num_classes=20, base_width=8, seed=seed)
+
+
+def _case4_model(seed: int) -> Module:
+    return build_regression_cnn(image_size=16, seed=seed)
+
+
+def _case5_model(seed: int) -> Module:
+    return build_lstm_classifier(vocab_size=_VOCAB, num_classes=2, embedding_dim=16,
+                                 hidden_dim=32, num_layers=2, seed=seed)
+
+
+def _case6_model(seed: int) -> Module:
+    return build_lstm_language_model(vocab_size=_VOCAB, embedding_dim=16, hidden_dim=32,
+                                     num_layers=2, seed=seed)
+
+
+def _case7_model(seed: int) -> Module:
+    return build_transformer_mlm(vocab_size=_VOCAB, max_length=_SEQ_LEN, model_dim=32,
+                                 num_heads=4, num_layers=2, seed=seed)
+
+
+CASES: Dict[int, CaseSpec] = {
+    1: CaseSpec(
+        case_id=1, name="vgg16-cifar10", task=TaskType.IMAGE_CLASSIFICATION,
+        model_name="VGG-16", dataset_name="CIFAR-10 (synthetic stand-in)",
+        model_factory=_case1_model,
+        dataset_factory=lambda n, seed: synthetic_image_classification(
+            num_samples=n, num_classes=10, image_size=16, seed=seed, name="cifar10-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.060,
+                                       paper_parameters=14.7e6),
+        learning_rate=0.05, momentum=0.5, batch_size=32,
+    ),
+    2: CaseSpec(
+        case_id=2, name="vgg19-cifar100", task=TaskType.IMAGE_CLASSIFICATION,
+        model_name="VGG-19", dataset_name="CIFAR-100 (synthetic stand-in)",
+        model_factory=_case2_model,
+        dataset_factory=lambda n, seed: synthetic_image_classification(
+            num_samples=n, num_classes=20, image_size=16, seed=seed, name="cifar100-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.075,
+                                       paper_parameters=20.1e6),
+        learning_rate=0.05, momentum=0.5, batch_size=32,
+    ),
+    3: CaseSpec(
+        case_id=3, name="resnet50-imagenet", task=TaskType.IMAGE_CLASSIFICATION,
+        model_name="ResNet-50", dataset_name="ImageNet (synthetic stand-in)",
+        model_factory=_case3_model,
+        dataset_factory=lambda n, seed: synthetic_image_classification(
+            num_samples=n, num_classes=20, image_size=16, seed=seed, name="imagenet-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.110,
+                                       paper_parameters=23.5e6),
+        learning_rate=0.05, momentum=0.5, batch_size=32,
+    ),
+    4: CaseSpec(
+        case_id=4, name="vgg11-house", task=TaskType.IMAGE_REGRESSION,
+        model_name="VGG-11", dataset_name="House (synthetic stand-in)",
+        model_factory=_case4_model,
+        dataset_factory=lambda n, seed: synthetic_image_regression(
+            num_samples=n, image_size=16, seed=seed, name="house-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.045,
+                                       paper_parameters=9.2e6),
+        learning_rate=0.01, momentum=0.9, batch_size=32,
+        metric_name="loss", higher_is_better=False,
+    ),
+    5: CaseSpec(
+        case_id=5, name="lstm-imdb", task=TaskType.TEXT_CLASSIFICATION,
+        model_name="LSTM-IMDB", dataset_name="IMDB (synthetic stand-in)",
+        model_factory=_case5_model,
+        dataset_factory=lambda n, seed: synthetic_text_classification(
+            num_samples=n, vocab_size=_VOCAB, sequence_length=_SEQ_LEN, num_classes=2,
+            seed=seed, name="imdb-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.130,
+                                       paper_parameters=35.2e6),
+        learning_rate=0.5, momentum=0.5, batch_size=32,
+    ),
+    6: CaseSpec(
+        case_id=6, name="lstm-ptb", task=TaskType.LANGUAGE_MODELING,
+        model_name="LSTM-PTB", dataset_name="PTB (synthetic stand-in)",
+        model_factory=_case6_model,
+        dataset_factory=lambda n, seed: synthetic_language_modeling(
+            num_samples=n, vocab_size=_VOCAB, sequence_length=_SEQ_LEN, seed=seed,
+            name="ptb-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.300,
+                                       paper_parameters=66.0e6),
+        learning_rate=0.5, momentum=0.5, batch_size=32,
+        metric_name="loss", higher_is_better=False,
+    ),
+    7: CaseSpec(
+        case_id=7, name="bert-wikipedia", task=TaskType.MASKED_LM,
+        model_name="BERT", dataset_name="Wikipedia (synthetic stand-in)",
+        model_factory=_case7_model,
+        dataset_factory=lambda n, seed: synthetic_masked_lm(
+            num_samples=n, vocab_size=_VOCAB, sequence_length=_SEQ_LEN, seed=seed,
+            name="wikipedia-like"),
+        compute_profile=ComputeProfile(compute_time_per_update=0.330,
+                                       paper_parameters=133.5e6),
+        learning_rate=0.3, momentum=0.5, batch_size=32,
+        metric_name="loss", higher_is_better=False,
+    ),
+}
+
+
+def get_case(case_id: int) -> CaseSpec:
+    """Look up an evaluation case by its Table II number."""
+    try:
+        return CASES[case_id]
+    except KeyError:
+        raise ValueError(f"unknown case {case_id}; valid cases are {sorted(CASES)}") from None
+
+
+def case_names() -> Dict[int, str]:
+    return {case_id: spec.describe() for case_id, spec in CASES.items()}

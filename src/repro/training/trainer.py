@@ -1,0 +1,255 @@
+"""Data-parallel synchronous SGD over the simulated cluster.
+
+:class:`DistributedTrainer` reproduces the training loop of Fig. 4: every
+worker holds a model replica and a disjoint data shard; each iteration the
+workers compute local gradients in parallel, synchronise them through a
+:class:`~repro.core.base.GradientSynchronizer` (SparDL or any baseline), and
+apply the identical averaged global gradient to their replicas.  Per-iteration
+simulated time combines a per-case compute profile with the alpha-beta cost of
+the measured communication (see :mod:`repro.training.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..comm.cluster import SimulatedCluster
+from ..comm.network import ETHERNET, NetworkProfile
+from ..core.base import GradientSynchronizer
+from ..data.datasets import DataLoader, Dataset, TaskType, shard_dataset
+from ..nn.losses import CrossEntropyLoss, Loss, MSELoss, accuracy
+from ..nn.module import Module
+from ..nn.optim import SGD, ConstantLRSchedule, StepLRSchedule
+from ..nn.parameter import flatten_gradients, flatten_values
+from .metrics import EpochRecord, IterationRecord, TrainingHistory
+from .timing import ComputeProfile, iteration_time
+
+__all__ = ["TrainerConfig", "DistributedTrainer", "default_loss_for_task",
+           "default_metric_for_task"]
+
+
+def default_loss_for_task(task: TaskType) -> Loss:
+    """The loss function the paper uses for each task type."""
+    if task is TaskType.IMAGE_REGRESSION:
+        return MSELoss()
+    return CrossEntropyLoss()
+
+
+def default_metric_for_task(task: TaskType) -> tuple[str, bool]:
+    """``(metric_name, higher_is_better)`` for each task type."""
+    if task.is_classification:
+        return "accuracy", True
+    return "loss", False
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of one distributed training run."""
+
+    batch_size: int = 32
+    learning_rate: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    lr_step_epochs: Optional[int] = None
+    lr_gamma: float = 0.1
+    seed: int = 0
+    #: Verify after every iteration that all replicas hold identical
+    #: parameters (slow; used by the integration tests).
+    check_consistency: bool = False
+
+    def schedule(self):
+        if self.lr_step_epochs is None:
+            return ConstantLRSchedule(self.learning_rate)
+        return StepLRSchedule(self.learning_rate, self.lr_step_epochs, self.lr_gamma)
+
+
+class DistributedTrainer:
+    """Synchronous data-parallel trainer over a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        synchronizer: GradientSynchronizer,
+        model_factory: Callable[[int], Module],
+        train_dataset: Dataset,
+        eval_dataset: Dataset,
+        *,
+        loss: Optional[Loss] = None,
+        config: Optional[TrainerConfig] = None,
+        network: NetworkProfile = ETHERNET,
+        compute_profile: Optional[ComputeProfile] = None,
+        case_name: str = "",
+    ) -> None:
+        self.cluster = cluster
+        self.synchronizer = synchronizer
+        self.config = config or TrainerConfig()
+        self.network = network
+        self.train_dataset = train_dataset
+        self.eval_dataset = eval_dataset
+        self.task = train_dataset.task
+        self.loss = loss or default_loss_for_task(self.task)
+        self.metric_name, self.higher_is_better = default_metric_for_task(self.task)
+        self.case_name = case_name or train_dataset.name
+
+        num_workers = cluster.num_workers
+        # Identical replicas: the same seed is passed to every factory call.
+        self.replicas: List[Module] = [model_factory(self.config.seed)
+                                       for _ in range(num_workers)]
+        self.num_elements = self.replicas[0].num_parameters()
+        if self.num_elements != synchronizer.num_elements:
+            raise ValueError(
+                f"synchroniser was built for {synchronizer.num_elements} gradients but the "
+                f"model has {self.num_elements} parameters"
+            )
+        reference = flatten_values(self.replicas[0].parameters())
+        for replica in self.replicas[1:]:
+            if not np.array_equal(flatten_values(replica.parameters()), reference):
+                raise RuntimeError("model_factory must produce identical replicas for a fixed seed")
+
+        self.compute_profile = compute_profile or ComputeProfile(
+            compute_time_per_update=0.0, paper_parameters=self.num_elements
+        )
+        self._schedule = self.config.schedule()
+        self.optimizers: List[SGD] = [
+            SGD(replica.parameters(), learning_rate=self.config.learning_rate,
+                momentum=self.config.momentum, weight_decay=self.config.weight_decay)
+            for replica in self.replicas
+        ]
+        self.shards = [shard_dataset(train_dataset, num_workers, worker)
+                       for worker in range(num_workers)]
+        self.history = TrainingHistory(method=synchronizer.name, case=self.case_name)
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self, num_epochs: int, eval_every: int = 1) -> TrainingHistory:
+        """Run ``num_epochs`` of synchronous training."""
+        if num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        for epoch in range(num_epochs):
+            self.train_epoch(epoch, evaluate=((epoch + 1) % eval_every == 0
+                                              or epoch == num_epochs - 1))
+        return self.history
+
+    def train_epoch(self, epoch: int, evaluate: bool = True) -> EpochRecord:
+        """One pass over every worker's shard."""
+        learning_rate = self._schedule.at_epoch(epoch)
+        loaders = [
+            DataLoader(shard, self.config.batch_size, shuffle=True,
+                       seed=self.config.seed + 1000 * epoch + worker)
+            for worker, shard in enumerate(self.shards)
+        ]
+        iterators = [iter(loader) for loader in loaders]
+        steps = min(len(loader) for loader in loaders)
+
+        epoch_losses: List[float] = []
+        epoch_comm = 0.0
+        epoch_compute = 0.0
+        for _ in range(steps):
+            record = self._train_step(epoch, iterators, learning_rate)
+            epoch_losses.append(record.loss)
+            epoch_comm += record.communication_time
+            epoch_compute += record.compute_time
+
+        train_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+        epoch_time = epoch_comm + epoch_compute
+
+        if evaluate:
+            eval_loss, eval_metric = self.evaluate()
+        else:
+            eval_loss, eval_metric = float("nan"), float("nan")
+        record = EpochRecord(
+            epoch=epoch,
+            train_loss=train_loss,
+            eval_loss=eval_loss,
+            eval_metric=eval_metric,
+            metric_name=self.metric_name,
+            epoch_time=epoch_time,
+            cumulative_time=self.total_time,
+            communication_time=epoch_comm,
+            compute_time=epoch_compute,
+        )
+        self.history.add_epoch(record)
+        return record
+
+    def _train_step(self, epoch: int, iterators, learning_rate: float) -> IterationRecord:
+        gradients: Dict[int, np.ndarray] = {}
+        losses: List[float] = []
+        for worker, replica in enumerate(self.replicas):
+            inputs, targets = next(iterators[worker])
+            replica.train()
+            replica.zero_grad()
+            outputs = replica.forward(inputs)
+            loss_value, grad_output = self.loss(outputs, targets)
+            replica.backward(grad_output)
+            gradients[worker] = flatten_gradients(replica.parameters())
+            losses.append(loss_value)
+
+        result = self.synchronizer.synchronize(gradients)
+        timing = iteration_time(result.stats, self.network, self.compute_profile,
+                                model_parameters=self.num_elements)
+
+        for worker, optimizer in enumerate(self.optimizers):
+            averaged = result.gradient(worker) / self.cluster.num_workers
+            optimizer.step(flat_gradient=averaged, learning_rate=learning_rate)
+
+        if self.config.check_consistency:
+            reference = flatten_values(self.replicas[0].parameters())
+            for replica in self.replicas[1:]:
+                if not np.allclose(flatten_values(replica.parameters()), reference,
+                                   rtol=1e-9, atol=1e-12):
+                    raise RuntimeError("model replicas diverged after a synchronised update")
+
+        record = IterationRecord(
+            iteration=self._iteration,
+            epoch=epoch,
+            loss=float(np.mean(losses)),
+            compute_time=timing.compute_time,
+            communication_time=timing.communication_time,
+        )
+        self.history.add_iteration(record)
+        self._iteration += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: Optional[Dataset] = None, batch_size: int = 64
+                 ) -> tuple[float, float]:
+        """``(loss, metric)`` of replica 0 on ``dataset`` (default: eval set)."""
+        dataset = dataset or self.eval_dataset
+        model = self.replicas[0]
+        model.eval()
+        losses: List[float] = []
+        metrics: List[float] = []
+        weights: List[int] = []
+        for start in range(0, len(dataset), batch_size):
+            inputs, targets = dataset.batch(start, start + batch_size)
+            outputs = model.forward(inputs)
+            loss_value, _ = self.loss(outputs, targets)
+            losses.append(loss_value)
+            weights.append(inputs.shape[0])
+            if self.metric_name == "accuracy":
+                metrics.append(accuracy(outputs, targets))
+        model.train()
+        total = float(np.average(losses, weights=weights))
+        if self.metric_name == "accuracy":
+            metric = float(np.average(metrics, weights=weights))
+        else:
+            metric = total
+        return total, metric
+
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Cumulative simulated training time so far."""
+        return sum(record.total_time for record in self.history.iterations)
+
+    @property
+    def global_model(self) -> Module:
+        """Replica 0 (all replicas are identical after every update)."""
+        return self.replicas[0]

@@ -1,0 +1,28 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import SimulatedCluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster4() -> SimulatedCluster:
+    return SimulatedCluster(4)
+
+
+@pytest.fixture
+def cluster6() -> SimulatedCluster:
+    return SimulatedCluster(6)
+
+
+@pytest.fixture
+def cluster8() -> SimulatedCluster:
+    return SimulatedCluster(8)

@@ -1,0 +1,68 @@
+"""Shared helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import assign_flat_values, flatten_gradients, flatten_values
+
+__all__ = ["random_gradients", "numerical_gradient_check", "max_relative_error"]
+
+
+def random_gradients(num_workers: int, num_elements: int, seed: int = 0,
+                     scale: float = 1.0) -> Dict[int, np.ndarray]:
+    """Per-worker dense gradients with distinct seeds (deterministic)."""
+    return {
+        worker: scale * np.random.default_rng(seed + worker).normal(size=num_elements)
+        for worker in range(num_workers)
+    }
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray, floor: float = 1e-6) -> float:
+    """Element-wise relative error with an absolute floor to ignore noise on
+    near-zero entries."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.maximum(np.abs(a) + np.abs(b), floor)
+    return float((np.abs(a - b) / denom).max())
+
+
+def numerical_gradient_check(model: Module, inputs: np.ndarray,
+                             loss_fn: Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]],
+                             targets: np.ndarray, *, eps: float = 1e-6,
+                             num_checks: int = 20, seed: int = 0) -> float:
+    """Compare analytic parameter gradients against central finite differences.
+
+    Returns the maximum absolute difference over ``num_checks`` randomly
+    sampled parameters (absolute, because tiny-gradient entries make relative
+    errors meaningless).
+    """
+    model.eval()
+    outputs = model.forward(inputs)
+    _, grad_output = loss_fn(outputs, targets)
+    model.zero_grad()
+    model.backward(grad_output)
+
+    parameters = model.parameters()
+    analytic = flatten_gradients(parameters)
+    values = flatten_values(parameters)
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(values.size, size=min(num_checks, values.size), replace=False)
+
+    worst = 0.0
+    for index in picks:
+        original = values[index]
+        values[index] = original + eps
+        assign_flat_values(parameters, values)
+        loss_plus, _ = loss_fn(model.forward(inputs), targets)
+        values[index] = original - eps
+        assign_flat_values(parameters, values)
+        loss_minus, _ = loss_fn(model.forward(inputs), targets)
+        values[index] = original
+        assign_flat_values(parameters, values)
+        numeric = (loss_plus - loss_minus) / (2.0 * eps)
+        worst = max(worst, abs(numeric - analytic[index]))
+    return worst

@@ -1,0 +1,139 @@
+"""Unit tests for the Table I complexity formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    ComplexityBound,
+    dense_allreduce_complexity,
+    gtopk_complexity,
+    ok_topk_complexity,
+    predicted_time,
+    spardl_bsag_complexity,
+    spardl_complexity,
+    spardl_rsag_complexity,
+    table1,
+    topk_a_complexity,
+    topk_dsa_complexity,
+)
+
+P, N, K = 14, 1_000_000, 10_000
+
+
+class TestTableIRows:
+    def test_topk_a(self):
+        bound = topk_a_complexity(P, N, K)
+        assert bound.latency_rounds == math.ceil(math.log2(P))
+        assert bound.bandwidth_low == 2 * (P - 1) * K
+
+    def test_topk_dsa(self):
+        bound = topk_dsa_complexity(P, N, K)
+        assert bound.latency_rounds == P + 2 * math.ceil(math.log2(P))
+        assert bound.bandwidth_low == pytest.approx(4 * K * (P - 1) / P)
+        assert bound.bandwidth_high == pytest.approx((2 * K + N) * (P - 1) / P)
+        assert bound.has_range
+
+    def test_gtopk(self):
+        bound = gtopk_complexity(P, N, K)
+        assert bound.latency_rounds == 2 * math.ceil(math.log2(P))
+        assert bound.bandwidth_low == 4 * math.ceil(math.log2(P)) * K
+
+    def test_ok_topk(self):
+        bound = ok_topk_complexity(P, N, K)
+        assert bound.latency_rounds == 2 * (P + math.ceil(math.log2(P)))
+        assert bound.bandwidth_low == pytest.approx(2 * K * (P - 1) / P)
+        assert bound.bandwidth_high == pytest.approx(6 * K * (P - 1) / P)
+
+    def test_spardl(self):
+        bound = spardl_complexity(P, N, K)
+        assert bound.latency_rounds == 2 * math.ceil(math.log2(P))
+        assert bound.bandwidth_low == pytest.approx(4 * K * (P - 1) / P)
+        assert not bound.has_range
+
+    def test_spardl_rsag_matches_equation_7(self):
+        d = 2
+        bound = spardl_rsag_complexity(P, N, K, d)
+        expected_latency = 2 * math.ceil(math.log2(P / d)) + math.log2(d)
+        assert bound.latency_rounds == expected_latency
+        expected_bw = 2 * K * ((2 * P - 2 * d) / P + d / P * math.log2(d))
+        assert bound.bandwidth_low == pytest.approx(expected_bw)
+
+    def test_spardl_rsag_d2_same_bandwidth_as_d1(self):
+        """The paper: with d=2 R-SAG keeps the bandwidth of SparDL (d=1) while
+        reducing the latency by one round."""
+        base = spardl_complexity(16, N, K)
+        rsag = spardl_rsag_complexity(16, N, K, 2)
+        assert rsag.bandwidth_low == pytest.approx(base.bandwidth_low)
+        assert rsag.latency_rounds == base.latency_rounds - 1
+
+    def test_spardl_rsag_requires_power_of_two_d(self):
+        with pytest.raises(ValueError):
+            spardl_rsag_complexity(12, N, K, 3)
+
+    def test_spardl_bsag_matches_equation_10(self):
+        d = 7
+        bound = spardl_bsag_complexity(P, N, K, d)
+        expected_latency = 2 * math.ceil(math.log2(P / d)) + math.ceil(math.log2(d))
+        assert bound.latency_rounds == expected_latency
+        assert bound.bandwidth_low == pytest.approx(2 * K * (d * d + P - 2 * d) / (P * d))
+        assert bound.bandwidth_high == pytest.approx(2 * K * (d * d + 2 * P - 3 * d) / P)
+
+    def test_spardl_bsag_upper_bound_at_d2_equals_d1(self):
+        """The paper: the B-SAG upper bound at d=2 equals SparDL (d=1)."""
+        base = spardl_complexity(16, N, K)
+        bsag = spardl_bsag_complexity(16, N, K, 2)
+        assert bsag.bandwidth_high == pytest.approx(base.bandwidth_low)
+
+    def test_bsag_lower_bound_minimised_near_sqrt_p(self):
+        """The B-SAG lower bound decreases up to d ~ sqrt(P) then increases."""
+        candidates = [d for d in range(1, 17) if 16 % d == 0]
+        lows = {d: spardl_bsag_complexity(16, N, K, d).bandwidth_low for d in candidates}
+        best = min(lows, key=lows.get)
+        assert best == 4  # sqrt(16)
+
+    def test_dense_allreduce(self):
+        bound = dense_allreduce_complexity(8, N)
+        assert bound.latency_rounds == 6
+        assert bound.bandwidth_low == pytest.approx(2 * N * 7 / 8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            spardl_complexity(0, N, K)
+        with pytest.raises(ValueError):
+            spardl_complexity(P, N, 0)
+        with pytest.raises(ValueError):
+            spardl_bsag_complexity(P, N, K, 5)  # 5 does not divide 14
+
+
+class TestOrderings:
+    def test_spardl_has_lowest_latency_and_bandwidth_among_sparse_methods(self):
+        """The qualitative claim of Table I: SparDL dominates on both axes
+        compared to TopkA (bandwidth), TopkDSA and Ok-Topk (latency)."""
+        rows = table1(P, N, K)
+        spardl = rows["SparDL"]
+        assert spardl.latency_rounds <= rows["TopkA"].latency_rounds * 2
+        assert spardl.latency_rounds < rows["TopkDSA"].latency_rounds
+        assert spardl.latency_rounds < rows["Ok-Topk"].latency_rounds
+        assert spardl.bandwidth_high < rows["TopkA"].bandwidth_high
+        assert spardl.bandwidth_high < rows["TopkDSA"].bandwidth_high
+        assert spardl.bandwidth_high < rows["Ok-Topk"].bandwidth_high
+        assert spardl.bandwidth_high < rows["gTopk"].bandwidth_high
+
+    def test_table1_includes_sag_rows_when_d_given(self):
+        rows = table1(P, N, K, d=7)
+        assert any("B-SAG" in name for name in rows)
+        rows = table1(16, N, K, d=4)
+        assert any("R-SAG" in name for name in rows)
+
+    def test_predicted_time_upper_at_least_lower(self):
+        for bound in table1(P, N, K).values():
+            low, high = predicted_time(bound, alpha=1e-3, beta=1e-8)
+            assert high >= low
+
+    def test_describe_mentions_method(self):
+        bound = spardl_complexity(P, N, K)
+        assert "SparDL" in bound.describe()
+        assert "alpha" in bound.describe()

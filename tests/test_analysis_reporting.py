@@ -1,0 +1,93 @@
+"""Unit tests for report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import (
+    ExperimentReport,
+    Series,
+    format_series,
+    format_table,
+    speedup_table,
+)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["method", "time"], [["SparDL", 0.12345], ["Ok-Topk", 0.5]])
+        assert "method" in text and "SparDL" in text and "Ok-Topk" in text
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) or len(lines[0]) <= len(lines[2])
+
+
+class TestSeries:
+    def test_append_and_final(self):
+        series = Series("SparDL")
+        series.append(1.0, 0.5)
+        series.append(2.0, 0.75)
+        assert series.final() == (2.0, 0.75)
+        assert len(series) == 2
+
+    def test_final_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            Series("x").final()
+
+    def test_format_series_samples_points(self):
+        series = Series("acc")
+        for i in range(100):
+            series.append(i, i / 100)
+        text = format_series([series], x_label="time", y_label="accuracy", max_points=5)
+        assert "acc" in text
+        assert text.count("\n") < 30
+
+    def test_format_series_empty(self):
+        text = format_series([Series("empty")])
+        assert "empty" in text
+
+
+class TestSpeedupTable:
+    def test_speedups_relative_to_reference(self):
+        text = speedup_table({"SparDL": 1.0, "Ok-Topk": 2.0}, reference="Ok-Topk")
+        assert "2" in text  # SparDL is 2x faster than the reference
+
+    def test_unknown_reference_raises(self):
+        with pytest.raises(ValueError):
+            speedup_table({"a": 1.0}, reference="b")
+
+    def test_rows_sorted_fastest_first(self):
+        text = speedup_table({"slow": 3.0, "fast": 1.0, "mid": 2.0}, reference="slow")
+        lines = text.splitlines()
+        assert lines[2].startswith("fast")
+
+
+class TestExperimentReport:
+    def test_render_includes_sections(self):
+        report = ExperimentReport("Fig. 8", description="per-update time")
+        report.add_table(["method", "time"], [["SparDL", 0.1]])
+        report.add_text("note")
+        text = report.render()
+        assert "Fig. 8" in text and "per-update time" in text
+        assert "SparDL" in text and "note" in text
+
+    def test_add_series(self):
+        report = ExperimentReport("Fig. 9")
+        series = Series("SparDL")
+        series.append(0, 0.1)
+        report.add_series([series], x_label="t", y_label="acc")
+        assert "SparDL" in report.render()

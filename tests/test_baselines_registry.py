@@ -1,0 +1,53 @@
+"""Unit tests for the synchroniser registry / factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dense import DenseAllReduceSynchronizer
+from repro.baselines.gtopk import GTopkSynchronizer
+from repro.baselines.ok_topk import OkTopkSynchronizer
+from repro.baselines.registry import SYNCHRONIZER_NAMES, available_methods, make_synchronizer
+from repro.baselines.topk_a import TopkASynchronizer
+from repro.baselines.topk_dsa import TopkDSASynchronizer
+from repro.comm.cluster import SimulatedCluster
+from repro.core.spardl import SparDLSynchronizer
+
+
+class TestRegistry:
+    def test_canonical_names(self):
+        assert "SparDL" in SYNCHRONIZER_NAMES
+        assert "Ok-Topk" in SYNCHRONIZER_NAMES
+
+    @pytest.mark.parametrize("name,cls", [
+        ("SparDL", SparDLSynchronizer),
+        ("Ok-Topk", OkTopkSynchronizer),
+        ("oktopk", OkTopkSynchronizer),
+        ("TopkA", TopkASynchronizer),
+        ("topk_dsa", TopkDSASynchronizer),
+        ("gTopk", GTopkSynchronizer),
+        ("dense", DenseAllReduceSynchronizer),
+    ])
+    def test_factory_builds_right_class(self, name, cls):
+        cluster = SimulatedCluster(8)
+        sync = make_synchronizer(name, cluster, 100, density=0.1)
+        assert isinstance(sync, cls)
+
+    def test_unknown_name_raises(self):
+        cluster = SimulatedCluster(4)
+        with pytest.raises(ValueError):
+            make_synchronizer("nope", cluster, 100, k=10)
+
+    def test_spardl_kwargs_forwarded(self):
+        cluster = SimulatedCluster(8)
+        sync = make_synchronizer("SparDL", cluster, 100, k=16, num_teams=4, sag_mode="rsag")
+        assert isinstance(sync, SparDLSynchronizer)
+        assert sync.num_teams == 4
+
+    def test_available_methods_excludes_gtopk_for_non_power_of_two(self):
+        assert "gTopk" not in available_methods(14)
+        assert "gTopk" in available_methods(8)
+
+    def test_available_methods_dense_flag(self):
+        assert "Dense" in available_methods(8, include_dense=True)
+        assert "Dense" not in available_methods(8)

@@ -1,0 +1,102 @@
+"""Unit tests for the simulated cluster and message accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import Message, SimulatedCluster, payload_size
+from repro.sparse.vector import SparseGradient
+
+
+class TestPayloadSize:
+    def test_none_is_free(self):
+        assert payload_size(None) == 0.0
+
+    def test_array_counts_elements(self):
+        assert payload_size(np.zeros((3, 4))) == 12.0
+
+    def test_sparse_gradient_uses_comm_size(self):
+        sparse = SparseGradient(np.array([0, 1]), np.array([1.0, 2.0]), 5)
+        assert payload_size(sparse) == 4.0
+
+    def test_list_sums_items(self):
+        items = [np.zeros(3), SparseGradient(np.array([0]), np.array([1.0]), 5)]
+        assert payload_size(items) == 5.0
+
+    def test_scalar_counts_one(self):
+        assert payload_size(3.5) == 1.0
+        assert payload_size(7) == 1.0
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+
+class TestMessage:
+    def test_size_derived_from_payload(self):
+        message = Message(src=0, dst=1, payload=np.zeros(5))
+        assert message.size == 5.0
+
+    def test_explicit_size_wins(self):
+        message = Message(src=0, dst=1, payload=np.zeros(5), size=2.0)
+        assert message.size == 2.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dst=1, payload=None, size=-1.0)
+
+
+class TestSimulatedCluster:
+    def test_requires_positive_workers(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(0)
+
+    def test_exchange_delivers_payloads(self, cluster4):
+        inboxes = cluster4.exchange([Message(src=0, dst=1, payload=np.arange(3.0))])
+        assert list(inboxes) == [1]
+        np.testing.assert_array_equal(inboxes[1][0].payload, [0.0, 1.0, 2.0])
+
+    def test_exchange_counts_one_round(self, cluster4):
+        cluster4.exchange([Message(src=0, dst=1, payload=np.zeros(2)),
+                           Message(src=2, dst=3, payload=np.zeros(7))])
+        assert cluster4.stats.rounds == 1
+        assert cluster4.stats.total_messages == 2
+
+    def test_empty_exchange_counts_no_round(self, cluster4):
+        assert cluster4.exchange([]) == {}
+        assert cluster4.stats.rounds == 0
+
+    def test_self_message_rejected(self, cluster4):
+        with pytest.raises(ValueError):
+            cluster4.exchange([Message(src=1, dst=1, payload=np.zeros(2))])
+
+    def test_out_of_range_rank_rejected(self, cluster4):
+        with pytest.raises(ValueError):
+            cluster4.exchange([Message(src=0, dst=7, payload=None)])
+
+    def test_received_volume_recorded_per_worker(self, cluster4):
+        cluster4.exchange([Message(src=0, dst=1, payload=np.zeros(10)),
+                           Message(src=2, dst=1, payload=np.zeros(5)),
+                           Message(src=3, dst=0, payload=np.zeros(2))])
+        assert cluster4.stats.received_per_worker[1] == 15.0
+        assert cluster4.stats.received_per_worker[0] == 2.0
+        assert cluster4.stats.sent_per_worker[0] == 10.0
+
+    def test_reset_stats_returns_and_clears(self, cluster4):
+        cluster4.exchange([Message(src=0, dst=1, payload=np.zeros(3))])
+        old = cluster4.reset_stats()
+        assert old.rounds == 1
+        assert cluster4.stats.rounds == 0
+
+    def test_sendrecv_convenience(self, cluster4):
+        received = cluster4.sendrecv({0: (1, np.arange(2.0)), 1: (0, np.arange(3.0))})
+        assert set(received) == {0, 1}
+        assert received[0].shape == (3,)
+
+    def test_sendrecv_multiple_to_same_destination(self, cluster4):
+        received = cluster4.sendrecv({0: (2, 1.0), 1: (2, 2.0)})
+        assert sorted(received[2]) == [1.0, 2.0]
+
+    def test_ranks_property(self, cluster6):
+        assert list(cluster6.ranks) == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,153 @@
+"""Unit tests for the dense collective algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.collectives import (
+    allgather_bruck,
+    allgather_bruck_grouped,
+    allgather_recursive_doubling,
+    allreduce_dense,
+    allreduce_rabenseifner,
+    allreduce_ring,
+    reduce_scatter_direct,
+)
+
+
+def _items(num_workers):
+    return {rank: np.array([float(rank)]) for rank in range(num_workers)}
+
+
+class TestBruckAllGather:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3, 4, 5, 6, 7, 8, 14])
+    def test_all_workers_get_all_items_in_order(self, num_workers):
+        cluster = SimulatedCluster(num_workers)
+        result = allgather_bruck(cluster, _items(num_workers))
+        expected = [float(rank) for rank in range(num_workers)]
+        for rank in range(num_workers):
+            assert [float(item[0]) for item in result[rank]] == expected
+
+    @pytest.mark.parametrize("num_workers", [2, 4, 8, 16])
+    def test_round_count_is_log2_for_power_of_two(self, num_workers):
+        cluster = SimulatedCluster(num_workers)
+        allgather_bruck(cluster, _items(num_workers))
+        assert cluster.stats.rounds == int(math.log2(num_workers))
+
+    @pytest.mark.parametrize("num_workers", [3, 5, 6, 7, 14])
+    def test_round_count_is_ceil_log2_for_any_count(self, num_workers):
+        cluster = SimulatedCluster(num_workers)
+        allgather_bruck(cluster, _items(num_workers))
+        assert cluster.stats.rounds == math.ceil(math.log2(num_workers))
+
+    def test_bandwidth_reaches_lower_bound(self):
+        # Each worker receives exactly (P-1) items of unit size.
+        num_workers = 6
+        cluster = SimulatedCluster(num_workers)
+        allgather_bruck(cluster, _items(num_workers))
+        assert cluster.stats.max_received == num_workers - 1
+
+    def test_grouped_execution_shares_rounds(self):
+        cluster = SimulatedCluster(8)
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        items = _items(8)
+        result = allgather_bruck_grouped(cluster, groups, items)
+        assert cluster.stats.rounds == 2  # log2(4), shared by both groups
+        assert [float(i[0]) for i in result[5]] == [4.0, 5.0, 6.0, 7.0]
+
+    def test_duplicate_ranks_rejected(self):
+        cluster = SimulatedCluster(4)
+        with pytest.raises(ValueError):
+            allgather_bruck_grouped(cluster, [[0, 0, 1]], _items(4))
+
+    def test_single_worker_group(self):
+        cluster = SimulatedCluster(3)
+        result = allgather_bruck_grouped(cluster, [[2]], {2: np.array([9.0])})
+        assert result[2][0][0] == 9.0
+        assert cluster.stats.rounds == 0
+
+
+class TestRecursiveDoublingAllGather:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4, 8])
+    def test_gathers_in_order(self, num_workers):
+        cluster = SimulatedCluster(num_workers)
+        result = allgather_recursive_doubling(cluster, _items(num_workers))
+        for rank in range(num_workers):
+            assert [float(item[0]) for item in result[rank]] == [float(r) for r in range(num_workers)]
+
+    def test_rejects_non_power_of_two(self):
+        cluster = SimulatedCluster(6)
+        with pytest.raises(ValueError):
+            allgather_recursive_doubling(cluster, _items(6))
+
+    def test_round_count(self):
+        cluster = SimulatedCluster(8)
+        allgather_recursive_doubling(cluster, _items(8))
+        assert cluster.stats.rounds == 3
+
+
+class TestReduceScatterDirect:
+    @pytest.mark.parametrize("num_workers", [2, 3, 5, 8])
+    def test_each_worker_holds_reduced_partition(self, num_workers):
+        n = 12
+        cluster = SimulatedCluster(num_workers)
+        vectors = {r: np.random.default_rng(r).normal(size=n) for r in range(num_workers)}
+        result = reduce_scatter_direct(cluster, vectors)
+        total = sum(vectors.values())
+        rebuilt = np.concatenate([result[r] for r in range(num_workers)])
+        np.testing.assert_allclose(rebuilt, total)
+
+    def test_uses_p_minus_one_rounds(self):
+        cluster = SimulatedCluster(5)
+        vectors = {r: np.ones(10) for r in range(5)}
+        reduce_scatter_direct(cluster, vectors)
+        assert cluster.stats.rounds == 4
+
+
+class TestDenseAllReduce:
+    @pytest.mark.parametrize("algorithm", [allreduce_ring, allreduce_dense])
+    @pytest.mark.parametrize("num_workers", [1, 2, 3, 4, 6, 8])
+    def test_result_equals_sum(self, algorithm, num_workers):
+        n = 16
+        cluster = SimulatedCluster(num_workers)
+        vectors = {r: np.random.default_rng(r).normal(size=n) for r in range(num_workers)}
+        result = algorithm(cluster, vectors)
+        total = sum(vectors.values())
+        for rank in range(num_workers):
+            np.testing.assert_allclose(result[rank], total, atol=1e-10)
+
+    @pytest.mark.parametrize("num_workers", [2, 4, 8])
+    def test_rabenseifner_equals_sum(self, num_workers):
+        n = 16
+        cluster = SimulatedCluster(num_workers)
+        vectors = {r: np.random.default_rng(r).normal(size=n) for r in range(num_workers)}
+        result = allreduce_rabenseifner(cluster, vectors)
+        total = sum(vectors.values())
+        for rank in range(num_workers):
+            np.testing.assert_allclose(result[rank], total, atol=1e-10)
+
+    def test_rabenseifner_rejects_non_power_of_two(self):
+        cluster = SimulatedCluster(6)
+        with pytest.raises(ValueError):
+            allreduce_rabenseifner(cluster, {r: np.ones(4) for r in range(6)})
+
+    def test_ring_bandwidth_near_lower_bound(self):
+        num_workers, n = 4, 64
+        cluster = SimulatedCluster(num_workers)
+        vectors = {r: np.ones(n) for r in range(num_workers)}
+        allreduce_ring(cluster, vectors)
+        lower_bound = 2 * n * (num_workers - 1) / num_workers
+        assert cluster.stats.max_received == pytest.approx(lower_bound, rel=0.05)
+
+    def test_dense_dispatches_by_worker_count(self):
+        # Power of two -> Rabenseifner round count (2 log P); otherwise ring (2(P-1)).
+        cluster = SimulatedCluster(8)
+        allreduce_dense(cluster, {r: np.ones(16) for r in range(8)})
+        assert cluster.stats.rounds == 6
+        cluster = SimulatedCluster(6)
+        allreduce_dense(cluster, {r: np.ones(18) for r in range(6)})
+        assert cluster.stats.rounds == 10

@@ -1,0 +1,96 @@
+"""Unit tests for communication statistics and the alpha-beta timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.network import ETHERNET, PERFECT, RDMA, NetworkProfile
+from repro.comm.stats import CommStats
+
+
+class TestCommStats:
+    def test_record_round_accumulates(self):
+        stats = CommStats(num_workers=3)
+        stats.record_round([(0, 1, 10.0), (2, 1, 5.0)])
+        stats.record_round([(1, 0, 3.0)])
+        assert stats.rounds == 2
+        assert stats.total_messages == 3
+        assert stats.received_per_worker == [3.0, 15.0, 0.0]
+        assert stats.max_received == 15.0
+        assert stats.per_round_max_received == [15.0, 3.0]
+
+    def test_total_and_mean_volume(self):
+        stats = CommStats(num_workers=2)
+        stats.record_round([(0, 1, 4.0), (1, 0, 2.0)])
+        assert stats.total_volume == 6.0
+        assert stats.mean_received == 3.0
+
+    def test_negative_size_rejected(self):
+        stats = CommStats(num_workers=2)
+        with pytest.raises(ValueError):
+            stats.record_round([(0, 1, -1.0)])
+
+    def test_rank_out_of_range_rejected(self):
+        stats = CommStats(num_workers=2)
+        with pytest.raises(ValueError):
+            stats.record_round([(0, 5, 1.0)])
+
+    def test_merge(self):
+        a = CommStats(num_workers=2)
+        a.record_round([(0, 1, 4.0)])
+        b = CommStats(num_workers=2)
+        b.record_round([(1, 0, 2.0)])
+        a.merge(b)
+        assert a.rounds == 2
+        assert a.received_per_worker == [2.0, 4.0]
+
+    def test_merge_size_mismatch(self):
+        a = CommStats(num_workers=2)
+        b = CommStats(num_workers=3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_copy_is_independent(self):
+        a = CommStats(num_workers=2)
+        a.record_round([(0, 1, 4.0)])
+        b = a.copy()
+        b.record_round([(0, 1, 4.0)])
+        assert a.rounds == 1
+        assert b.rounds == 2
+
+    def test_simulated_time_uses_per_round_maxima(self):
+        stats = CommStats(num_workers=2)
+        stats.record_round([(0, 1, 10.0)])
+        stats.record_round([(1, 0, 20.0)])
+        network = NetworkProfile("test", alpha=1.0, beta=0.1)
+        assert stats.simulated_time(network) == pytest.approx(2.0 + 0.1 * 30.0)
+
+    def test_aggregate_time_uses_max_received(self):
+        stats = CommStats(num_workers=2)
+        stats.record_round([(0, 1, 10.0)])
+        stats.record_round([(1, 0, 20.0)])
+        network = NetworkProfile("test", alpha=1.0, beta=0.1)
+        assert stats.aggregate_time(network) == pytest.approx(2.0 + 0.1 * 20.0)
+
+
+class TestNetworkProfile:
+    def test_round_and_total_time(self):
+        net = NetworkProfile("n", alpha=2.0, beta=0.5)
+        assert net.round_time(10) == 7.0
+        assert net.time(3, 10) == 11.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkProfile("bad", alpha=-1.0, beta=0.0)
+
+    def test_scaled(self):
+        net = ETHERNET.scaled(alpha_factor=0.5, beta_factor=2.0, name="custom")
+        assert net.alpha == ETHERNET.alpha * 0.5
+        assert net.beta == ETHERNET.beta * 2.0
+        assert net.name == "custom"
+
+    def test_builtin_profiles_ordering(self):
+        # RDMA improves both latency and bandwidth over Ethernet.
+        assert RDMA.alpha < ETHERNET.alpha
+        assert RDMA.beta < ETHERNET.beta
+        assert PERFECT.alpha == 0.0 and PERFECT.beta == 0.0

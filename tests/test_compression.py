@@ -1,0 +1,129 @@
+"""Unit and property tests for the quantization extension (Section VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.complexity import spardl_complexity
+from repro.compression import (
+    StochasticQuantizer,
+    quantize_sparse,
+    quantized_bandwidth,
+    quantized_complexity,
+)
+from repro.sparse.vector import SparseGradient
+
+
+class TestStochasticQuantizer:
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            StochasticQuantizer(num_bits=0)
+        with pytest.raises(ValueError):
+            StochasticQuantizer(num_bits=64)
+
+    def test_zero_vector_stays_zero(self):
+        quantizer = StochasticQuantizer(num_bits=4, seed=0)
+        np.testing.assert_array_equal(quantizer.quantize(np.zeros(10)), np.zeros(10))
+
+    def test_empty_vector(self):
+        quantizer = StochasticQuantizer(num_bits=4, seed=0)
+        assert quantizer.quantize(np.zeros(0)).size == 0
+
+    def test_error_bounded_by_one_level(self):
+        quantizer = StochasticQuantizer(num_bits=6, seed=1)
+        values = np.random.default_rng(0).normal(size=500)
+        quantized = quantizer.quantize(values)
+        level_width = 2 * np.abs(values).max() / quantizer.num_levels
+        assert np.abs(values - quantized).max() <= level_width + 1e-12
+
+    def test_extreme_values_are_representable_exactly(self):
+        quantizer = StochasticQuantizer(num_bits=3, seed=0)
+        values = np.array([-2.0, 0.0, 2.0])
+        quantized = quantizer.quantize(values)
+        assert quantized[0] == pytest.approx(-2.0)
+        assert quantized[2] == pytest.approx(2.0)
+
+    def test_unbiasedness(self):
+        """Averaged over many stochastic roundings, the quantized value
+        converges to the input (QSGD unbiasedness)."""
+        quantizer = StochasticQuantizer(num_bits=2, seed=3)
+        values = np.array([0.3, -0.7, 1.0, 0.05])
+        total = np.zeros_like(values)
+        repeats = 4000
+        for _ in range(repeats):
+            total += quantizer.quantize(values)
+        np.testing.assert_allclose(total / repeats, values, atol=0.02)
+
+    def test_more_bits_means_lower_error(self):
+        values = np.random.default_rng(1).normal(size=2000)
+        errors = {}
+        for bits in (2, 4, 8):
+            quantizer = StochasticQuantizer(num_bits=bits, seed=0)
+            errors[bits] = float(np.abs(values - quantizer.quantize(values)).mean())
+        assert errors[8] < errors[4] < errors[2]
+
+    def test_element_cost(self):
+        assert StochasticQuantizer(num_bits=8).element_cost == pytest.approx(0.25)
+        assert StochasticQuantizer(num_bits=32).element_cost == pytest.approx(1.0)
+
+    def test_quantization_error_plus_quantized_reconstructs(self):
+        quantizer = StochasticQuantizer(num_bits=4, seed=5)
+        values = np.random.default_rng(2).normal(size=100)
+        rng = np.random.default_rng(7)
+        quantized = quantizer.quantize(values, rng=np.random.default_rng(7))
+        error = quantizer.quantization_error(values, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(quantized + error, values, atol=1e-12)
+
+    @given(values=hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                             elements=st.floats(-1e4, 1e4, allow_nan=False)),
+           bits=st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_property_levels_and_range(self, values, bits):
+        """Quantized output uses at most 2^bits - 1 + 1 distinct levels and
+        never exceeds the input range."""
+        quantizer = StochasticQuantizer(num_bits=bits, seed=0)
+        quantized = quantizer.quantize(values)
+        assert np.unique(quantized).size <= (1 << bits)
+        assert np.abs(quantized).max() <= np.abs(values).max() + 1e-9
+
+
+class TestQuantizedSparse:
+    def test_indices_preserved_and_size_reduced(self):
+        sparse = SparseGradient(np.array([3, 10, 40]), np.array([0.5, -2.0, 1.0]), 100)
+        quantizer = StochasticQuantizer(num_bits=8, seed=0)
+        quantized, comm_size = quantize_sparse(sparse, quantizer)
+        np.testing.assert_array_equal(quantized.indices, sparse.indices)
+        assert comm_size < sparse.comm_size
+        assert comm_size == pytest.approx(3 * 1.25 + 1.0)
+
+    def test_empty_sparse(self):
+        quantizer = StochasticQuantizer(num_bits=8, seed=0)
+        quantized, comm_size = quantize_sparse(SparseGradient.empty(10), quantizer)
+        assert quantized.nnz == 0
+        assert comm_size == 0.0
+
+
+class TestQuantizedComplexity:
+    def test_bandwidth_factor(self):
+        assert quantized_bandwidth(100.0, 8) == pytest.approx(100.0 * (1 + 0.25) / 2)
+        assert quantized_bandwidth(100.0, 32) == pytest.approx(100.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantized_bandwidth(100.0, 0)
+
+    def test_quantized_complexity_keeps_latency(self):
+        bound = spardl_complexity(14, 10 ** 6, 10 ** 4)
+        combined = quantized_complexity(bound, 8)
+        assert combined.latency_rounds == bound.latency_rounds
+        assert combined.bandwidth_high == pytest.approx(bound.bandwidth_high * 0.625)
+        assert "8bit" in combined.method
+
+    def test_combining_with_spardl_reduces_predicted_time(self):
+        bound = spardl_complexity(14, 10 ** 6, 10 ** 4)
+        combined = quantized_complexity(bound, 4)
+        assert combined.time(1e-3, 1e-8) < bound.time(1e-3, 1e-8)

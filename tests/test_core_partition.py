@@ -1,0 +1,131 @@
+"""Unit tests for the SRS bag partitioning (Section III-B, Theorem 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.partition import (
+    held_blocks_before_step,
+    last_bag_capacity_shortfall,
+    plan_bags,
+    transmission_distances,
+)
+
+
+class TestPlanBags:
+    def test_paper_example_worker_1_of_6(self):
+        # Example 1 of the paper (worker 1 of 6, 0-indexed here as worker 0):
+        # preservation bag {own block}, then bags of sizes 1, 2 and the
+        # remaining E = 2 blocks.
+        plan = plan_bags(0, 6)
+        assert plan.preserved == 0
+        assert plan.sending_bags == ((1,), (2, 3), (4, 5))
+
+    def test_all_blocks_covered_exactly_once(self):
+        for num_blocks in range(1, 20):
+            for worker in range(num_blocks):
+                plan = plan_bags(worker, num_blocks)
+                blocks = plan.all_blocks()
+                assert sorted(blocks) == list(range(num_blocks))
+
+    def test_number_of_bags_is_ceil_log2(self):
+        for num_blocks in range(2, 33):
+            plan = plan_bags(0, num_blocks)
+            assert plan.num_steps == math.ceil(math.log2(num_blocks))
+
+    def test_bag_sizes_are_powers_of_two_except_last(self):
+        plan = plan_bags(3, 13)
+        sizes = [len(bag) for bag in plan.sending_bags]
+        for index, size in enumerate(sizes[:-1]):
+            assert size == 1 << index
+        assert sizes[-1] == 13 - (1 << (len(sizes) - 1))
+
+    def test_single_block_has_no_sending_bags(self):
+        plan = plan_bags(0, 1)
+        assert plan.num_steps == 0
+        assert plan.all_blocks() == [0]
+
+    def test_blocks_wrap_circularly(self):
+        plan = plan_bags(4, 6)
+        assert plan.preserved == 4
+        assert plan.sending_bags == ((5,), (0, 1), (2, 3))
+
+    def test_bag_for_step_reverses_order(self):
+        # Transmission sends the *last* bag first.
+        plan = plan_bags(0, 8)
+        assert plan.bag_for_step(1) == plan.sending_bags[-1]
+        assert plan.bag_for_step(plan.num_steps) == plan.sending_bags[0]
+
+    def test_bag_for_step_out_of_range(self):
+        plan = plan_bags(0, 8)
+        with pytest.raises(ValueError):
+            plan.bag_for_step(0)
+        with pytest.raises(ValueError):
+            plan.bag_for_step(plan.num_steps + 1)
+
+    def test_invalid_worker(self):
+        with pytest.raises(ValueError):
+            plan_bags(6, 6)
+        with pytest.raises(ValueError):
+            plan_bags(-1, 6)
+
+    def test_invalid_num_blocks(self):
+        with pytest.raises(ValueError):
+            plan_bags(0, 0)
+
+
+class TestTransmissionDistances:
+    def test_paper_example_distances_for_6_workers(self):
+        # Example 2: distances 4, 2, 1.
+        assert transmission_distances(6) == [4, 2, 1]
+
+    def test_power_of_two(self):
+        assert transmission_distances(8) == [4, 2, 1]
+
+    def test_single_worker(self):
+        assert transmission_distances(1) == []
+
+    def test_distances_are_decreasing_powers_of_two(self):
+        for num_blocks in range(2, 30):
+            distances = transmission_distances(num_blocks)
+            assert all(d == 1 << i for i, d in enumerate(reversed(distances)))
+
+
+class TestLastBagShortfall:
+    def test_power_of_two_has_no_shortfall(self):
+        for num_blocks in (2, 4, 8, 16):
+            assert last_bag_capacity_shortfall(num_blocks) == 0
+
+    def test_paper_example(self):
+        # 6 workers: E = 6 - 4 = 2 filled of capacity 4 -> shortfall 2.
+        assert last_bag_capacity_shortfall(6) == 2
+
+    def test_single_block(self):
+        assert last_bag_capacity_shortfall(1) == 0
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("num_blocks", [2, 3, 4, 5, 6, 7, 8, 11, 14, 16])
+    def test_sent_blocks_are_subset_of_receiver_holdings(self, num_blocks):
+        """Theorem 1: at each step the ranks of the blocks in the sending bag
+        are a subset of the blocks held by the receiving worker."""
+        distances = transmission_distances(num_blocks)
+        for worker in range(num_blocks):
+            plan = plan_bags(worker, num_blocks)
+            for step, distance in enumerate(distances, start=1):
+                receiver = (worker + distance) % num_blocks
+                sent = set(plan.bag_for_step(step))
+                held = held_blocks_before_step(receiver, num_blocks, step)
+                assert sent <= held, (
+                    f"step {step}: worker {worker} sends {sent} but receiver "
+                    f"{receiver} holds {held}"
+                )
+
+    @pytest.mark.parametrize("num_blocks", [2, 3, 5, 6, 8, 14])
+    def test_each_worker_ends_holding_only_its_block(self, num_blocks):
+        for worker in range(num_blocks):
+            plan = plan_bags(worker, num_blocks)
+            held = held_blocks_before_step(worker, num_blocks, plan.num_steps + 1)
+            assert held == {worker}

@@ -1,0 +1,136 @@
+"""Unit tests for residual collection policies (Section III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.residuals import ResidualManager, ResidualPolicy, ResidualStore
+from repro.sparse.vector import SparseGradient
+
+
+class TestResidualPolicy:
+    def test_coerce_from_string(self):
+        assert ResidualPolicy.coerce("global") is ResidualPolicy.GLOBAL
+        assert ResidualPolicy.coerce("PARTIAL") is ResidualPolicy.PARTIAL
+        assert ResidualPolicy.coerce(ResidualPolicy.LOCAL) is ResidualPolicy.LOCAL
+
+    def test_coerce_invalid(self):
+        with pytest.raises(ValueError):
+            ResidualPolicy.coerce("bogus")
+
+
+class TestResidualStore:
+    def test_add_dense_with_offset(self):
+        store = ResidualStore(6)
+        store.add_dense(np.array([1.0, 2.0]), offset=2)
+        np.testing.assert_allclose(store.peek(), [0, 0, 1, 2, 0, 0])
+
+    def test_add_sparse_with_share(self):
+        store = ResidualStore(4)
+        sparse = SparseGradient(np.array([1, 3]), np.array([2.0, 4.0]), 4)
+        store.add_sparse(sparse, share=0.5)
+        np.testing.assert_allclose(store.peek(), [0, 1, 0, 2])
+
+    def test_drain_resets(self):
+        store = ResidualStore(3)
+        store.add_dense(np.ones(3))
+        drained = store.drain()
+        np.testing.assert_allclose(drained, [1, 1, 1])
+        np.testing.assert_allclose(store.peek(), [0, 0, 0])
+
+    def test_accumulates_across_adds(self):
+        store = ResidualStore(2)
+        store.add_dense(np.array([1.0, 0.0]))
+        store.add_dense(np.array([2.0, 1.0]))
+        np.testing.assert_allclose(store.peek(), [3, 1])
+
+    def test_norm(self):
+        store = ResidualStore(2)
+        store.add_dense(np.array([3.0, 4.0]))
+        assert store.norm() == pytest.approx(5.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ResidualStore(0)
+
+
+class TestResidualManagerApply:
+    def test_apply_adds_and_clears(self):
+        manager = ResidualManager(2, 3, ResidualPolicy.GLOBAL)
+        manager.collect_local(0, np.array([1.0, 0.0, 0.0]))
+        corrected = manager.apply({0: np.zeros(3), 1: np.ones(3)})
+        np.testing.assert_allclose(corrected[0], [1, 0, 0])
+        np.testing.assert_allclose(corrected[1], [1, 1, 1])
+        # second apply returns the raw gradient: stores were drained
+        corrected = manager.apply({0: np.zeros(3), 1: np.zeros(3)})
+        np.testing.assert_allclose(corrected[0], [0, 0, 0])
+
+
+class TestResidualManagerPolicies:
+    def _dropped(self):
+        return SparseGradient(np.array([1]), np.array([5.0]), 4)
+
+    def test_global_collects_procedure_discards_immediately(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.GLOBAL)
+        manager.collect_procedure(0, self._dropped())
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 5, 0, 0])
+
+    def test_partial_defers_until_finalize(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.PARTIAL)
+        manager.collect_procedure(0, self._dropped())
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 0, 0, 0])
+        # Index 1 absent from the final gradient -> end-procedure residual, kept.
+        manager.finalize(final_indices=[2, 3])
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 5, 0, 0])
+
+    def test_partial_drops_in_procedure_residuals(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.PARTIAL)
+        manager.collect_procedure(0, self._dropped())
+        # Index 1 present in the final gradient -> in-procedure residual, lost.
+        manager.finalize(final_indices=[1, 2])
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 0, 0, 0])
+
+    def test_local_ignores_procedure_discards(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.LOCAL)
+        manager.collect_procedure(0, self._dropped())
+        manager.finalize(final_indices=[])
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 0, 0, 0])
+
+    def test_local_keeps_local_discards(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.LOCAL)
+        manager.collect_local(0, np.array([0.0, 1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 1, 0, 0])
+
+    def test_none_ignores_everything(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.NONE)
+        manager.collect_local(0, np.ones(4))
+        manager.collect_procedure(0, self._dropped())
+        manager.finalize(final_indices=[])
+        np.testing.assert_allclose(manager.total_residual(), np.zeros(4))
+
+    def test_share_is_applied(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.GLOBAL)
+        manager.collect_procedure(1, self._dropped(), share=0.25)
+        np.testing.assert_allclose(manager.store(1).peek(), [0, 1.25, 0, 0])
+
+    def test_total_residual_sums_workers(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.GLOBAL)
+        manager.collect_local(0, np.array([1.0, 0, 0, 0]))
+        manager.collect_local(1, np.array([0.0, 2.0, 0, 0]))
+        np.testing.assert_allclose(manager.total_residual(), [1, 2, 0, 0])
+
+    def test_residual_norms(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.GLOBAL)
+        manager.collect_local(0, np.array([3.0, 4.0, 0, 0]))
+        norms = manager.residual_norms()
+        assert norms[0] == pytest.approx(5.0)
+        assert norms[1] == 0.0
+
+    def test_string_policy_accepted(self):
+        manager = ResidualManager(1, 4, "partial")
+        assert manager.policy is ResidualPolicy.PARTIAL
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ResidualManager(0, 4)

@@ -1,0 +1,244 @@
+"""Unit tests for Spar-All-Gather (R-SAG, B-SAG) and the h controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.cluster import SimulatedCluster
+from repro.core.residuals import ResidualManager, ResidualPolicy
+from repro.core.sag import (
+    CompressionRatioController,
+    b_sag,
+    cross_team_groups,
+    r_sag,
+)
+from repro.core.spardl import make_teams
+from repro.sparse.vector import SparseGradient
+
+
+def make_blocks(teams, num_elements, nnz, seed=0):
+    """One sparse block per worker, all restricted to that worker's position."""
+    rng = np.random.default_rng(seed)
+    blocks = {}
+    team_size = len(teams[0])
+    block_size = num_elements // team_size
+    for team in teams:
+        for position, rank in enumerate(team):
+            lo = position * block_size
+            indices = lo + rng.choice(block_size, size=nnz, replace=False)
+            values = rng.normal(size=nnz)
+            blocks[rank] = SparseGradient(np.sort(indices), values, num_elements)
+    return blocks
+
+
+class TestCrossTeamGroups:
+    def test_groups_by_position(self):
+        teams = [[0, 1, 2], [3, 4, 5]]
+        assert cross_team_groups(teams) == [[0, 3], [1, 4], [2, 5]]
+
+    def test_single_team(self):
+        assert cross_team_groups([[0, 1]]) == [[0], [1]]
+
+    def test_unequal_teams_rejected(self):
+        with pytest.raises(ValueError):
+            cross_team_groups([[0, 1], [2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_team_groups([])
+
+
+class TestCompressionRatioController:
+    def test_initial_h_is_k_over_p(self):
+        controller = CompressionRatioController(k=140, num_workers=14, num_teams=7)
+        assert controller.h == max(1, round(140 / 14))
+
+    def test_h_bounded_by_range(self):
+        controller = CompressionRatioController(k=100, num_workers=10, num_teams=5)
+        for _ in range(200):
+            controller.update(observed_nnz=0)  # always too few -> push h up
+        assert controller.h <= round(controller.h_max)
+        for _ in range(200):
+            controller.update(observed_nnz=10 ** 9)  # always too many -> push h down
+        assert controller.h >= max(1, round(controller.h_min))
+
+    def test_step_doubles_after_two_moves_in_same_direction(self):
+        controller = CompressionRatioController(k=1000, num_workers=10, num_teams=5)
+        first = abs(controller.step)
+        controller.update(observed_nnz=0)  # same direction, sets flag
+        assert abs(controller.step) == pytest.approx(first)
+        controller.update(observed_nnz=0)  # same direction again -> double
+        assert abs(controller.step) == pytest.approx(2 * first)
+
+    def test_step_halves_and_reverses_on_crossing(self):
+        controller = CompressionRatioController(k=1000, num_workers=10, num_teams=5)
+        magnitude = abs(controller.step)
+        controller.update(observed_nnz=10 ** 9)  # crossed the target -> reverse and halve
+        assert controller.step == pytest.approx(-magnitude / 2)
+
+    def test_target_is_L(self):
+        controller = CompressionRatioController(k=140, num_workers=14, num_teams=7)
+        assert controller.target == pytest.approx(7 * 140 / 14)
+
+    def test_history_records_every_update(self):
+        controller = CompressionRatioController(k=100, num_workers=10, num_teams=2)
+        for step in range(5):
+            controller.update(observed_nnz=step * 10)
+        assert len(controller.history) == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CompressionRatioController(k=0, num_workers=4, num_teams=2)
+        with pytest.raises(ValueError):
+            CompressionRatioController(k=10, num_workers=4, num_teams=8)
+
+    def test_converges_towards_target_under_proportional_feedback(self):
+        """With the observed count proportional to h (a reasonable model of
+        B-SAG), the controller drives the count towards L."""
+        controller = CompressionRatioController(k=500, num_workers=10, num_teams=5)
+        overlap = 2.2  # observed nnz ~= overlap * h
+        observed = overlap * controller.h
+        for _ in range(60):
+            controller.update(observed)
+            observed = overlap * controller.h
+        assert abs(observed - controller.target) / controller.target < 0.35
+
+
+class TestRSAG:
+    @pytest.mark.parametrize("num_teams", [1, 2, 4])
+    def test_groups_hold_identical_blocks(self, num_teams):
+        num_workers = 8
+        cluster = SimulatedCluster(num_workers)
+        teams = make_teams(num_workers, num_teams)
+        blocks = make_blocks(teams, 80, nnz=5)
+        residuals = ResidualManager(num_workers, 80, ResidualPolicy.GLOBAL)
+        output = r_sag(cluster, teams, blocks, keep=5, residuals=residuals)
+        for group in cross_team_groups(teams):
+            reference = output.blocks[group[0]].to_dense()
+            for rank in group[1:]:
+                np.testing.assert_allclose(output.blocks[rank].to_dense(), reference)
+
+    def test_requires_power_of_two_teams(self):
+        cluster = SimulatedCluster(6)
+        teams = make_teams(6, 3)
+        blocks = make_blocks(teams, 60, nnz=3)
+        residuals = ResidualManager(6, 60)
+        with pytest.raises(ValueError):
+            r_sag(cluster, teams, blocks, keep=3, residuals=residuals)
+
+    def test_round_count_is_log2_d(self):
+        cluster = SimulatedCluster(8)
+        teams = make_teams(8, 4)
+        blocks = make_blocks(teams, 80, nnz=4)
+        residuals = ResidualManager(8, 80)
+        output = r_sag(cluster, teams, blocks, keep=4, residuals=residuals)
+        assert output.num_steps == 2
+        assert cluster.stats.rounds == 2
+
+    def test_keep_bound_respected(self):
+        cluster = SimulatedCluster(8)
+        teams = make_teams(8, 4)
+        blocks = make_blocks(teams, 80, nnz=6)
+        residuals = ResidualManager(8, 80)
+        output = r_sag(cluster, teams, blocks, keep=4, residuals=residuals)
+        assert all(block.nnz <= 4 for block in output.blocks.values())
+
+    def test_conservation_with_global_residuals(self):
+        num_workers, num_elements = 8, 80
+        cluster = SimulatedCluster(num_workers)
+        teams = make_teams(num_workers, 4)
+        blocks = make_blocks(teams, num_elements, nnz=6, seed=5)
+        residuals = ResidualManager(num_workers, num_elements, ResidualPolicy.GLOBAL)
+        output = r_sag(cluster, teams, blocks, keep=3, residuals=residuals)
+        # Sum over one member per group (groups duplicate data) plus residuals
+        # equals the sum of all team contributions.
+        total_input = np.zeros(num_elements)
+        for rank, block in blocks.items():
+            total_input += block.to_dense()
+        groups = cross_team_groups(teams)
+        total_output = np.zeros(num_elements)
+        for group in groups:
+            total_output += output.blocks[group[0]].to_dense()
+        np.testing.assert_allclose(total_output + residuals.total_residual(), total_input,
+                                   atol=1e-9)
+
+    def test_single_team_is_noop(self):
+        cluster = SimulatedCluster(4)
+        teams = make_teams(4, 1)
+        blocks = make_blocks(teams, 40, nnz=3)
+        residuals = ResidualManager(4, 40)
+        output = r_sag(cluster, teams, blocks, keep=3, residuals=residuals)
+        assert cluster.stats.rounds == 0
+        for rank in range(4):
+            np.testing.assert_allclose(output.blocks[rank].to_dense(),
+                                       blocks[rank].to_dense())
+
+
+class TestBSAG:
+    @pytest.mark.parametrize("num_teams", [2, 3, 7])
+    def test_groups_hold_identical_blocks(self, num_teams):
+        num_workers = 14 if num_teams == 7 else num_teams * 2
+        cluster = SimulatedCluster(num_workers)
+        teams = make_teams(num_workers, num_teams)
+        blocks = make_blocks(teams, 140, nnz=5)
+        residuals = ResidualManager(num_workers, 140, ResidualPolicy.GLOBAL)
+        output = b_sag(cluster, teams, blocks, keep=5, h=5, residuals=residuals)
+        for group in cross_team_groups(teams):
+            reference = output.blocks[group[0]].to_dense()
+            for rank in group[1:]:
+                np.testing.assert_allclose(output.blocks[rank].to_dense(), reference)
+
+    def test_works_for_non_power_of_two_team_counts(self):
+        cluster = SimulatedCluster(6)
+        teams = make_teams(6, 3)
+        blocks = make_blocks(teams, 60, nnz=4)
+        residuals = ResidualManager(6, 60)
+        output = b_sag(cluster, teams, blocks, keep=4, h=3, residuals=residuals)
+        assert all(block.nnz <= 4 for block in output.blocks.values())
+
+    def test_h_limits_pre_exchange_size(self):
+        cluster = SimulatedCluster(6)
+        teams = make_teams(6, 3)
+        blocks = make_blocks(teams, 60, nnz=10)
+        residuals = ResidualManager(6, 60)
+        h = 2
+        b_sag(cluster, teams, blocks, keep=4, h=h, residuals=residuals)
+        # Bruck all-gather of d=3 teams: busiest receiver gets (d-1) blocks of
+        # at most h entries (2 elements each in COO form).
+        assert cluster.stats.max_received <= 2 * h * 2 + 1e-9
+
+    def test_merged_nnz_reported(self):
+        cluster = SimulatedCluster(6)
+        teams = make_teams(6, 3)
+        blocks = make_blocks(teams, 60, nnz=4)
+        residuals = ResidualManager(6, 60)
+        output = b_sag(cluster, teams, blocks, keep=4, h=4, residuals=residuals)
+        assert output.merged_nnz_max >= output.merged_nnz_mean > 0
+        assert output.h_used == 4
+
+    def test_conservation_with_global_residuals(self):
+        num_workers, num_elements = 6, 90
+        cluster = SimulatedCluster(num_workers)
+        teams = make_teams(num_workers, 3)
+        blocks = make_blocks(teams, num_elements, nnz=6, seed=11)
+        residuals = ResidualManager(num_workers, num_elements, ResidualPolicy.GLOBAL)
+        output = b_sag(cluster, teams, blocks, keep=3, h=4, residuals=residuals)
+        total_input = np.zeros(num_elements)
+        for block in blocks.values():
+            total_input += block.to_dense()
+        total_output = np.zeros(num_elements)
+        for group in cross_team_groups(teams):
+            total_output += output.blocks[group[0]].to_dense()
+        np.testing.assert_allclose(total_output + residuals.total_residual(), total_input,
+                                   atol=1e-9)
+
+    def test_invalid_arguments(self):
+        cluster = SimulatedCluster(4)
+        teams = make_teams(4, 2)
+        blocks = make_blocks(teams, 40, nnz=3)
+        residuals = ResidualManager(4, 40)
+        with pytest.raises(ValueError):
+            b_sag(cluster, teams, blocks, keep=0, h=2, residuals=residuals)
+        with pytest.raises(ValueError):
+            b_sag(cluster, teams, blocks, keep=2, h=0, residuals=residuals)

@@ -1,0 +1,194 @@
+"""Unit tests for datasets, loaders, sharding and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DataLoader, Dataset, TaskType, shard_dataset, train_test_split
+from repro.data.synthetic import (
+    synthetic_image_classification,
+    synthetic_image_regression,
+    synthetic_language_modeling,
+    synthetic_masked_lm,
+    synthetic_text_classification,
+)
+
+
+class TestDataset:
+    def test_length(self):
+        dataset = Dataset(np.zeros((10, 3)), np.zeros(10), TaskType.IMAGE_REGRESSION)
+        assert len(dataset) == 10
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((10, 3)), np.zeros(5), TaskType.IMAGE_REGRESSION)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((0, 3)), np.zeros(0), TaskType.IMAGE_REGRESSION)
+
+    def test_subset(self):
+        dataset = Dataset(np.arange(10).reshape(10, 1), np.arange(10),
+                          TaskType.IMAGE_REGRESSION)
+        sub = dataset.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert sub.inputs[1, 0] == 3
+
+    def test_batch_slicing(self):
+        dataset = Dataset(np.arange(10).reshape(10, 1), np.arange(10),
+                          TaskType.IMAGE_REGRESSION)
+        inputs, targets = dataset.batch(2, 5)
+        assert inputs.shape[0] == 3
+        assert targets[0] == 2
+
+    def test_task_type_flags(self):
+        assert TaskType.IMAGE_CLASSIFICATION.is_classification
+        assert not TaskType.LANGUAGE_MODELING.is_classification
+        assert TaskType.MASKED_LM.is_sequence
+        assert not TaskType.IMAGE_REGRESSION.is_sequence
+
+
+class TestSplitAndShard:
+    def _dataset(self, n=20):
+        return Dataset(np.arange(n).reshape(n, 1), np.arange(n), TaskType.IMAGE_REGRESSION)
+
+    def test_train_test_split_sizes(self):
+        train, test = train_test_split(self._dataset(20), test_fraction=0.25, seed=0)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_is_a_partition(self):
+        train, test = train_test_split(self._dataset(20), test_fraction=0.3, seed=1)
+        together = sorted(train.inputs[:, 0].tolist() + test.inputs[:, 0].tolist())
+        assert together == list(range(20))
+
+    def test_split_deterministic_for_seed(self):
+        a_train, _ = train_test_split(self._dataset(20), seed=5)
+        b_train, _ = train_test_split(self._dataset(20), seed=5)
+        np.testing.assert_array_equal(a_train.inputs, b_train.inputs)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(self._dataset(), test_fraction=0.0)
+
+    def test_shards_are_disjoint_and_complete(self):
+        dataset = self._dataset(21)
+        shards = [shard_dataset(dataset, 4, w) for w in range(4)]
+        seen = sorted(x for shard in shards for x in shard.inputs[:, 0].tolist())
+        assert seen == list(range(21))
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_validation(self):
+        dataset = self._dataset(4)
+        with pytest.raises(ValueError):
+            shard_dataset(dataset, 0, 0)
+        with pytest.raises(ValueError):
+            shard_dataset(dataset, 2, 2)
+        with pytest.raises(ValueError):
+            shard_dataset(dataset, 8, 0)  # fewer samples than shards
+
+
+class TestDataLoader:
+    def _dataset(self, n=10):
+        return Dataset(np.arange(n).reshape(n, 1), np.arange(n), TaskType.IMAGE_REGRESSION)
+
+    def test_batch_count(self):
+        loader = DataLoader(self._dataset(10), batch_size=3)
+        assert len(loader) == 4
+        loader = DataLoader(self._dataset(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+
+    def test_iterates_all_samples(self):
+        loader = DataLoader(self._dataset(10), batch_size=3, shuffle=True, seed=0)
+        seen = [int(x) for inputs, _ in loader for x in inputs[:, 0]]
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order_but_not_content(self):
+        loader = DataLoader(self._dataset(10), batch_size=10, shuffle=True, seed=3)
+        first_pass = next(iter(loader))[0][:, 0].tolist()
+        assert sorted(first_pass) == list(range(10))
+        assert first_pass != list(range(10))
+
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(self._dataset(6), batch_size=2, shuffle=False)
+        batches = [inputs[:, 0].tolist() for inputs, _ in loader]
+        assert batches == [[0, 1], [2, 3], [4, 5]]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+
+class TestSyntheticGenerators:
+    def test_image_classification_shapes_and_labels(self):
+        dataset = synthetic_image_classification(num_samples=50, num_classes=7,
+                                                 image_size=8, seed=0)
+        assert dataset.inputs.shape == (50, 3, 8, 8)
+        assert dataset.targets.min() >= 0 and dataset.targets.max() < 7
+        assert dataset.task is TaskType.IMAGE_CLASSIFICATION
+
+    def test_image_classification_deterministic(self):
+        a = synthetic_image_classification(num_samples=10, seed=3)
+        b = synthetic_image_classification(num_samples=10, seed=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_image_classification_has_class_signal(self):
+        dataset = synthetic_image_classification(num_samples=200, num_classes=2,
+                                                 image_size=8, noise=0.1, seed=0)
+        class0 = dataset.inputs[dataset.targets == 0].mean(axis=0)
+        class1 = dataset.inputs[dataset.targets == 1].mean(axis=0)
+        assert np.abs(class0 - class1).mean() > 0.1
+
+    def test_image_regression_shapes(self):
+        dataset = synthetic_image_regression(num_samples=30, image_size=8, seed=0)
+        assert dataset.inputs.shape == (30, 3, 8, 8)
+        assert dataset.targets.shape == (30, 1)
+        assert dataset.task is TaskType.IMAGE_REGRESSION
+
+    def test_text_classification_tokens_in_vocab(self):
+        dataset = synthetic_text_classification(num_samples=40, vocab_size=30,
+                                                sequence_length=12, seed=0)
+        assert dataset.inputs.shape == (40, 12)
+        assert dataset.inputs.max() < 30
+        assert set(np.unique(dataset.targets)) <= {0, 1}
+
+    def test_text_classification_class_conditional_distributions_differ(self):
+        dataset = synthetic_text_classification(num_samples=400, vocab_size=20,
+                                                num_classes=2, signal=5.0, seed=0)
+        tokens0 = dataset.inputs[dataset.targets == 0].ravel()
+        tokens1 = dataset.inputs[dataset.targets == 1].ravel()
+        hist0 = np.bincount(tokens0, minlength=20) / tokens0.size
+        hist1 = np.bincount(tokens1, minlength=20) / tokens1.size
+        assert np.abs(hist0 - hist1).sum() > 0.3
+
+    def test_language_modeling_targets_are_shifted_inputs(self):
+        dataset = synthetic_language_modeling(num_samples=20, vocab_size=10,
+                                              sequence_length=8, seed=0)
+        np.testing.assert_array_equal(dataset.inputs[:, 1:], dataset.targets[:, :-1])
+
+    def test_masked_lm_mask_structure(self):
+        dataset = synthetic_masked_lm(num_samples=40, vocab_size=20, sequence_length=10,
+                                      mask_fraction=0.2, seed=0)
+        mask_token = 19
+        masked_positions = dataset.inputs == mask_token
+        # Every masked position has a real target; every unmasked position is ignored.
+        assert (dataset.targets[masked_positions] >= 0).all()
+        assert (dataset.targets[~masked_positions] == -1).all()
+        # Every sequence has at least one masked position.
+        assert masked_positions.any(axis=1).all()
+
+    def test_masked_lm_mask_fraction_roughly_respected(self):
+        dataset = synthetic_masked_lm(num_samples=100, vocab_size=30, sequence_length=20,
+                                      mask_fraction=0.15, seed=1)
+        fraction = (dataset.inputs == 29).mean()
+        assert 0.08 < fraction < 0.25
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_image_classification(num_samples=0)
+        with pytest.raises(ValueError):
+            synthetic_text_classification(vocab_size=2, num_classes=2)
+        with pytest.raises(ValueError):
+            synthetic_masked_lm(mask_fraction=0.0)

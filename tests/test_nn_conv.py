@@ -1,0 +1,164 @@
+"""Unit tests for convolution, pooling and batch normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import BatchNorm2d, Conv2d, GlobalAvgPool2d, MaxPool2d, col2im, im2col
+from repro.nn.layers import Flatten, Linear
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+
+from tests.helpers import numerical_gradient_check
+
+
+def _mse(pred, target):
+    return MSELoss()(pred, target)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> (the defining adjoint property)."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, stride=1, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_stride_reduces_output(self):
+        x = np.zeros((1, 1, 8, 8))
+        cols = im2col(x, 2, 2, stride=2, padding=0)
+        assert cols.shape == (16, 4)
+
+
+class TestConv2d:
+    def test_output_shape_same_padding(self):
+        conv = Conv2d(3, 8, 3, stride=1, padding=1, rng=np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_output_shape_stride_two(self):
+        conv = Conv2d(3, 4, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_known_convolution_value(self):
+        conv = Conv2d(1, 1, 3, stride=1, padding=0, rng=np.random.default_rng(0))
+        conv.weight.data[...] = np.ones((1, 1, 3, 3))
+        conv.bias.data[...] = 0.0
+        x = np.ones((1, 1, 3, 3))
+        assert conv.forward(x)[0, 0, 0, 0] == pytest.approx(9.0)
+
+    def test_wrong_channel_count_rejected(self):
+        conv = Conv2d(3, 4, 3)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(
+            Conv2d(2, 3, 3, stride=1, padding=1, rng=rng),
+            Flatten(),
+            Linear(3 * 6 * 6, 2, rng=rng),
+        )
+        x = rng.normal(size=(2, 2, 6, 6))
+        y = rng.normal(size=(2, 2))
+        assert numerical_gradient_check(model, x, _mse, y) < 1e-6
+
+
+class TestPooling:
+    def test_maxpool_selects_maximum(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_gradient_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad[0, 0, 1, 1] == 1.0  # position of value 5
+        assert grad[0, 0, 0, 0] == 0.0
+        assert grad.sum() == 4.0
+
+    def test_maxpool_gradient_check(self):
+        rng = np.random.default_rng(3)
+        model = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=rng),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 3 * 3, 2, rng=rng),
+        )
+        x = rng.normal(size=(2, 1, 6, 6))
+        y = rng.normal(size=(2, 2))
+        assert numerical_gradient_check(model, x, _mse, y) < 1e-6
+
+    def test_global_avg_pool(self):
+        pool = GlobalAvgPool2d()
+        x = np.arange(8.0).reshape(1, 2, 2, 2)
+        out = pool.forward(x)
+        np.testing.assert_allclose(out, [[1.5, 5.5]])
+        grad = pool.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(grad, np.full((1, 2, 2, 2), 0.25))
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self):
+        norm = BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(loc=2.0, scale=4.0, size=(8, 3, 5, 5))
+        out = norm.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated_in_training_only(self):
+        norm = BatchNorm2d(2, momentum=0.5)
+        x = np.random.default_rng(1).normal(loc=3.0, size=(4, 2, 4, 4))
+        norm.forward(x)
+        mean_after_train = norm.running_mean.copy()
+        norm.eval()
+        norm.forward(x)
+        np.testing.assert_array_equal(norm.running_mean, mean_after_train)
+
+    def test_eval_uses_running_stats(self):
+        norm = BatchNorm2d(1, momentum=0.0)
+        x = np.full((2, 1, 2, 2), 4.0)
+        norm.forward(x + np.random.default_rng(0).normal(scale=0.1, size=x.shape))
+        norm.eval()
+        out = norm.forward(x)
+        assert np.isfinite(out).all()
+
+    def test_gradient_check_in_training_mode(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2d(1, 2, 3, padding=1, rng=rng)
+        norm = BatchNorm2d(2)
+        model = Sequential(conv, norm, Flatten(), Linear(2 * 4 * 4, 2, rng=rng))
+        x = rng.normal(size=(3, 1, 4, 4))
+        y = rng.normal(size=(3, 2))
+
+        # Keep batch-norm in training mode (batch statistics) for the check.
+        model.train()
+        outputs = model.forward(x)
+        _, grad_output = _mse(outputs, y)
+        model.zero_grad()
+        model.backward(grad_output)
+        analytic = norm.gamma.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(analytic)
+        for index in range(analytic.size):
+            norm.gamma.data[index] += eps
+            loss_plus, _ = _mse(model.forward(x), y)
+            norm.gamma.data[index] -= 2 * eps
+            loss_minus, _ = _mse(model.forward(x), y)
+            norm.gamma.data[index] += eps
+            numeric[index] = (loss_plus - loss_minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)

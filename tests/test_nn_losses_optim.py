@@ -1,0 +1,207 @@
+"""Unit tests for losses, metrics, optimisers and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.losses import CrossEntropyLoss, MSELoss, accuracy, perplexity
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD, ConstantLRSchedule, StepLRSchedule
+from repro.nn.parameter import Parameter, flatten_values
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        targets = np.arange(4) % 10
+        loss, _ = loss_fn(logits, targets)
+        assert loss == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = loss_fn(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.array([[1.0, 2.0, 3.0]])
+        targets = np.array([0])
+        _, grad = loss_fn(logits, targets)
+        exp = np.exp(logits - logits.max())
+        probabilities = exp / exp.sum()
+        expected = probabilities.copy()
+        expected[0, 0] -= 1.0
+        np.testing.assert_allclose(grad, expected)
+
+    def test_gradient_numerical_check(self):
+        rng = np.random.default_rng(0)
+        loss_fn = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 5))
+        targets = rng.integers(0, 5, size=3)
+        _, grad = loss_fn(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                logits[i, j] += eps
+                plus, _ = loss_fn(logits, targets)
+                logits[i, j] -= 2 * eps
+                minus, _ = loss_fn(logits, targets)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-6)
+
+    def test_sequence_logits_supported(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((2, 4, 6))
+        targets = np.zeros((2, 4), dtype=int)
+        loss, grad = loss_fn(logits, targets)
+        assert grad.shape == logits.shape
+        assert loss == pytest.approx(np.log(6))
+
+    def test_ignore_index_masks_positions(self):
+        loss_fn = CrossEntropyLoss(ignore_index=-1)
+        logits = np.zeros((1, 3, 4))
+        logits[0, 0, 2] = 100.0  # ignored position would otherwise dominate
+        targets = np.array([[-1, 1, 1]])
+        loss, grad = loss_fn(logits, targets)
+        assert loss == pytest.approx(np.log(4))
+        np.testing.assert_array_equal(grad[0, 0], np.zeros(4))
+
+    def test_all_ignored_gives_zero(self):
+        loss_fn = CrossEntropyLoss(ignore_index=-1)
+        loss, grad = loss_fn(np.zeros((1, 2, 3)), np.full((1, 2), -1))
+        assert loss == 0.0
+        assert grad.sum() == 0.0
+
+    def test_target_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestMSE:
+    def test_zero_for_exact_prediction(self):
+        loss, grad = MSELoss()(np.ones((2, 1)), np.ones((2, 1)))
+        assert loss == 0.0
+        assert grad.sum() == 0.0
+
+    def test_value_and_gradient(self):
+        predictions = np.array([[1.0], [3.0]])
+        targets = np.array([[0.0], [0.0]])
+        loss, grad = MSELoss()(predictions, targets)
+        assert loss == pytest.approx(5.0)
+        np.testing.assert_allclose(grad, [[1.0], [3.0]])
+
+    def test_accepts_flat_targets(self):
+        loss, _ = MSELoss()(np.zeros((3, 1)), np.zeros(3))
+        assert loss == 0.0
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0], [0.0, 1.0]])
+        targets = np.array([1, 0, 0])
+        assert accuracy(logits, targets) == pytest.approx(2 / 3)
+
+    def test_accuracy_with_ignore_index(self):
+        logits = np.zeros((1, 2, 3))
+        logits[0, :, 0] = 1.0
+        targets = np.array([[0, -1]])
+        assert accuracy(logits, targets) == 1.0
+
+    def test_accuracy_all_ignored(self):
+        assert accuracy(np.zeros((1, 1, 2)), np.array([[-1]])) == 0.0
+
+    def test_perplexity(self):
+        assert perplexity(0.0) == 1.0
+        assert perplexity(np.log(10)) == pytest.approx(10.0)
+        assert np.isfinite(perplexity(1e6))
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        parameter = Parameter(np.array([1.0, 2.0]))
+        parameter.grad[...] = [0.5, 0.5]
+        SGD([parameter], learning_rate=0.1).step()
+        np.testing.assert_allclose(parameter.data, [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], learning_rate=1.0, momentum=0.5)
+        parameter.grad[...] = [1.0]
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [-1.0])
+        parameter.grad[...] = [1.0]
+        optimizer.step()
+        # velocity = 0.5*1 + 1 = 1.5
+        np.testing.assert_allclose(parameter.data, [-2.5])
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad[...] = [0.0]
+        SGD([parameter], learning_rate=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(parameter.data, [1.0 - 0.1 * 0.5])
+
+    def test_flat_gradient_is_scattered(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        optimizer = SGD(model.parameters(), learning_rate=1.0)
+        before = flatten_values(model.parameters())
+        flat = np.ones(model.num_parameters())
+        optimizer.step(flat_gradient=flat)
+        after = flatten_values(model.parameters())
+        np.testing.assert_allclose(after, before - 1.0)
+
+    def test_learning_rate_override(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], learning_rate=1.0)
+        parameter.grad[...] = [1.0]
+        optimizer.step(learning_rate=0.1)
+        np.testing.assert_allclose(parameter.data, [-0.1])
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.array([0.0]))
+        parameter.grad[...] = [1.0]
+        SGD([parameter]).zero_grad()
+        assert parameter.grad.sum() == 0.0
+
+    def test_invalid_hyper_parameters(self):
+        parameter = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([parameter], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], weight_decay=-0.1)
+
+    def test_reduces_loss_on_quadratic(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = SGD([parameter], learning_rate=0.1, momentum=0.5)
+        for _ in range(100):
+            parameter.grad[...] = 2 * parameter.data  # d/dx x^2
+            optimizer.step()
+        assert abs(parameter.data[0]) < 1e-3
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantLRSchedule(0.1)
+        assert schedule.at_epoch(0) == schedule.at_epoch(100) == 0.1
+
+    def test_step_decay(self):
+        schedule = StepLRSchedule(1.0, step_epochs=80, gamma=0.1)
+        assert schedule.at_epoch(0) == 1.0
+        assert schedule.at_epoch(79) == 1.0
+        assert schedule.at_epoch(80) == pytest.approx(0.1)
+        assert schedule.at_epoch(160) == pytest.approx(0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantLRSchedule(0.0)
+        with pytest.raises(ValueError):
+            StepLRSchedule(1.0, step_epochs=0)
+        with pytest.raises(ValueError):
+            StepLRSchedule(1.0, step_epochs=10, gamma=0.0)

@@ -1,0 +1,155 @@
+"""Unit tests for the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.models import (
+    ResidualBlock,
+    build_lstm_classifier,
+    build_lstm_language_model,
+    build_mlp,
+    build_regression_cnn,
+    build_resnet,
+    build_transformer_mlm,
+    build_vgg,
+)
+from repro.nn.optim import SGD
+from repro.nn.parameter import flatten_values
+
+from tests.helpers import numerical_gradient_check
+
+
+class TestBuilders:
+    def test_mlp_shapes(self):
+        model = build_mlp(10, [16, 8], 3, seed=0)
+        out = model.forward(np.zeros((4, 10)))
+        assert out.shape == (4, 3)
+
+    @pytest.mark.parametrize("variant,expected_convs", [("vgg11", 8), ("vgg16", 13), ("vgg19", 16)])
+    def test_vgg_depth_matches_variant(self, variant, expected_convs):
+        from repro.nn.conv import Conv2d
+        model = build_vgg(variant, image_size=16, num_classes=10, seed=0)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        assert len(convs) == expected_convs
+
+    def test_vgg_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_vgg("vgg13")
+
+    def test_vgg_forward_shape(self):
+        model = build_vgg("vgg16", image_size=16, num_classes=10, seed=0)
+        out = model.forward(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 10)
+
+    def test_regression_cnn_single_output(self):
+        model = build_regression_cnn(image_size=16, seed=0)
+        out = model.forward(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 1)
+
+    def test_resnet_forward_shape(self):
+        model = build_resnet((1, 1), num_classes=5, base_width=4, seed=0)
+        out = model.forward(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 5)
+
+    def test_lstm_classifier_shape(self):
+        model = build_lstm_classifier(vocab_size=20, num_classes=3, embedding_dim=8,
+                                      hidden_dim=12, seed=0)
+        out = model.forward(np.zeros((4, 6), dtype=int))
+        assert out.shape == (4, 3)
+
+    def test_lstm_lm_shape(self):
+        model = build_lstm_language_model(vocab_size=20, embedding_dim=8, hidden_dim=12, seed=0)
+        out = model.forward(np.zeros((4, 6), dtype=int))
+        assert out.shape == (4, 6, 20)
+
+    def test_transformer_mlm_shape(self):
+        model = build_transformer_mlm(vocab_size=20, max_length=8, model_dim=16,
+                                      num_heads=2, num_layers=2, seed=0)
+        out = model.forward(np.zeros((3, 8), dtype=int))
+        assert out.shape == (3, 8, 20)
+
+    def test_same_seed_gives_identical_models(self):
+        a = build_vgg("vgg11", seed=7)
+        b = build_vgg("vgg11", seed=7)
+        np.testing.assert_array_equal(flatten_values(a.parameters()),
+                                      flatten_values(b.parameters()))
+
+    def test_different_seeds_give_different_models(self):
+        a = build_mlp(4, [8], 2, seed=1)
+        b = build_mlp(4, [8], 2, seed=2)
+        assert not np.array_equal(flatten_values(a.parameters()),
+                                  flatten_values(b.parameters()))
+
+
+class TestResidualBlock:
+    def test_identity_skip_when_shapes_match(self):
+        from repro.nn.module import Identity
+        block = ResidualBlock(4, 4, stride=1, rng=np.random.default_rng(0))
+        assert isinstance(block.shortcut, Identity)
+
+    def test_projection_skip_when_shapes_differ(self):
+        from repro.nn.conv import Conv2d
+        block = ResidualBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        assert isinstance(block.shortcut, Conv2d)
+
+    def test_forward_backward_shapes(self):
+        block = ResidualBlock(3, 6, stride=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        out = block.forward(x)
+        assert out.shape == (2, 6, 4, 4)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        from repro.nn.layers import Flatten, Linear
+        from repro.nn.module import Sequential
+        model = Sequential(ResidualBlock(2, 2, rng=rng), Flatten(), Linear(2 * 4 * 4, 2, rng=rng))
+        model.eval()  # use running BN stats so finite differences are exact
+        # Warm up the running statistics first.
+        model.train()
+        x = rng.normal(size=(3, 2, 4, 4))
+        model.forward(x)
+        model.eval()
+        y = rng.normal(size=(3, 2))
+        assert numerical_gradient_check(model, x, lambda p, t: MSELoss()(p, t), y) < 1e-5
+
+
+class TestModelsLearn:
+    def test_mlp_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        model = build_mlp(4, [16], 2, seed=0)
+        x = rng.normal(size=(128, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), learning_rate=0.5, momentum=0.9)
+        first_loss = None
+        for _ in range(60):
+            out = model.forward(x)
+            loss, grad = loss_fn(out, y)
+            if first_loss is None:
+                first_loss = loss
+            model.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+        assert loss < first_loss * 0.5
+
+    def test_lstm_lm_learns_repetitive_sequence(self):
+        model = build_lstm_language_model(vocab_size=6, embedding_dim=8, hidden_dim=16, seed=0)
+        # Deterministic cyclic sequence 0,1,2,...: next token is fully predictable.
+        x = np.tile(np.arange(6), (8, 2))[:, :8]
+        targets = np.roll(x, -1, axis=1)
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), learning_rate=2.0, momentum=0.9)
+        losses = []
+        for _ in range(80):
+            out = model.forward(x)
+            loss, grad = loss_fn(out, targets)
+            losses.append(loss)
+            model.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+        assert losses[-1] < losses[0] * 0.25

@@ -1,0 +1,169 @@
+"""Unit tests for Module, Parameter and gradient flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Identity, Module, Sequential
+from repro.nn.parameter import (
+    Parameter,
+    assign_flat_gradients,
+    assign_flat_values,
+    flatten_gradients,
+    flatten_values,
+    parameter_count,
+)
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        parameter = Parameter(np.ones((2, 3)), name="w")
+        assert parameter.grad.shape == (2, 3)
+        assert parameter.grad.sum() == 0.0
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(3))
+        parameter.grad += 5.0
+        parameter.zero_grad()
+        assert parameter.grad.sum() == 0.0
+
+    def test_copy_from(self):
+        a = Parameter(np.zeros(3))
+        b = Parameter(np.ones(3))
+        a.copy_from(b)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_copy_from_shape_mismatch(self):
+        a = Parameter(np.zeros(3))
+        b = Parameter(np.ones(4))
+        with pytest.raises(ValueError):
+            a.copy_from(b)
+
+    def test_size_and_shape(self):
+        parameter = Parameter(np.zeros((2, 5)))
+        assert parameter.size == 10
+        assert parameter.shape == (2, 5)
+
+
+class TestFlattening:
+    def _params(self):
+        return [Parameter(np.arange(4.0).reshape(2, 2), "a"), Parameter(np.ones(3), "b")]
+
+    def test_parameter_count(self):
+        assert parameter_count(self._params()) == 7
+
+    def test_flatten_values_concatenates(self):
+        flat = flatten_values(self._params())
+        np.testing.assert_array_equal(flat, [0, 1, 2, 3, 1, 1, 1])
+
+    def test_flatten_empty(self):
+        assert flatten_values([]).size == 0
+        assert flatten_gradients([]).size == 0
+
+    def test_assign_flat_values_round_trip(self):
+        params = self._params()
+        flat = flatten_values(params) * 2
+        assign_flat_values(params, flat)
+        np.testing.assert_array_equal(flatten_values(params), flat)
+
+    def test_assign_flat_gradients_round_trip(self):
+        params = self._params()
+        grads = np.arange(7.0)
+        assign_flat_gradients(params, grads)
+        np.testing.assert_array_equal(flatten_gradients(params), grads)
+        assert params[0].grad.shape == (2, 2)
+
+    def test_assign_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            assign_flat_values(self._params(), np.zeros(5))
+
+
+class _Composite(Module):
+    """A module with nested children and a parameter list attribute."""
+
+    def __init__(self):
+        super().__init__()
+        self.head = Linear(4, 4, rng=np.random.default_rng(0))
+        self.blocks = [Linear(4, 4, rng=np.random.default_rng(1)), ReLU()]
+        self.extra = Parameter(np.zeros(3), "extra")
+
+    def forward(self, inputs):
+        out = self.head(inputs)
+        for block in self.blocks:
+            out = block(out)
+        return out
+
+    def backward(self, grad):
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.head.backward(grad)
+
+
+class TestModule:
+    def test_parameters_found_recursively_and_in_lists(self):
+        module = _Composite()
+        names = {p.name for p in module.parameters()}
+        assert "extra" in names
+        assert len(module.parameters()) == 5  # 2 linear layers x (W, b) + extra
+
+    def test_num_parameters(self):
+        module = _Composite()
+        assert module.num_parameters() == 4 * 4 + 4 + 4 * 4 + 4 + 3
+
+    def test_modules_iterates_descendants(self):
+        module = _Composite()
+        assert len(list(module.modules())) == 4  # self, head, linear, relu
+
+    def test_zero_grad_clears_all(self):
+        module = _Composite()
+        for parameter in module.parameters():
+            parameter.grad += 1.0
+        module.zero_grad()
+        assert all(p.grad.sum() == 0.0 for p in module.parameters())
+
+    def test_train_eval_propagates(self):
+        module = _Composite()
+        module.eval()
+        assert all(not m.training for m in module.modules())
+        module.train()
+        assert all(m.training for m in module.modules())
+
+    def test_copy_parameters_from(self):
+        a = _Composite()
+        b = _Composite()
+        for parameter in b.parameters():
+            parameter.data += 1.0
+        a.copy_parameters_from(b)
+        np.testing.assert_array_equal(flatten_values(a.parameters()),
+                                      flatten_values(b.parameters()))
+
+    def test_copy_parameters_mismatch_raises(self):
+        a = _Composite()
+        b = Sequential(Linear(2, 2))
+        with pytest.raises(ValueError):
+            a.copy_parameters_from(b)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+        x = rng.normal(size=(4, 3))
+        out = model(x)
+        assert out.shape == (4, 2)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_len_getitem_append(self):
+        model = Sequential(Identity())
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)

@@ -1,0 +1,162 @@
+"""Unit tests for the LSTM and Transformer substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import (
+    LearnedPositionalEmbedding,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+    softmax,
+)
+from repro.nn.layers import Linear
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+from repro.nn.rnn import LSTM, LSTMCell
+
+from tests.helpers import numerical_gradient_check
+
+
+def _mse(pred, target):
+    return MSELoss()(pred, target)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self):
+        cell = LSTMCell(4, 6, rng=np.random.default_rng(0))
+        h, c, cache = cell.step(np.zeros((3, 4)), np.zeros((3, 6)), np.zeros((3, 6)))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(4, 6)
+        np.testing.assert_array_equal(cell.bias.data[6:12], np.ones(6))
+
+    def test_module_interface_gradient_check(self):
+        rng = np.random.default_rng(1)
+        model = Sequential(LSTMCell(4, 5, rng=rng), Linear(5, 2, rng=rng))
+        x = rng.normal(size=(3, 4))
+        y = rng.normal(size=(3, 2))
+        assert numerical_gradient_check(model, x, _mse, y) < 1e-6
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(4, 6, num_layers=2, rng=np.random.default_rng(0))
+        out = lstm.forward(np.zeros((3, 7, 4)))
+        assert out.shape == (3, 7, 6)
+
+    def test_backward_shape(self):
+        lstm = LSTM(4, 6, rng=np.random.default_rng(0))
+        out = lstm.forward(np.random.default_rng(1).normal(size=(3, 7, 4)))
+        grad = lstm.backward(np.ones_like(out))
+        assert grad.shape == (3, 7, 4)
+
+    def test_gradient_check_single_layer(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(LSTM(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        x = rng.normal(size=(2, 5, 3))
+        y = rng.normal(size=(2, 5, 2))
+        assert numerical_gradient_check(model, x, _mse, y, num_checks=30) < 1e-6
+
+    def test_gradient_check_two_layers(self):
+        rng = np.random.default_rng(3)
+        model = Sequential(LSTM(3, 4, num_layers=2, rng=rng), Linear(4, 2, rng=rng))
+        x = rng.normal(size=(2, 4, 3))
+        y = rng.normal(size=(2, 4, 2))
+        assert numerical_gradient_check(model, x, _mse, y, num_checks=30) < 1e-6
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            LSTM(3, 4, num_layers=0)
+
+    def test_sequence_order_matters(self):
+        """The LSTM is genuinely recurrent: permuting time steps changes the
+        final hidden state."""
+        lstm = LSTM(3, 4, rng=np.random.default_rng(4))
+        x = np.random.default_rng(5).normal(size=(1, 6, 3))
+        out = lstm.forward(x)[:, -1, :]
+        out_reversed = lstm.forward(x[:, ::-1, :])[:, -1, :]
+        assert not np.allclose(out, out_reversed)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        values = np.random.default_rng(0).normal(size=(3, 5))
+        out = softmax(values)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    def test_numerically_stable_for_large_inputs(self):
+        out = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attention = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        out = attention.forward(np.zeros((2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_model_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(6)
+        model = Sequential(MultiHeadSelfAttention(6, 2, rng=rng), Linear(6, 2, rng=rng))
+        x = rng.normal(size=(2, 4, 6))
+        y = rng.normal(size=(2, 4, 2))
+        assert numerical_gradient_check(model, x, _mse, y, num_checks=30) < 1e-6
+
+    def test_attention_mixes_positions(self):
+        """Changing one timestep changes the output at other timesteps."""
+        attention = MultiHeadSelfAttention(4, 2, rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).normal(size=(1, 5, 4))
+        base = attention.forward(x)
+        x2 = x.copy()
+        x2[0, 0] += 1.0
+        out2 = attention.forward(x2)
+        assert not np.allclose(base[0, 3], out2[0, 3])
+
+
+class TestTransformerEncoder:
+    def test_output_shape(self):
+        layer = TransformerEncoderLayer(8, 2, rng=np.random.default_rng(0))
+        out = layer.forward(np.zeros((2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(7)
+        model = Sequential(TransformerEncoderLayer(6, 2, rng=rng), Linear(6, 2, rng=rng))
+        x = rng.normal(size=(2, 3, 6))
+        y = rng.normal(size=(2, 3, 2))
+        assert numerical_gradient_check(model, x, _mse, y, num_checks=40) < 1e-6
+
+    def test_residual_path_preserves_scale(self):
+        layer = TransformerEncoderLayer(8, 2, rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).normal(size=(2, 4, 8))
+        out = layer.forward(x)
+        # Pre-LN residual blocks keep the input as an additive component.
+        assert np.abs(out - x).mean() < 10 * np.abs(x).mean()
+
+
+class TestPositionalEmbedding:
+    def test_adds_per_position_offset(self):
+        pos = LearnedPositionalEmbedding(8, 4, rng=np.random.default_rng(0))
+        x = np.zeros((2, 5, 4))
+        out = pos.forward(x)
+        np.testing.assert_allclose(out[0], pos.weight.data[:5])
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_sequence_longer_than_max_rejected(self):
+        pos = LearnedPositionalEmbedding(4, 4)
+        with pytest.raises(ValueError):
+            pos.forward(np.zeros((1, 5, 4)))
+
+    def test_backward_accumulates_over_batch(self):
+        pos = LearnedPositionalEmbedding(6, 3, rng=np.random.default_rng(0))
+        pos.forward(np.zeros((4, 2, 3)))
+        pos.backward(np.ones((4, 2, 3)))
+        np.testing.assert_allclose(pos.weight.grad[:2], np.full((2, 3), 4.0))
+        np.testing.assert_allclose(pos.weight.grad[2:], 0.0)

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the sparse gradient substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse.blocks import BlockLayout, block_bounds
+from repro.sparse.topk import kth_largest_magnitude, top_k_indices
+from repro.sparse.vector import SparseGradient
+
+dense_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestTopKProperties:
+    @given(values=dense_vectors, k=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=60, deadline=None)
+    def test_selection_size_and_optimality(self, values, k):
+        picked = top_k_indices(values, k)
+        expected = min(max(k, 0), values.shape[0])
+        assert picked.size == expected
+        if 0 < picked.size < values.shape[0]:
+            # Every selected magnitude >= every unselected magnitude.
+            mask = np.zeros(values.shape[0], dtype=bool)
+            mask[picked] = True
+            assert np.abs(values[mask]).min() >= np.abs(values[~mask]).max() - 1e-12
+
+    @given(values=dense_vectors, k=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_kth_magnitude_consistent_with_selection(self, values, k):
+        cut = kth_largest_magnitude(values, k)
+        count_at_least = (np.abs(values) >= cut).sum()
+        assert count_at_least >= min(k, values.shape[0])
+
+
+class TestSparseGradientProperties:
+    @given(values=dense_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, values):
+        sparse = SparseGradient.from_dense(values)
+        np.testing.assert_allclose(sparse.to_dense(values.shape[0]), values)
+
+    @given(values=dense_vectors, k=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=60, deadline=None)
+    def test_topk_split_conserves_mass(self, values, k):
+        sparse = SparseGradient.from_dense(values)
+        kept, dropped = sparse.top_k(k)
+        np.testing.assert_allclose(kept.to_dense() + dropped.to_dense(), sparse.to_dense())
+        assert kept.nnz <= max(k, 0) or k >= sparse.nnz
+
+    @given(a=dense_vectors, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_dense_addition(self, a, seed):
+        b = np.random.default_rng(seed).normal(size=a.shape[0])
+        sparse_sum = SparseGradient.from_dense(a).add(SparseGradient.from_dense(b))
+        np.testing.assert_allclose(sparse_sum.to_dense(), a + b, atol=1e-9)
+
+    @given(values=dense_vectors,
+           lo=st.integers(min_value=0, max_value=200),
+           hi=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_never_leaks_outside_range(self, values, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        sparse = SparseGradient.from_dense(values)
+        restricted = sparse.restrict(lo, hi)
+        if restricted.nnz:
+            assert restricted.indices.min() >= lo
+            assert restricted.indices.max() < hi
+
+
+class TestBlockLayoutProperties:
+    @given(length=st.integers(min_value=0, max_value=500),
+           num_blocks=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_partition_the_range(self, length, num_blocks):
+        bounds = block_bounds(length, num_blocks)
+        assert len(bounds) == num_blocks
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == length
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+        for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert prev_hi == lo
+
+    @given(length=st.integers(min_value=1, max_value=300),
+           num_blocks=st.integers(min_value=1, max_value=20),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_concat_of_block_restrictions_recovers_vector(self, length, num_blocks, seed):
+        layout = BlockLayout(length, num_blocks)
+        dense = np.random.default_rng(seed).normal(size=length)
+        sparse = SparseGradient.from_dense(dense)
+        pieces = [layout.restrict(sparse, block) for block in range(num_blocks)]
+        merged = layout.concat_blocks(pieces)
+        np.testing.assert_allclose(merged.to_dense(), dense, atol=1e-12)

@@ -1,0 +1,107 @@
+"""Unit tests for top-k / threshold selection primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.topk import (
+    kth_largest_magnitude,
+    threshold_indices,
+    top_k_indices,
+    top_k_mask,
+)
+
+
+class TestTopKIndices:
+    def test_selects_largest_magnitudes(self):
+        values = np.array([0.1, -5.0, 2.0, 0.0, -3.0])
+        picked = top_k_indices(values, 2)
+        assert set(picked.tolist()) == {1, 4}
+
+    def test_result_is_sorted(self):
+        values = np.array([5.0, -1.0, 4.0, 3.0, -6.0])
+        picked = top_k_indices(values, 3)
+        assert list(picked) == sorted(picked)
+
+    def test_k_zero_returns_empty(self):
+        assert top_k_indices(np.array([1.0, 2.0]), 0).size == 0
+
+    def test_k_negative_returns_empty(self):
+        assert top_k_indices(np.array([1.0, 2.0]), -3).size == 0
+
+    def test_k_larger_than_length_returns_all(self):
+        values = np.array([1.0, -2.0, 3.0])
+        assert list(top_k_indices(values, 10)) == [0, 1, 2]
+
+    def test_empty_input(self):
+        assert top_k_indices(np.array([]), 3).size == 0
+
+    def test_deterministic_tie_breaking_towards_lower_index(self):
+        values = np.array([1.0, -1.0, 1.0, 1.0])
+        picked = top_k_indices(values, 2)
+        assert list(picked) == [0, 1]
+
+    def test_absolute_value_not_sign(self):
+        values = np.array([-10.0, 1.0, 2.0])
+        assert 0 in top_k_indices(values, 1)
+
+    def test_repeated_calls_identical(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        first = top_k_indices(values, 17)
+        second = top_k_indices(values.copy(), 17)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTopKMask:
+    def test_mask_marks_exactly_k(self):
+        values = np.random.default_rng(1).normal(size=50)
+        mask = top_k_mask(values, 7)
+        assert mask.sum() == 7
+
+    def test_mask_matches_indices(self):
+        values = np.random.default_rng(2).normal(size=20)
+        mask = top_k_mask(values, 5)
+        np.testing.assert_array_equal(np.flatnonzero(mask), top_k_indices(values, 5))
+
+
+class TestKthLargestMagnitude:
+    def test_exact_value(self):
+        values = np.array([1.0, -4.0, 3.0, 2.0])
+        assert kth_largest_magnitude(values, 2) == 3.0
+
+    def test_k_equals_length_returns_min(self):
+        values = np.array([1.0, -4.0, 3.0])
+        assert kth_largest_magnitude(values, 3) == 1.0
+
+    def test_k_exceeds_length_returns_min_magnitude(self):
+        values = np.array([2.0, -5.0])
+        assert kth_largest_magnitude(values, 10) == 2.0
+
+    def test_selection_consistency_with_topk(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=200)
+        k = 31
+        cut = kth_largest_magnitude(values, k)
+        assert (np.abs(values) >= cut).sum() >= k
+
+
+class TestThresholdIndices:
+    def test_keeps_entries_at_or_above_threshold(self):
+        values = np.array([0.5, -2.0, 1.0, 0.1])
+        picked = threshold_indices(values, 1.0)
+        assert set(picked.tolist()) == {1, 2}
+
+    def test_zero_threshold_keeps_all(self):
+        values = np.array([0.0, 1.0, -1.0])
+        assert threshold_indices(values, 0.0).size == 3
+
+    def test_large_threshold_keeps_none(self):
+        values = np.array([0.5, -2.0])
+        assert threshold_indices(values, 100.0).size == 0
+
+    def test_may_select_more_than_k(self):
+        # Threshold pruning (as used by Ok-Topk) has no hard cardinality bound.
+        values = np.ones(10)
+        assert threshold_indices(values, 1.0).size == 10

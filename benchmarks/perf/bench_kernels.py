@@ -1,0 +1,168 @@
+"""Microbenchmarks of the sparse hot-path kernels (perf-regression harness).
+
+Times the optimized kernels of :mod:`repro.sparse` / :mod:`repro.core`
+against the naive seed idioms in :mod:`naive_reference` at representative
+sizes (gradient length ``n`` ~ 1e6, selection ``nnz`` ~ 1e4, the regime of
+the paper's VGG/LSTM-scale figures) and emits a JSON trajectory point
+(``BENCH_PR1.json``) that CI uploads as an artifact and future PRs compare
+against.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernels.py
+
+Exits non-zero if the merge-add or top-k kernels regress below the 3x
+speedup gate, so it doubles as a CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from naive_reference import (  # noqa: E402
+    naive_finalize_mask,
+    naive_merge_add,
+    naive_merge_many,
+    naive_restrict,
+    naive_top_k_indices,
+)
+
+from repro.sparse.topk import top_k_indices  # noqa: E402
+from repro.sparse.vector import (  # noqa: E402
+    SparseGradient,
+    merge_add_coo,
+    merge_many_coo,
+)
+
+#: Representative sizes: ~1e6-element gradient, ~1% selected per stream.
+N = 1_000_000
+NNZ = 10_000
+NUM_STREAMS = 8
+
+#: Kernels whose speedup is gated (the two named by the acceptance bar).
+GATED = {"top_k": 3.0, "merge_add": 3.0}
+
+
+def best_of(func: Callable[[], object], repeats: int, loops: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``loops`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            func()
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best
+
+
+def make_stream(rng: np.random.Generator, n: int, nnz: int):
+    indices = np.sort(rng.choice(n, size=nnz, replace=False)).astype(np.int64)
+    values = rng.normal(size=nnz)
+    return indices, values
+
+
+def run_benchmarks(n: int = N, nnz: int = NNZ, num_streams: int = NUM_STREAMS,
+                   repeats: int = 5, loops: int = 3, seed: int = 0) -> Dict[str, dict]:
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=n)
+    streams = [make_stream(rng, n, nnz) for _ in range(num_streams)]
+    (ai, av), (bi, bv) = streams[0], streams[1]
+    sparse_a = SparseGradient.from_sorted_unique(ai, av, n)
+    sparse_b = SparseGradient.from_sorted_unique(bi, bv, n)
+    final_indices = streams[2][0]
+    lo, hi = n // 4, n // 2
+
+    def naive_sparse_add():
+        # Seed end-to-end .add: naive kernel plus the validating constructor
+        # every internal construction used to pay.
+        indices, values = naive_merge_add(ai, av, bi, bv)
+        return SparseGradient(indices, values, n)
+
+    cases = {
+        "top_k": (
+            lambda: naive_top_k_indices(dense, nnz),
+            lambda: top_k_indices(dense, nnz),
+        ),
+        "merge_add": (
+            lambda: naive_merge_add(ai, av, bi, bv),
+            lambda: merge_add_coo(ai, av, bi, bv),
+        ),
+        "merge_many": (
+            lambda: naive_merge_many([s[0] for s in streams], [s[1] for s in streams]),
+            lambda: merge_many_coo([s[0] for s in streams], [s[1] for s in streams]),
+        ),
+        "sparse_add_end_to_end": (
+            naive_sparse_add,
+            lambda: sparse_a.add(sparse_b),
+        ),
+        "residual_finalize": (
+            lambda: naive_finalize_mask(ai, final_indices),
+            lambda: ~np.isin(ai, final_indices, assume_unique=True),
+        ),
+        "restrict": (
+            lambda: naive_restrict(ai, av, lo, hi),
+            lambda: sparse_a.restrict(lo, hi),
+        ),
+    }
+
+    results: Dict[str, dict] = {}
+    for name, (naive, fast) in cases.items():
+        naive_s = best_of(naive, repeats, loops)
+        fast_s = best_of(fast, repeats, loops)
+        results[name] = {
+            "naive_s": naive_s,
+            "fast_s": fast_s,
+            "speedup": naive_s / fast_s if fast_s > 0 else float("inf"),
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR1.json",
+                        help="path of the JSON trajectory point to write")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer timing repeats (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record timings without enforcing the speedup gate")
+    args = parser.parse_args(argv)
+
+    repeats, loops = (3, 1) if args.quick else (5, 3)
+    results = run_benchmarks(repeats=repeats, loops=loops)
+
+    report = {
+        "bench": "PR1 vectorized sparse-kernel layer",
+        "config": {"n": N, "nnz": NNZ, "num_streams": NUM_STREAMS,
+                   "repeats": repeats, "loops": loops},
+        "gate": GATED,
+        "kernels": results,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(name) for name in results)
+    print(f"{'kernel':<{width}}  {'naive':>10}  {'fast':>10}  speedup")
+    for name, r in results.items():
+        print(f"{name:<{width}}  {r['naive_s'] * 1e3:9.3f}ms  "
+              f"{r['fast_s'] * 1e3:9.3f}ms  {r['speedup']:6.1f}x")
+    print(f"wrote {args.output}")
+
+    if not args.no_gate:
+        failures = [name for name, floor in GATED.items()
+                    if results[name]["speedup"] < floor]
+        if failures:
+            print(f"PERF GATE FAILED: {failures} below "
+                  f"{[GATED[f] for f in failures]}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

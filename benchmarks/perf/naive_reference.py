@@ -1,0 +1,82 @@
+"""Naive reference implementations of the sparse kernels.
+
+These reproduce, verbatim in idiom, the pre-optimization (seed) versions of
+the hot-path kernels: ``argsort`` top-k, ``np.unique`` + ``np.add.at``
+merge-add, sequential pairwise k-way merging, ``np.add.at`` residual
+scatter, and boolean-mask restriction.  They serve two purposes:
+
+* the perf-regression harness (:mod:`bench_kernels`) times the optimized
+  kernels against them, and
+* the randomized equivalence tests assert the optimized kernels are
+  bit-identical to them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "naive_top_k_indices",
+    "naive_merge_add",
+    "naive_merge_many",
+    "naive_scatter_add",
+    "naive_restrict",
+]
+
+
+def naive_top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Seed top-k: stable argsort on the negated magnitudes, O(n log n)."""
+    values = np.asarray(values)
+    n = values.shape[0]
+    if k <= 0 or n == 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    magnitude = np.abs(values)
+    order = np.argsort(-magnitude, kind="stable")
+    return np.sort(order[:k].astype(np.int64))
+
+
+def naive_merge_add(a_indices: np.ndarray, a_values: np.ndarray,
+                    b_indices: np.ndarray, b_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed merge-add: concatenate, ``np.unique`` re-sort, ``np.add.at``."""
+    indices = np.concatenate([a_indices, b_indices])
+    values = np.concatenate([a_values, b_values])
+    unique, inverse = np.unique(indices, return_inverse=True)
+    summed = np.zeros(unique.shape[0], dtype=np.float64)
+    np.add.at(summed, inverse, values)
+    return unique, summed
+
+
+def naive_merge_many(index_streams: Sequence[np.ndarray],
+                     value_streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed k-way merge: fold :func:`naive_merge_add` pairwise."""
+    indices, values = index_streams[0], value_streams[0]
+    for next_indices, next_values in zip(index_streams[1:], value_streams[1:]):
+        indices, values = naive_merge_add(indices, values, next_indices, next_values)
+    return indices, values
+
+
+def naive_scatter_add(dense: np.ndarray, indices: np.ndarray, values: np.ndarray) -> None:
+    """Seed residual scatter: ``np.add.at`` even though indices are unique."""
+    np.add.at(dense, indices, values)
+
+
+def naive_finalize_mask(pending_indices: np.ndarray, final_indices: np.ndarray) -> np.ndarray:
+    """Seed end-procedure residual selection: a Python ``set`` probed once
+    per pending element through ``np.fromiter``."""
+    final = set(int(i) for i in final_indices)
+    return np.fromiter(
+        (int(idx) not in final for idx in pending_indices),
+        dtype=bool,
+        count=pending_indices.shape[0],
+    )
+
+
+def naive_restrict(indices: np.ndarray, values: np.ndarray,
+                   lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed restriction: full boolean mask over the index array."""
+    mask = (indices >= lo) & (indices < hi)
+    return indices[mask], values[mask]

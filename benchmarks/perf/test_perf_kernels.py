@@ -1,0 +1,42 @@
+"""Perf-regression smoke gate for the sparse hot-path kernels.
+
+Runs the microbenchmark harness at the representative size (n ~ 1e6,
+nnz ~ 1e4) with quick timing settings and asserts the optimized kernels
+keep a comfortable margin over the naive seed idioms.  The thresholds here
+are deliberately looser than the ones recorded in ``BENCH_PR1.json``
+(3x at authoring time) so the gate is robust to noisy shared CI runners
+while still catching a real regression to the seed idioms.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from bench_kernels import run_benchmarks
+
+#: kernel -> minimum speedup tolerated in CI (BENCH_PR1.json records ~3-20x).
+SMOKE_FLOORS = {"top_k": 1.5, "merge_add": 1.5, "merge_many": 1.5}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_benchmarks(repeats=3, loops=1)
+
+
+@pytest.mark.parametrize("kernel", sorted(SMOKE_FLOORS))
+def test_kernel_keeps_speedup_over_naive(results, kernel):
+    speedup = results[kernel]["speedup"]
+    assert speedup >= SMOKE_FLOORS[kernel], (
+        f"{kernel} regressed: {speedup:.2f}x < {SMOKE_FLOORS[kernel]}x "
+        "over the naive seed implementation"
+    )
+
+
+def test_all_kernels_reported(results):
+    assert {"top_k", "merge_add", "merge_many", "sparse_add_end_to_end",
+            "residual_finalize", "restrict"} <= set(results)

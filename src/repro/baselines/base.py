@@ -83,13 +83,11 @@ class SparseBaseline(GradientSynchronizer):
 
     @staticmethod
     def merge_sum(pieces: Sequence[SparseGradient]) -> SparseGradient:
-        """Merge-sum a non-empty sequence of sparse gradients."""
+        """Merge-sum a non-empty sequence of sparse gradients (one k-way
+        gather merge rather than sequential pairwise adds)."""
         if not pieces:
             raise ValueError("merge_sum needs at least one sparse gradient")
-        merged = pieces[0]
-        for piece in pieces[1:]:
-            merged = merged.add(piece)
-        return merged
+        return SparseGradient.merge_many(pieces)
 
     @staticmethod
     def num_doubling_steps(size: int) -> int:

@@ -62,8 +62,11 @@ class GTopkSynchronizer(SparseBaseline):
             # set and discards the same values, so each keeps the matching share.
             share = 1.0 / float(2 << level)
             for rank in range(P):
-                for message in inboxes.get(rank, []):
-                    current[rank] = current[rank].add(message.payload)
+                inbox = inboxes.get(rank, [])
+                if inbox:
+                    current[rank] = self.merge_sum(
+                        [current[rank]] + [message.payload for message in inbox]
+                    )
                 kept, dropped = current[rank].top_k(self.k)
                 current[rank] = kept
                 self.residuals.collect_procedure(rank, dropped, share=share)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -73,7 +73,9 @@ class ResidualStore:
     def add_sparse(self, sparse: SparseGradient, share: float = 1.0) -> None:
         if sparse.nnz == 0:
             return
-        np.add.at(self._data, sparse.indices, sparse.values * float(share))
+        # SparseGradient indices are unique by invariant, so a direct
+        # fancy-index add is exact and much faster than np.add.at.
+        self._data[sparse.indices] += sparse.values * float(share)
 
     def peek(self) -> np.ndarray:
         """Current residual (read-only view semantics: copy)."""
@@ -173,18 +175,23 @@ class ResidualManager:
         if self.policy is not ResidualPolicy.PARTIAL:
             self._pending.clear()
             return
-        final: Set[int] = set(int(i) for i in final_indices) if final_indices is not None else set()
+        if final_indices is None:
+            final = np.empty(0, dtype=np.int64)
+        elif isinstance(final_indices, np.ndarray):
+            final = final_indices.astype(np.int64, copy=False)
+        else:
+            final = np.fromiter((int(i) for i in final_indices), dtype=np.int64)
+        # Uniquify once so every membership test below can use the fast
+        # assume_unique path (pending indices are unique by invariant).
+        final = np.unique(final)
         for pending in self._pending:
             if pending.sparse.nnz == 0:
                 continue
-            mask = np.fromiter(
-                (int(idx) not in final for idx in pending.sparse.indices),
-                dtype=bool,
-                count=pending.sparse.nnz,
-            )
+            mask = ~np.isin(pending.sparse.indices, final, assume_unique=True)
             if not mask.any():
                 continue
-            end_procedure = SparseGradient(
+            # Masking a sorted-unique index array preserves the invariant.
+            end_procedure = SparseGradient.from_sorted_unique(
                 pending.sparse.indices[mask], pending.sparse.values[mask],
                 pending.sparse.length,
             )

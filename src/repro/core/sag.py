@@ -279,10 +279,7 @@ def b_sag(
     result: Dict[int, SparseGradient] = {}
     for group in groups:
         for rank in group:
-            pieces = gathered[rank]
-            merged = pieces[0]
-            for piece in pieces[1:]:
-                merged = merged.add(piece)
+            merged = SparseGradient.merge_many(gathered[rank])
             merged_max = max(merged_max, merged.nnz)
             merged_sum += merged.nnz
             merged_count += 1

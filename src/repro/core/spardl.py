@@ -152,9 +152,5 @@ class SparDLSynchronizer(GradientSynchronizer):
         merged: Dict[int, SparseGradient] = {}
         for team in self.teams:
             for rank in team:
-                pieces = gathered[rank]
-                result = pieces[0]
-                for piece in pieces[1:]:
-                    result = result.add(piece)
-                merged[rank] = result
+                merged[rank] = SparseGradient.merge_many(gathered[rank])
         return merged

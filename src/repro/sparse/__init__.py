@@ -1,8 +1,27 @@
-"""Sparse gradient substrate: COO vectors, top-k selection and block layout."""
+"""Sparse gradient substrate: COO vectors, top-k selection and block layout.
+
+Invariant contract
+------------------
+Every :class:`SparseGradient` holds sorted, unique, in-range ``int64``
+indices with matching ``float64`` values.  There are two construction paths:
+
+* **Validating** (API boundary): ``SparseGradient(...)`` /
+  :meth:`SparseGradient.from_dense` check — and if necessary repair — the
+  invariant.  Use these for any arrays whose provenance is not this package.
+* **Trusted** (kernel-internal): :meth:`SparseGradient.from_sorted_unique`
+  skips re-validation entirely.  It is reserved for arrays produced by the
+  kernels in this package (linear merge-add, k-way gather merge, top-k /
+  threshold splits, searchsorted restriction), all of which preserve the
+  invariant by construction.  Passing unsorted, duplicated or out-of-range
+  indices to it is undefined behaviour.
+
+The raw array kernels (:func:`merge_add_coo`, :func:`merge_many_coo`) are
+exported for the perf-regression harness under ``benchmarks/perf/``.
+"""
 
 from .blocks import BlockLayout, block_bounds
 from .topk import kth_largest_magnitude, threshold_indices, top_k_indices, top_k_mask
-from .vector import SparseGradient
+from .vector import SparseGradient, merge_add_coo, merge_many_coo
 
 __all__ = [
     "SparseGradient",
@@ -12,4 +31,6 @@ __all__ = [
     "top_k_mask",
     "threshold_indices",
     "kth_largest_magnitude",
+    "merge_add_coo",
+    "merge_many_coo",
 ]

@@ -103,7 +103,4 @@ class BlockLayout:
         one sparse gradient over the full vector."""
         if len(pieces) == 0:
             return SparseGradient.empty(self.length)
-        merged = pieces[0]
-        for piece in pieces[1:]:
-            merged = merged.add(piece)
-        return merged
+        return SparseGradient.merge_many(pieces)

@@ -30,6 +30,11 @@ def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
     Returns a sorted index array.  ``k`` larger than the vector length
     returns all indices; ``k <= 0`` returns an empty array.  Ties are broken
     deterministically towards lower indices.
+
+    Selection is O(n): ``np.partition`` finds the k-th largest magnitude (the
+    cut), every entry strictly above the cut is selected, and the remaining
+    slots are filled by the lowest-indexed entries exactly at the cut — which
+    is bit-for-bit the selection a stable descending argsort would make.
     """
     values = np.asarray(values)
     n = values.shape[0]
@@ -38,11 +43,17 @@ def top_k_indices(values: np.ndarray, k: int) -> np.ndarray:
     if k >= n:
         return np.arange(n, dtype=np.int64)
     magnitude = np.abs(values)
-    # argsort on (-magnitude, index) gives deterministic tie-breaking; kind
-    # "stable" preserves index order among equal magnitudes.
-    order = np.argsort(-magnitude, kind="stable")
-    selected = order[:k]
-    return np.sort(selected.astype(np.int64))
+    if np.isnan(magnitude).any():
+        # A stable argsort ranks NaN below every magnitude; np.partition
+        # ranks it above.  Map NaN to -inf (unreachable by |x|) so the
+        # partition cut and the tie pass reproduce the argsort selection.
+        magnitude = np.where(np.isnan(magnitude), -np.inf, magnitude)
+    cut = np.partition(magnitude, n - k)[n - k]
+    strict = np.flatnonzero(magnitude > cut)
+    need = k - strict.shape[0]
+    ties = np.flatnonzero(magnitude == cut)[:need]
+    selected = np.sort(np.concatenate([strict, ties]))
+    return selected.astype(np.int64, copy=False)
 
 
 def top_k_mask(values: np.ndarray, k: int) -> np.ndarray:
@@ -54,13 +65,16 @@ def top_k_mask(values: np.ndarray, k: int) -> np.ndarray:
 
 def kth_largest_magnitude(values: np.ndarray, k: int) -> float:
     """Magnitude of the k-th largest-magnitude entry (the exact top-k
-    threshold).  Returns 0.0 when ``k`` exceeds the number of entries."""
+    threshold).  Returns 0.0 when ``k <= 0`` or the vector is empty — a
+    threshold of 0.0 keeps everything, the only sensible answer when there
+    is no k-th entry to cut at.  When ``0 < n <= k`` the smallest magnitude
+    is returned (the threshold that keeps all ``n`` entries)."""
     values = np.asarray(values)
     n = values.shape[0]
     if n == 0 or k <= 0:
-        return float("inf") if n == 0 and k > 0 else 0.0
+        return 0.0
     if k >= n:
-        return float(np.min(np.abs(values))) if n else 0.0
+        return float(np.min(np.abs(values)))
     magnitude = np.abs(values)
     return float(np.partition(magnitude, n - k)[n - k])
 

@@ -6,23 +6,151 @@ immutable-by-convention container over sorted, unique indices; it provides
 exactly the operations the communication algorithms need:
 
 * construction from a dense vector (optionally restricted to a block),
-* merge-summation of two sparse gradients (the operation whose output can be
-  larger than its inputs — the root of the SGA dilemma),
+* merge-summation of two (or many) sparse gradients — the operation whose
+  output can be larger than its inputs, the root of the SGA dilemma,
 * exact top-k re-sparsification with the discarded remainder returned so
   residual collection can keep it,
 * densification and block restriction.
+
+The merge kernels are the synchronisation hot path, so they are written as
+vectorized linear merges over the already-sorted COO streams (no
+``np.unique`` re-sort, no ``np.add.at``) and construct their results through
+the trusted :meth:`SparseGradient.from_sorted_unique` constructor, which
+skips the invariant re-validation of :meth:`__post_init__`.  Full validation
+happens only at the API boundaries (``__init__`` / :meth:`from_dense`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .ckernels import load_merge_kernels
 from .topk import threshold_indices, top_k_indices
 
-__all__ = ["SparseGradient"]
+try:  # compiled CSR segment-sum kernels; optional, gated at import time
+    from scipy.sparse import _sparsetools as _csr_tools
+
+    _HAVE_CSR_TOOLS = hasattr(_csr_tools, "csr_sum_duplicates")
+except ImportError:  # pragma: no cover - exercised via monkeypatched tests
+    _csr_tools = None
+    _HAVE_CSR_TOOLS = False
+
+#: Compiled single-pass merge kernels, loaded lazily on first use so that
+#: importing the package never blocks on a ``cc`` subprocess.  ``None`` means
+#: the NumPy fallback kernels; the unset sentinel means "not probed yet".
+_C_KERNELS_UNSET = object()
+_C_KERNELS = _C_KERNELS_UNSET
+
+
+def _get_c_kernels():
+    global _C_KERNELS
+    if _C_KERNELS is _C_KERNELS_UNSET:
+        _C_KERNELS = load_merge_kernels()
+    return _C_KERNELS
+
+__all__ = ["SparseGradient", "merge_add_coo", "merge_many_coo"]
+
+
+def _stable_merge_sorted(index_streams: Sequence[np.ndarray],
+                         value_streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge already-sorted COO streams into one index-sorted stream.
+
+    Duplicates are kept, ordered by stream (stability) so that a later
+    segment-sum accumulates values in stream order.  The fast path packs
+    ``index * 2^shift + position`` into one int64 key per entry and sorts the
+    keys directly: timsort gallops through the pre-sorted runs in near-linear
+    time, and sorting scalar keys avoids the indirection cost of a stable
+    ``argsort``.  Falls back to ``argsort`` when the pack could overflow.
+    """
+    indices = np.concatenate(index_streams)
+    values = np.concatenate(value_streams)
+    m = indices.shape[0]
+    if m <= 1:
+        return indices, values
+    shift = (m - 1).bit_length()
+    max_index = int(max(int(stream[-1]) for stream in index_streams if stream.shape[0]))
+    if max_index < (1 << (62 - shift)):
+        keys = indices << shift
+        keys += np.arange(m, dtype=np.int64)
+        keys.sort(kind="stable")
+        pos = keys & ((1 << shift) - 1)
+        keys >>= shift
+        return keys, values[pos]
+    order = np.argsort(indices, kind="stable")
+    return indices[order], values[order]
+
+
+def _segment_sum_sorted(indices: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicates of an index-sorted COO stream by summation.
+
+    Accumulation is strictly left-to-right within each duplicate run — both
+    in the compiled ``csr_sum_duplicates`` path and the ``np.bincount``
+    fallback — which keeps results bit-identical to sequential pairwise
+    merging.  (``np.add.reduceat`` would *not* be: its reduction order within
+    a segment is unspecified and observably differs from left-to-right.)
+    Both input arrays must be freshly allocated; the compiled path compacts
+    them in place.
+    """
+    if _HAVE_CSR_TOOLS:
+        indptr = np.array([0, indices.shape[0]], dtype=np.int64)
+        _csr_tools.csr_sum_duplicates(1, int(indices[-1]) + 1, indptr, indices, values)
+        nnz = int(indptr[1])
+        # csr_sum_duplicates seeds each run with its first value rather than
+        # 0.0, which leaks -0.0 where every other path produces +0.0; the
+        # +0.0 below normalizes the sign bit and changes nothing else.
+        out_values = values[:nnz]
+        out_values += 0.0
+        return indices[:nnz], out_values
+    is_start = np.empty(indices.shape[0], dtype=bool)
+    is_start[0] = True
+    np.not_equal(indices[1:], indices[:-1], out=is_start[1:])
+    segment = np.cumsum(is_start) - 1
+    return indices[is_start], np.bincount(segment, weights=values)
+
+
+def merge_add_coo(a_indices: np.ndarray, a_values: np.ndarray,
+                  b_indices: np.ndarray, b_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Linear merge-sum of two sorted-unique COO streams.
+
+    Both index arrays must be sorted ascending and internally unique (the
+    :class:`SparseGradient` invariant).  Returns sorted-unique ``(indices,
+    values)`` with values summed where supports overlap; for a shared index
+    the sum is ``a + b``, matching the accumulation order of the previous
+    ``np.unique`` + ``np.add.at`` implementation bit-for-bit.
+
+    Uses the compiled single-pass two-pointer kernel when available,
+    otherwise one stable merge plus one segment-sum pass in NumPy.
+    """
+    kernels = _get_c_kernels()
+    if kernels is not None:
+        return kernels.merge_add(a_indices, a_values, b_indices, b_values)
+    indices, values = _stable_merge_sorted((a_indices, b_indices), (a_values, b_values))
+    if indices.shape[0] == 0:
+        return indices, values
+    return _segment_sum_sorted(indices, values)
+
+
+def merge_many_coo(index_streams: Sequence[np.ndarray],
+                   value_streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """K-way merge-sum of sorted-unique COO streams.
+
+    One k-way gather merge (compiled when available, else one stable merge
+    plus one segment-sum pass in NumPy).  Duplicate values accumulate in
+    stream order, so each output value is the left-to-right sum over
+    streams — bit-identical to folding :func:`merge_add_coo` pairwise.
+    """
+    kernels = _get_c_kernels()
+    if kernels is not None:
+        merged = kernels.merge_many(index_streams, value_streams)
+        if merged is not None:
+            return merged
+    indices, values = _stable_merge_sorted(index_streams, value_streams)
+    if indices.shape[0] == 0:
+        return indices, values
+    return _segment_sum_sorted(indices, values)
 
 
 @dataclass(frozen=True)
@@ -52,12 +180,7 @@ class SparseGradient:
             if np.any(np.diff(indices) <= 0):
                 # Sort and merge duplicates to restore the invariant.
                 order = np.argsort(indices, kind="stable")
-                indices = indices[order]
-                values = values[order]
-                unique, inverse = np.unique(indices, return_inverse=True)
-                summed = np.zeros(unique.shape[0], dtype=np.float64)
-                np.add.at(summed, inverse, values)
-                indices, values = unique, summed
+                indices, values = merge_many_coo([indices[order]], [values[order]])
         object.__setattr__(self, "indices", indices)
         object.__setattr__(self, "values", values)
 
@@ -65,8 +188,31 @@ class SparseGradient:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_sorted_unique(cls, indices: np.ndarray, values: np.ndarray,
+                           length: int) -> "SparseGradient":
+        """Trusted constructor: no invariant re-validation.
+
+        The caller guarantees ``indices`` is a sorted, unique ``int64`` array
+        within ``[0, length)`` and ``values`` a ``float64`` array of the same
+        shape.  Every kernel in this module and its consumers (merge, top-k
+        split, restrict, scale) already produces arrays with these
+        properties, so re-checking them on each internal construction would
+        dominate the hot path.  External callers must use ``SparseGradient``
+        / :meth:`from_dense`, which validate.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "indices", indices)
+        object.__setattr__(obj, "values", values)
+        object.__setattr__(obj, "length", length)
+        return obj
+
+    @classmethod
     def empty(cls, length: int) -> "SparseGradient":
-        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), length)
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return cls.from_sorted_unique(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), length
+        )
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, indices: Optional[np.ndarray] = None,
@@ -132,15 +278,37 @@ class SparseGradient:
             return other
         if other.nnz == 0:
             return self
-        indices = np.concatenate([self.indices, other.indices])
-        values = np.concatenate([self.values, other.values])
-        unique, inverse = np.unique(indices, return_inverse=True)
-        summed = np.zeros(unique.shape[0], dtype=np.float64)
-        np.add.at(summed, inverse, values)
-        return SparseGradient(unique, summed, self.length)
+        indices, values = merge_add_coo(self.indices, self.values,
+                                        other.indices, other.values)
+        return SparseGradient.from_sorted_unique(indices, values, self.length)
+
+    @staticmethod
+    def merge_many(pieces: Sequence["SparseGradient"]) -> "SparseGradient":
+        """Merge-sum a non-empty sequence of sparse gradients in one pass.
+
+        Equivalent to (and bit-identical with) folding :meth:`add` over the
+        sequence, but a single k-way gather merge instead of repeated
+        pairwise merges.
+        """
+        if not pieces:
+            raise ValueError("merge_many needs at least one sparse gradient")
+        length = pieces[0].length
+        for piece in pieces[1:]:
+            if piece.length != length:
+                raise ValueError("cannot merge sparse gradients of different lengths")
+        nonempty = [piece for piece in pieces if piece.nnz]
+        if not nonempty:
+            return pieces[0]
+        if len(nonempty) == 1:
+            return nonempty[0]
+        indices, values = merge_many_coo([piece.indices for piece in nonempty],
+                                         [piece.values for piece in nonempty])
+        return SparseGradient.from_sorted_unique(indices, values, length)
 
     def scale(self, factor: float) -> "SparseGradient":
-        return SparseGradient(self.indices, self.values * float(factor), self.length)
+        return SparseGradient.from_sorted_unique(
+            self.indices, self.values * float(factor), self.length
+        )
 
     # ------------------------------------------------------------------
     # sparsification
@@ -152,19 +320,23 @@ class SparseGradient:
         if k <= 0:
             return SparseGradient.empty(self.length), self
         picked_local = top_k_indices(self.values, k)
-        mask = np.zeros(self.nnz, dtype=bool)
-        mask[picked_local] = True
-        kept = SparseGradient(self.indices[mask], self.values[mask], self.length)
-        dropped = SparseGradient(self.indices[~mask], self.values[~mask], self.length)
-        return kept, dropped
+        return self._split(picked_local)
 
     def threshold(self, tau: float) -> Tuple["SparseGradient", "SparseGradient"]:
         """Threshold pruning; return ``(kept, dropped)``."""
         picked_local = threshold_indices(self.values, tau)
+        return self._split(picked_local)
+
+    def _split(self, picked_local: np.ndarray) -> Tuple["SparseGradient", "SparseGradient"]:
+        """Split into (picked, rest) by sorted local positions."""
         mask = np.zeros(self.nnz, dtype=bool)
         mask[picked_local] = True
-        kept = SparseGradient(self.indices[mask], self.values[mask], self.length)
-        dropped = SparseGradient(self.indices[~mask], self.values[~mask], self.length)
+        kept = SparseGradient.from_sorted_unique(
+            self.indices[mask], self.values[mask], self.length
+        )
+        dropped = SparseGradient.from_sorted_unique(
+            self.indices[~mask], self.values[~mask], self.length
+        )
         return kept, dropped
 
     # ------------------------------------------------------------------
@@ -172,11 +344,14 @@ class SparseGradient:
     # ------------------------------------------------------------------
     def restrict(self, lo: int, hi: int) -> "SparseGradient":
         """Entries with ``lo <= index < hi`` (still in global coordinates)."""
-        mask = (self.indices >= lo) & (self.indices < hi)
-        return SparseGradient(self.indices[mask], self.values[mask], self.length)
+        start = int(np.searchsorted(self.indices, lo, side="left"))
+        stop = int(np.searchsorted(self.indices, hi, side="left"))
+        return SparseGradient.from_sorted_unique(
+            self.indices[start:stop], self.values[start:stop], self.length
+        )
 
     def index_set(self) -> set:
-        return set(int(i) for i in self.indices)
+        return set(self.indices.tolist())
 
     def __len__(self) -> int:
         return self.nnz

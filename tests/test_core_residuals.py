@@ -91,6 +91,24 @@ class TestResidualManagerPolicies:
         manager.finalize(final_indices=[1, 2])
         np.testing.assert_allclose(manager.store(0).peek(), [0, 0, 0, 0])
 
+    def test_partial_finalize_accepts_ndarray(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.PARTIAL)
+        manager.collect_procedure(0, self._dropped())
+        manager.finalize(final_indices=np.array([2, 3], dtype=np.int64))
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 5, 0, 0])
+
+    def test_partial_finalize_accepts_duplicated_final_indices(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.PARTIAL)
+        manager.collect_procedure(0, self._dropped())
+        manager.finalize(final_indices=[1, 1, 2, 2])
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 0, 0, 0])
+
+    def test_partial_finalize_with_none_keeps_everything(self):
+        manager = ResidualManager(2, 4, ResidualPolicy.PARTIAL)
+        manager.collect_procedure(0, self._dropped())
+        manager.finalize(final_indices=None)
+        np.testing.assert_allclose(manager.store(0).peek(), [0, 5, 0, 0])
+
     def test_local_ignores_procedure_discards(self):
         manager = ResidualManager(2, 4, ResidualPolicy.LOCAL)
         manager.collect_procedure(0, self._dropped())

@@ -53,6 +53,17 @@ class TestTopKIndices:
         second = top_k_indices(values.copy(), 17)
         np.testing.assert_array_equal(first, second)
 
+    def test_nan_ranks_below_every_magnitude(self):
+        # A stable argsort (the seed idiom) sorts NaN last, so NaN entries
+        # are only selected once every finite magnitude is taken — and then
+        # by lowest index.  The partition path must reproduce that.
+        values = np.array([np.nan, 5.0, 4.0, 3.0])
+        np.testing.assert_array_equal(top_k_indices(values, 2), [1, 2])
+        np.testing.assert_array_equal(top_k_indices(values, 3), [1, 2, 3])
+        many_nan = np.array([np.nan, 1.0, np.nan, 2.0, np.nan])
+        np.testing.assert_array_equal(top_k_indices(many_nan, 3), [0, 1, 3])
+        np.testing.assert_array_equal(top_k_indices(many_nan, 4), [0, 1, 2, 3])
+
 
 class TestTopKMask:
     def test_mask_marks_exactly_k(self):
@@ -67,6 +78,18 @@ class TestTopKMask:
 
 
 class TestKthLargestMagnitude:
+    def test_empty_input_returns_zero(self):
+        # Regression: the seed returned inf for an empty vector although the
+        # docstring promised 0.0 whenever k exceeds the number of entries.
+        assert kth_largest_magnitude(np.array([]), 3) == 0.0
+
+    def test_empty_input_with_nonpositive_k_returns_zero(self):
+        assert kth_largest_magnitude(np.array([]), 0) == 0.0
+        assert kth_largest_magnitude(np.array([]), -1) == 0.0
+
+    def test_nonpositive_k_returns_zero(self):
+        assert kth_largest_magnitude(np.array([1.0, 2.0]), 0) == 0.0
+
     def test_exact_value(self):
         values = np.array([1.0, -4.0, 3.0, 2.0])
         assert kth_largest_magnitude(values, 2) == 3.0

@@ -139,6 +139,88 @@ class TestSparsification:
         assert set(dropped.indices.tolist()) == {0}
 
 
+class TestTrustedConstructor:
+    def test_matches_validating_constructor(self):
+        indices = np.array([1, 4, 7], dtype=np.int64)
+        values = np.array([1.0, -2.0, 3.0])
+        trusted = SparseGradient.from_sorted_unique(indices, values, 10)
+        checked = SparseGradient(indices, values, 10)
+        np.testing.assert_array_equal(trusted.indices, checked.indices)
+        np.testing.assert_array_equal(trusted.values, checked.values)
+        assert trusted.length == checked.length
+
+    def test_does_not_copy_arrays(self):
+        indices = np.array([0, 2], dtype=np.int64)
+        values = np.array([1.0, 2.0])
+        sparse = SparseGradient.from_sorted_unique(indices, values, 5)
+        assert sparse.indices is indices
+        assert sparse.values is values
+
+    def test_skips_validation(self):
+        # The trust contract: invalid invariants are the caller's problem and
+        # are NOT detected (this is what makes the constructor free).
+        sparse = SparseGradient.from_sorted_unique(
+            np.array([9, 3], dtype=np.int64), np.array([1.0, 2.0]), 5)
+        np.testing.assert_array_equal(sparse.indices, [9, 3])
+
+
+class TestMergeMany:
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            SparseGradient.merge_many([])
+
+    def test_single_piece_is_returned_unchanged(self):
+        sparse = SparseGradient(np.array([1]), np.array([2.0]), 4)
+        assert SparseGradient.merge_many([sparse]) is sparse
+
+    def test_all_empty_pieces(self):
+        merged = SparseGradient.merge_many([SparseGradient.empty(6),
+                                            SparseGradient.empty(6)])
+        assert merged.nnz == 0
+        assert merged.length == 6
+
+    def test_length_mismatch_raises(self):
+        a = SparseGradient(np.array([1]), np.array([2.0]), 4)
+        b = SparseGradient(np.array([1]), np.array([2.0]), 5)
+        with pytest.raises(ValueError):
+            SparseGradient.merge_many([a, b])
+
+    def test_matches_pairwise_fold(self):
+        rng = np.random.default_rng(3)
+        pieces = []
+        for _ in range(5):
+            dense = rng.normal(size=40) * (rng.random(40) < 0.4)
+            pieces.append(SparseGradient.from_dense(dense, length=40))
+        merged = SparseGradient.merge_many(pieces)
+        folded = pieces[0]
+        for piece in pieces[1:]:
+            folded = folded.add(piece)
+        np.testing.assert_array_equal(merged.indices, folded.indices)
+        np.testing.assert_array_equal(merged.values, folded.values)
+
+    def test_overlapping_supports_sum(self):
+        a = SparseGradient(np.array([0, 2]), np.array([1.0, 1.0]), 4)
+        b = SparseGradient(np.array([2, 3]), np.array([2.0, 3.0]), 4)
+        c = SparseGradient(np.array([0, 3]), np.array([4.0, 5.0]), 4)
+        merged = SparseGradient.merge_many([a, b, c])
+        np.testing.assert_allclose(merged.to_dense(), [5.0, 0.0, 3.0, 8.0])
+
+    def test_non_contiguous_input_arrays(self):
+        # Strided views are legal at the API boundary; the compiled kernels
+        # read raw pointers and must compact them first.
+        big_indices = np.arange(20, dtype=np.int64)
+        big_values = np.ones(20)
+        a = SparseGradient(big_indices[::2], big_values[::2], 100)
+        b = SparseGradient(np.array([0, 2], dtype=np.int64),
+                           np.array([1.0, 1.0]), 100)
+        added = a.add(b)
+        np.testing.assert_array_equal(added.indices, np.arange(0, 20, 2))
+        np.testing.assert_allclose(added.to_dense()[[0, 2, 4]], [2.0, 2.0, 1.0])
+        merged = SparseGradient.merge_many([a, b, a])
+        np.testing.assert_array_equal(merged.indices, np.arange(0, 20, 2))
+        np.testing.assert_allclose(merged.to_dense()[[0, 2, 4]], [3.0, 3.0, 2.0])
+
+
 class TestSlicing:
     def test_restrict_range(self):
         sparse = SparseGradient(np.array([0, 3, 7]), np.array([1.0, 2.0, 3.0]), 10)
@@ -149,6 +231,20 @@ class TestSlicing:
     def test_restrict_empty_range(self):
         sparse = SparseGradient(np.array([0, 3]), np.array([1.0, 2.0]), 10)
         assert sparse.restrict(4, 4).nnz == 0
+
+    def test_restrict_inverted_range_is_empty(self):
+        sparse = SparseGradient(np.array([0, 3, 7]), np.array([1.0, 2.0, 3.0]), 10)
+        assert sparse.restrict(8, 2).nnz == 0
+
+    def test_restrict_beyond_bounds(self):
+        sparse = SparseGradient(np.array([0, 3, 7]), np.array([1.0, 2.0, 3.0]), 10)
+        assert sparse.restrict(-5, 50).nnz == 3
+        assert sparse.restrict(8, 50).nnz == 0
+
+    def test_restrict_boundaries_are_half_open(self):
+        sparse = SparseGradient(np.array([2, 5, 8]), np.array([1.0, 2.0, 3.0]), 10)
+        restricted = sparse.restrict(2, 8)
+        assert set(restricted.indices.tolist()) == {2, 5}
 
     def test_index_set(self):
         sparse = SparseGradient(np.array([2, 5]), np.array([1.0, 2.0]), 10)

@@ -46,7 +46,10 @@ def _run_variant(sparsify_all: bool):
     layout = BlockLayout(NUM_ELEMENTS, NUM_WORKERS)
     teams = make_teams(NUM_WORKERS, 1)
     events = 0
-    elapsed = 0.0
+    # Best-of-iterations filters one-off GC pauses and scheduler preemptions
+    # out of the wall-clock comparison (a summed total lets a single stall
+    # land entirely in one variant and flip the ratio).
+    elapsed = float("inf")
     final_nnz = []
     for iteration in range(ITERATIONS):
         cluster = SimulatedCluster(NUM_WORKERS)
@@ -56,7 +59,7 @@ def _run_variant(sparsify_all: bool):
         start = time.perf_counter()
         output = spar_reduce_scatter(cluster, teams, gradients, layout, k_block, residuals,
                                      sparsify_all=sparsify_all)
-        elapsed += time.perf_counter() - start
+        elapsed = min(elapsed, time.perf_counter() - start)
         events += residuals.procedure_events
         final_nnz.append(sum(block.nnz for block in output.reduced_blocks.values()))
     return events, elapsed, final_nnz
@@ -70,7 +73,7 @@ def test_srs_optimization_reduces_sparsification_work(run_once):
     rows = [(name, events, seconds, nnz[0]) for name, (events, seconds, nnz) in results.items()]
     print()
     print(format_table(
-        ["variant", "block sparsification events", "SRS wall-clock (s)", "total reduced nnz"],
+        ["variant", "block sparsification events", "SRS wall-clock best (s)", "total reduced nnz"],
         rows, title="Ablation: Optimization for SRS (Section III-B)"))
 
     optimized_events, optimized_time, optimized_nnz = results["optimized"]

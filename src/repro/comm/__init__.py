@@ -1,6 +1,6 @@
 """Communication substrate: simulated cluster, cost model and collectives."""
 
-from .cluster import Message, SimulatedCluster, payload_size
+from .cluster import Message, SimulatedCluster, freeze_payload, payload_size
 from .collectives import (
     allgather_bruck,
     allgather_bruck_grouped,
@@ -12,12 +12,15 @@ from .collectives import (
     reduce_scatter_direct,
 )
 from .network import ETHERNET, PERFECT, RDMA, NetworkProfile
+from .packed import PackedBags
 from .stats import CommStats
 
 __all__ = [
     "Message",
     "SimulatedCluster",
     "payload_size",
+    "freeze_payload",
+    "PackedBags",
     "CommStats",
     "NetworkProfile",
     "ETHERNET",

@@ -29,7 +29,7 @@ import numpy as np
 
 from .stats import CommStats
 
-__all__ = ["Message", "SimulatedCluster", "payload_size"]
+__all__ = ["Message", "SimulatedCluster", "payload_size", "freeze_payload"]
 
 
 def payload_size(payload: Any) -> float:
@@ -54,6 +54,29 @@ def payload_size(payload: Any) -> float:
     if isinstance(payload, (int, float, np.integer, np.floating)):
         return 1.0
     raise TypeError(f"cannot determine communication size of {type(payload)!r}")
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Return ``payload`` with every NumPy array replaced by a read-only view.
+
+    Senders routinely pass live views of their own state (a slice of a
+    working buffer, a chunk of a ring segment); a receiver writing into such
+    a view in place would silently corrupt the sender.  A real network never
+    shares memory between peers, so the exchange boundary delivers arrays
+    read-only: an accidental in-place write raises immediately instead of
+    corrupting remote state.  Lists and tuples are frozen recursively; other
+    payload objects (sparse gradients, packed buffers) are immutable by
+    contract and pass through unchanged.
+    """
+    if isinstance(payload, np.ndarray):
+        view = payload.view()
+        view.flags.writeable = False
+        return view
+    if isinstance(payload, tuple):
+        return tuple(freeze_payload(item) for item in payload)
+    if isinstance(payload, list):
+        return [freeze_payload(item) for item in payload]
+    return payload
 
 
 @dataclass
@@ -118,6 +141,11 @@ class SimulatedCluster:
         ``{dst_rank: [messages in arrival order]}``.  Raises if any rank is
         out of range or a worker messages itself (local data movement is
         free and must not be modelled as communication).
+
+        NumPy array payloads are delivered as read-only views (see
+        :func:`freeze_payload`): peers never share writable memory, so a
+        receiver mutating a received array raises instead of silently
+        corrupting the sender's state.
         """
         transfers = []
         inboxes: Dict[int, List[Message]] = {}
@@ -126,6 +154,7 @@ class SimulatedCluster:
             self._check_rank(message.dst)
             if message.src == message.dst:
                 raise ValueError("workers must not send messages to themselves")
+            message.payload = freeze_payload(message.payload)
             transfers.append((message.src, message.dst, float(message.size)))
             inboxes.setdefault(message.dst, []).append(message)
         if not transfers:
@@ -133,22 +162,22 @@ class SimulatedCluster:
         self._stats.record_round(transfers)
         return inboxes
 
-    def sendrecv(self, sends: Dict[int, tuple[int, Any]]) -> Dict[int, Any]:
+    def sendrecv(self, sends: Dict[int, tuple[int, Any]]) -> Dict[int, Dict[int, Any]]:
         """Convenience wrapper for one round of pairwise sends.
 
         ``sends`` maps source rank to ``(dst, payload)``; the return value
-        maps destination rank to the received payload.  Destinations that
-        receive more than one payload get a list.
+        maps each destination rank to its inbox, keyed by source rank:
+        ``{dst: {src: payload}}``.  Keying by source keeps a single received
+        payload distinguishable from a payload that *is* a list — returning
+        the bare payload for one sender and a list for several (the previous
+        behaviour) made the two cases ambiguous.
         """
         messages = [Message(src=s, dst=d, payload=p) for s, (d, p) in sends.items()]
         inboxes = self.exchange(messages)
-        received: Dict[int, Any] = {}
-        for dst, inbox in inboxes.items():
-            if len(inbox) == 1:
-                received[dst] = inbox[0].payload
-            else:
-                received[dst] = [m.payload for m in inbox]
-        return received
+        return {
+            dst: {message.src: message.payload for message in inbox}
+            for dst, inbox in inboxes.items()
+        }
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:

@@ -14,6 +14,12 @@ Figure 3):
 All collectives support *grouped* execution: several disjoint groups of
 workers run the same collective concurrently and share communication
 rounds, which is how SparDL's teams overlap their intra-team phases.
+
+Accounting convention: control metadata (group positions, slice offsets,
+block ids) is never billed as transmitted elements — messages whose payload
+carries such bookkeeping alongside the data pass an explicit ``size=`` with
+the data elements only, so recorded volumes match the closed-form element
+counts of the alpha-beta analysis exactly.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .cluster import Message, SimulatedCluster
+from ..sparse.vector import SparseGradient
+from .cluster import Message, SimulatedCluster, payload_size
+from .packed import PackedBags
 
 __all__ = [
     "allgather_bruck",
@@ -63,6 +71,13 @@ def allgather_bruck_grouped(
     All groups advance in lock-step; a communication step performed by any
     group counts as a single shared round, which models teams communicating
     in parallel.
+
+    Sparse payloads use the batched wire format: when every forwarded item
+    is a :class:`~repro.sparse.vector.SparseGradient`, the slice of the
+    rolling buffer is packed into one :class:`PackedBags` buffer pair per
+    message (``comm_size`` derived from the packed arrays — identical to the
+    sum of the per-item COO sizes) and unpacked into zero-copy views on
+    receive.  Other item types travel as plain lists, unchanged.
     """
     for group in groups:
         _validate_group(group, cluster)
@@ -86,14 +101,19 @@ def allgather_bruck_grouped(
                 # At step t each worker forwards the first min(2^t, P - 2^t)
                 # items it holds; the receiver then holds min(2^(t+1), P).
                 count = min(distance, size - distance)
-                payload = buffers[rank][:count]
+                payload: Any = buffers[rank][:count]
+                if all(isinstance(item, SparseGradient) for item in payload):
+                    payload = PackedBags.pack(payload)
                 messages.append(Message(src=rank, dst=dst, payload=payload, tag=f"bruck-{step}"))
         if not messages:
             continue
         inboxes = cluster.exchange(messages)
         for dst, inbox in inboxes.items():
             for message in inbox:
-                buffers[dst].extend(message.payload)
+                if isinstance(message.payload, PackedBags):
+                    buffers[dst].extend(message.payload.to_list())
+                else:
+                    buffers[dst].extend(message.payload)
 
     # Trim and rotate so results are in absolute group order.
     results: Dict[int, List[Any]] = {}
@@ -157,9 +177,12 @@ def allgather_recursive_doubling_grouped(
             for pos, rank in enumerate(group):
                 partner_pos = pos ^ distance
                 partner = group[partner_pos]
-                payload = dict(gathered[rank])
-                messages.append(Message(src=rank, dst=partner, payload=list(payload.items()),
-                                         tag=f"rd-{step}"))
+                payload = list(gathered[rank].items())
+                # Group positions are routing metadata, not transmitted
+                # gradient data: bill only the items themselves.
+                payload_elements = sum(payload_size(item) for _, item in payload)
+                messages.append(Message(src=rank, dst=partner, payload=payload,
+                                         size=payload_elements, tag=f"rd-{step}"))
         inboxes = cluster.exchange(messages)
         for dst, inbox in inboxes.items():
             for message in inbox:
@@ -318,8 +341,11 @@ def allreduce_rabenseifner(
             else:
                 send_lo, send_hi, keep = mid, hi, (lo, mid)
             plan[rank] = keep
+            # The slice offset is addressing metadata; only the chunk's
+            # elements travel.
             messages.append(Message(src=rank, dst=partner,
-                                     payload=(send_lo, working[rank][send_lo:send_hi])))
+                                     payload=(send_lo, working[rank][send_lo:send_hi]),
+                                     size=float(send_hi - send_lo)))
         inboxes = cluster.exchange(messages)
         for rank in group:
             ranges[rank] = plan[rank]
@@ -334,7 +360,8 @@ def allreduce_rabenseifner(
         for pos, rank in enumerate(group):
             partner = group[pos ^ distance]
             lo, hi = ranges[rank]
-            messages.append(Message(src=rank, dst=partner, payload=(lo, working[rank][lo:hi])))
+            messages.append(Message(src=rank, dst=partner, payload=(lo, working[rank][lo:hi]),
+                                     size=float(hi - lo)))
         inboxes = cluster.exchange(messages)
         for rank in group:
             lo, hi = ranges[rank]

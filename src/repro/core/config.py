@@ -2,10 +2,12 @@
 
 :class:`SparDLConfig` collects every knob the paper exposes: the sparsity
 (``k`` or a density ratio), the team count ``d``, the Spar-All-Gather variant
-and the residual collection policy.  The configuration validates itself
-against a cluster size so misconfigurations (``d`` not dividing ``P``, R-SAG
-with a non-power-of-two ``d``, ...) fail loudly before any communication
-happens.
+and the residual collection policy — plus two implementation knobs: the SRS
+wire format (batched :class:`~repro.comm.packed.PackedBags` messages by
+default) and the dense-fallback crossover.  The configuration validates
+itself against a cluster size so misconfigurations (``d`` not dividing
+``P``, R-SAG with a non-power-of-two ``d``, ...) fail loudly before any
+communication happens.
 """
 
 from __future__ import annotations
@@ -15,8 +17,19 @@ from enum import Enum
 from typing import Optional
 
 from .residuals import ResidualPolicy
+from .srs import WIRE_FORMATS
 
-__all__ = ["SAGMode", "SparDLConfig"]
+__all__ = ["SAGMode", "SparDLConfig", "DEFAULT_DENSE_CROSSOVER"]
+
+#: Density ratio ``k/n`` at which the sparse pipeline stops beating a dense
+#: All-Reduce.  Measured by ``benchmarks/perf/bench_srs.py`` in simulated
+#: alpha-beta time (recorded in ``BENCH_PR2.json``): for power-of-two worker
+#: counts — where the dense algorithm is bandwidth-optimal — the crossover
+#: sits at ``k/n = 0.5``, exactly where the COO volume ``4k(P-1)/P`` meets
+#: the dense ``2n(P-1)/P``.  For other worker counts the latency-heavy ring
+#: keeps the sparse pipeline ahead even at ``k/n = 1``, so 0.5 is the
+#: conservative bound.
+DEFAULT_DENSE_CROSSOVER = 0.5
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -63,6 +76,22 @@ class SparDLConfig:
         Disable the paper's "Optimization for SRS": re-sparsify every held
         block after each summation instead of only the blocks about to be
         sent.  Only used by the ablation benchmark.
+    wire_format:
+        SRS wire format: ``"packed"`` (default, one batched
+        :class:`~repro.comm.packed.PackedBags` message per worker and step)
+        or ``"per-block"`` (unbatched; one message per block, kept for the
+        batching benchmark).
+    dense_fallback:
+        When True (default), synchronisations whose density ``k/n`` reaches
+        :attr:`dense_fallback_ratio` bypass the sparse pipeline and run a
+        dense All-Reduce instead — at high density the COO representation
+        moves *more* than the dense lower bound (2 elements per non-zero)
+        and pays the sparse bookkeeping on top.
+    dense_fallback_ratio:
+        Crossover density for the fallback.  ``None`` uses the measured
+        default :data:`DEFAULT_DENSE_CROSSOVER`; any positive float
+        overrides it.  Because ``k/n`` never exceeds 1, a value above 1
+        disables the fallback (equivalent to ``dense_fallback=False``).
     """
 
     k: Optional[int] = None
@@ -71,6 +100,9 @@ class SparDLConfig:
     sag_mode: SAGMode | str = SAGMode.AUTO
     residual_policy: ResidualPolicy | str = ResidualPolicy.GLOBAL
     sparsify_all_blocks: bool = False
+    wire_format: str = "packed"
+    dense_fallback: bool = True
+    dense_fallback_ratio: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.k is None and self.density is None:
@@ -83,6 +115,12 @@ class SparDLConfig:
             raise ValueError("density must be in (0, 1]")
         if self.num_teams <= 0:
             raise ValueError("num_teams must be positive")
+        if self.wire_format not in WIRE_FORMATS:
+            raise ValueError(
+                f"wire_format must be one of {WIRE_FORMATS}, got {self.wire_format!r}"
+            )
+        if self.dense_fallback_ratio is not None and self.dense_fallback_ratio <= 0:
+            raise ValueError("dense_fallback_ratio must be positive")
         self.sag_mode = SAGMode.coerce(self.sag_mode)
         self.residual_policy = ResidualPolicy.coerce(self.residual_policy)
 
@@ -112,6 +150,12 @@ class SparDLConfig:
         if (self.num_teams > 1 and self.sag_mode is SAGMode.RSAG
                 and not _is_power_of_two(self.num_teams)):
             raise ValueError("R-SAG requires a power-of-two number of teams")
+
+    def resolve_dense_crossover(self) -> float:
+        """The density ``k/n`` at (or above) which the dense fallback kicks in."""
+        if self.dense_fallback_ratio is not None:
+            return float(self.dense_fallback_ratio)
+        return DEFAULT_DENSE_CROSSOVER
 
     def effective_sag_mode(self) -> SAGMode:
         """The variant actually executed for this ``num_teams``."""

@@ -19,6 +19,13 @@ Two variants are provided, exactly as in the paper:
   after it.  ``h`` is adapted across iterations by
   :class:`CompressionRatioController` (Algorithm 2), which drives the
   post-exchange non-zero count towards ``L``.
+
+Both variants ship sparse payloads in the batched
+:class:`~repro.comm.packed.PackedBags` wire format: R-SAG packs the
+exchanged block into a single-bag buffer pair (``comm_size`` derived from
+the packed arrays), and B-SAG's Bruck exchange packs each forwarded item
+list inside :func:`~repro.comm.collectives.allgather_bruck_grouped`.
+Receivers decode zero-copy views and merge them with the compiled kernels.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..comm.cluster import Message, SimulatedCluster
 from ..comm.collectives import allgather_bruck_grouped
+from ..comm.packed import PackedBags
 from ..sparse.vector import SparseGradient
 from .residuals import ResidualManager
 
@@ -200,7 +208,8 @@ def r_sag(
             for team_index, rank in enumerate(group):
                 partner = group[team_index ^ distance]
                 messages.append(Message(src=rank, dst=partner,
-                                        payload=current[rank], tag=f"rsag-{step}"))
+                                        payload=PackedBags.pack([current[rank]]),
+                                        tag=f"rsag-{step}"))
         inboxes = cluster.exchange(messages)
         # After step ``t`` the 2^(t+1) teams of a recursive-doubling cohort all
         # hold identical merged data and drop identical values, so each worker
@@ -211,7 +220,7 @@ def r_sag(
         for group in groups:
             for rank in group:
                 for message in inboxes.get(rank, []):
-                    current[rank] = current[rank].add(message.payload)
+                    current[rank] = current[rank].add(message.payload.bag(0))
                 merged_max = max(merged_max, current[rank].nnz)
                 merged_sum += current[rank].nnz
                 merged_count += 1

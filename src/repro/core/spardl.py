@@ -13,6 +13,16 @@ paper:
 4. let the **global residual collection** manager keep every value any
    sparsification dropped along the way.
 
+Sparse payloads travel in the batched :class:`~repro.comm.packed.PackedBags`
+wire format throughout (SRS bags and the Bruck all-gathers alike), so every
+worker emits one message per communication step.
+
+When the configured density ``k/n`` reaches the dense-fallback crossover
+(:meth:`SparDLConfig.resolve_dense_crossover`), the sparse pipeline is
+skipped entirely in favour of a dense All-Reduce: past the crossover the COO
+encoding moves more elements than the dense bandwidth lower bound and pays
+the sparse bookkeeping on top, so falling back is strictly faster and exact.
+
 The synchroniser implements :class:`repro.core.base.GradientSynchronizer`, so
 the distributed trainer, the examples and the benchmarks can swap it with any
 baseline method.
@@ -25,7 +35,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..comm.cluster import SimulatedCluster
-from ..comm.collectives import allgather_bruck_grouped
+from ..comm.collectives import allgather_bruck_grouped, allreduce_dense
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
 from .base import GradientSynchronizer, SyncResult
@@ -68,6 +78,11 @@ class SparDLSynchronizer(GradientSynchronizer):
         self.k_block = max(1, -(-self.k * self.num_teams // cluster.num_workers))
         self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                          config.residual_policy)
+        #: Crossover density at which the dense fallback engages.
+        self.dense_crossover = config.resolve_dense_crossover()
+        #: True when this configuration bypasses the sparse pipeline.
+        self.uses_dense_fallback = (config.dense_fallback
+                                    and self.k / num_elements >= self.dense_crossover)
         self._controller: Optional[CompressionRatioController] = None
         if self.num_teams > 1 and config.effective_sag_mode() is SAGMode.BSAG:
             self._controller = CompressionRatioController(
@@ -87,6 +102,9 @@ class SparDLSynchronizer(GradientSynchronizer):
     def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
         corrected = self.residuals.apply(gradients)
 
+        if self.uses_dense_fallback:
+            return self._synchronize_dense(corrected)
+
         srs_out = spar_reduce_scatter(
             cluster=self.cluster,
             teams=self.teams,
@@ -95,6 +113,7 @@ class SparDLSynchronizer(GradientSynchronizer):
             k_block=self.k_block,
             residuals=self.residuals,
             sparsify_all=self.config.sparsify_all_blocks,
+            wire_format=self.config.wire_format,
         )
 
         sag_out = self._run_sag(srs_out.reduced_blocks)
@@ -115,6 +134,7 @@ class SparDLSynchronizer(GradientSynchronizer):
             "final_nnz": reference.nnz,
             "srs_steps": srs_out.num_steps,
             "max_bag_nnz_per_step": srs_out.max_bag_nnz_per_step,
+            "dense_fallback": False,
         }
         if sag_out is not None:
             info.update({
@@ -126,6 +146,27 @@ class SparDLSynchronizer(GradientSynchronizer):
         return SyncResult(global_gradients=global_gradients, stats=None, info=info)
 
     # ------------------------------------------------------------------
+    def _synchronize_dense(self, corrected: Dict[int, np.ndarray]) -> SyncResult:
+        """Dense All-Reduce fallback past the density crossover.
+
+        The residual-corrected gradients are reduced exactly, so nothing is
+        dropped and no residuals are collected this iteration (the stores
+        were already drained by ``apply``).
+        """
+        reduced = allreduce_dense(self.cluster, corrected)
+        reference = reduced[next(iter(reduced))]
+        info = {
+            "k": self.k,
+            "k_block": self.k_block,
+            "num_teams": self.num_teams,
+            "final_nnz": int(np.count_nonzero(reference)),
+            "srs_steps": 0,
+            "max_bag_nnz_per_step": [],
+            "dense_fallback": True,
+            "dense_crossover": self.dense_crossover,
+        }
+        return SyncResult(global_gradients=reduced, stats=None, info=info)
+
     def _run_sag(self, blocks: Dict[int, SparseGradient]) -> Optional[SAGOutput]:
         """Synchronise teams with R-SAG or B-SAG (no-op when ``d == 1``)."""
         if self.num_teams == 1:

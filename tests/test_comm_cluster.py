@@ -89,14 +89,52 @@ class TestSimulatedCluster:
         assert old.rounds == 1
         assert cluster4.stats.rounds == 0
 
-    def test_sendrecv_convenience(self, cluster4):
+    def test_sendrecv_keyed_by_source(self, cluster4):
         received = cluster4.sendrecv({0: (1, np.arange(2.0)), 1: (0, np.arange(3.0))})
         assert set(received) == {0, 1}
-        assert received[0].shape == (3,)
+        assert received[0][1].shape == (3,)
+        assert received[1][0].shape == (2,)
 
     def test_sendrecv_multiple_to_same_destination(self, cluster4):
         received = cluster4.sendrecv({0: (2, 1.0), 1: (2, 2.0)})
-        assert sorted(received[2]) == [1.0, 2.0]
+        assert received[2] == {0: 1.0, 1: 2.0}
+
+    def test_sendrecv_single_list_payload_is_unambiguous(self, cluster4):
+        # A single received payload that *is* a list must stay distinguishable
+        # from two separate payloads (the old bare-payload convention made
+        # them identical).
+        received = cluster4.sendrecv({0: (2, [1.0, 2.0])})
+        assert received[2] == {0: [1.0, 2.0]}
 
     def test_ranks_property(self, cluster6):
         assert list(cluster6.ranks) == [0, 1, 2, 3, 4, 5]
+
+
+class TestPayloadAliasing:
+    """Receivers must never be able to mutate sender-owned memory."""
+
+    def test_received_array_is_read_only(self, cluster4):
+        source = np.arange(6.0)
+        inboxes = cluster4.exchange([Message(src=0, dst=1, payload=source[2:5])])
+        received = inboxes[1][0].payload
+        with pytest.raises(ValueError):
+            received += 1.0
+        np.testing.assert_array_equal(source, np.arange(6.0))
+
+    def test_sender_view_stays_writable(self, cluster4):
+        # Freezing happens on a delivered *view*; the sender's own array (and
+        # the very slice it sent) must remain writable.
+        source = np.arange(6.0)
+        chunk = source[2:5]
+        cluster4.exchange([Message(src=0, dst=1, payload=chunk)])
+        chunk += 1.0  # must not raise
+        assert source[2] == 3.0
+
+    def test_arrays_nested_in_tuples_and_lists_are_frozen(self, cluster4):
+        payload = (3, [np.zeros(4), np.ones(2)])
+        inboxes = cluster4.exchange([Message(src=0, dst=1, payload=payload, size=6.0)])
+        offset, arrays = inboxes[1][0].payload
+        assert offset == 3
+        for array in arrays:
+            with pytest.raises(ValueError):
+                array[0] = 99.0

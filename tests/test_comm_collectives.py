@@ -151,3 +151,50 @@ class TestDenseAllReduce:
         cluster = SimulatedCluster(6)
         allreduce_dense(cluster, {r: np.ones(18) for r in range(6)})
         assert cluster.stats.rounds == 10
+
+
+class TestVolumeAccounting:
+    """Recorded volumes must equal the closed-form element counts exactly —
+    control metadata (group positions, slice offsets, block ids) is free."""
+
+    @pytest.mark.parametrize("num_workers", [2, 4, 8, 16])
+    def test_recursive_doubling_allgather_volume_is_exact(self, num_workers):
+        item_size = 3
+        cluster = SimulatedCluster(num_workers)
+        items = {r: np.full(item_size, float(r)) for r in range(num_workers)}
+        allgather_recursive_doubling(cluster, items)
+        # Every worker ends holding all P items, P-1 of which arrived over
+        # the wire; the position ints it also receives are metadata.
+        expected = float(item_size * (num_workers - 1))
+        for rank in range(num_workers):
+            assert cluster.stats.received_per_worker[rank] == expected
+
+    @pytest.mark.parametrize("num_workers", [2, 4, 8, 16])
+    def test_rabenseifner_volume_is_exact(self, num_workers):
+        n = 16 * num_workers  # divisible so halving never truncates
+        cluster = SimulatedCluster(num_workers)
+        vectors = {r: np.random.default_rng(r).normal(size=n) for r in range(num_workers)}
+        allreduce_rabenseifner(cluster, vectors)
+        # Recursive halving: n/2 + n/4 + ... + n/P = n(P-1)/P, then the
+        # all-gather mirrors it; slice offsets are metadata.
+        expected = 2.0 * n * (num_workers - 1) / num_workers
+        for rank in range(num_workers):
+            assert cluster.stats.received_per_worker[rank] == expected
+
+    @pytest.mark.parametrize("num_workers", [2, 3, 5, 8])
+    def test_bruck_sparse_allgather_volume_is_exact(self, num_workers):
+        from repro.sparse.vector import SparseGradient
+
+        nnz = 4
+        cluster = SimulatedCluster(num_workers)
+        items = {
+            r: SparseGradient(np.arange(nnz, dtype=np.int64) + r * nnz,
+                              np.ones(nnz), num_workers * nnz)
+            for r in range(num_workers)
+        }
+        allgather_bruck(cluster, items)
+        # P-1 foreign items of 2*nnz elements each; the packed wire format's
+        # bag ids and offsets must not change the count.
+        expected = 2.0 * nnz * (num_workers - 1)
+        for rank in range(num_workers):
+            assert cluster.stats.received_per_worker[rank] == expected

@@ -79,3 +79,23 @@ class TestSparDLConfig:
         label = SparDLConfig(density=0.01, num_teams=7).describe()
         assert "BSAG" in label and "d=7" in label
         assert "SparDL" in SparDLConfig(k=5).describe()
+
+
+class TestWireAndFallbackKnobs:
+    def test_wire_format_validated(self):
+        assert SparDLConfig(k=10).wire_format == "packed"
+        assert SparDLConfig(k=10, wire_format="per-block").wire_format == "per-block"
+        with pytest.raises(ValueError):
+            SparDLConfig(k=10, wire_format="json")
+
+    def test_dense_crossover_defaults_to_measured_constant(self):
+        from repro.core.config import DEFAULT_DENSE_CROSSOVER
+
+        assert SparDLConfig(k=10).resolve_dense_crossover() == DEFAULT_DENSE_CROSSOVER
+        assert SparDLConfig(k=10, dense_fallback_ratio=0.3).resolve_dense_crossover() == 0.3
+
+    def test_dense_fallback_ratio_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SparDLConfig(k=10, dense_fallback_ratio=0.0)
+        with pytest.raises(ValueError):
+            SparDLConfig(k=10, dense_fallback_ratio=-0.5)

@@ -17,14 +17,14 @@ from tests.helpers import random_gradients
 
 
 def run_srs(num_workers, num_elements, k_block, *, num_teams=1, sparsify_all=False,
-            policy=ResidualPolicy.GLOBAL, seed=0):
+            policy=ResidualPolicy.GLOBAL, seed=0, wire_format="packed"):
     cluster = SimulatedCluster(num_workers)
     teams = make_teams(num_workers, num_teams)
     layout = BlockLayout(num_elements, num_workers // num_teams)
     residuals = ResidualManager(num_workers, num_elements, policy)
     gradients = random_gradients(num_workers, num_elements, seed=seed)
     output = spar_reduce_scatter(cluster, teams, gradients, layout, k_block, residuals,
-                                 sparsify_all=sparsify_all)
+                                 sparsify_all=sparsify_all, wire_format=wire_format)
     return cluster, output, residuals, gradients
 
 
@@ -123,6 +123,49 @@ class TestSRSCorrectness:
         capacities = [2, 2, 1]  # bag sizes sent at steps 1..3 for 6 workers: E=2, 2, 1
         for step_max, capacity in zip(output.max_bag_nnz_per_step, capacities):
             assert step_max <= capacity * k_block
+
+
+class TestSRSWireFormat:
+    """The batched (PackedBags) and per-block wire formats are equivalent."""
+
+    @pytest.mark.parametrize("num_workers", [2, 3, 5, 6, 8, 14])
+    def test_packed_and_per_block_are_bit_identical(self, num_workers):
+        _, packed, packed_res, _ = run_srs(num_workers, 300, 4, seed=11,
+                                           wire_format="packed")
+        _, legacy, legacy_res, _ = run_srs(num_workers, 300, 4, seed=11,
+                                           wire_format="per-block")
+        for rank in range(num_workers):
+            np.testing.assert_array_equal(packed.reduced_blocks[rank].indices,
+                                          legacy.reduced_blocks[rank].indices)
+            np.testing.assert_array_equal(packed.reduced_blocks[rank].values,
+                                          legacy.reduced_blocks[rank].values)
+        np.testing.assert_array_equal(packed_res.total_residual(),
+                                      legacy_res.total_residual())
+
+    @pytest.mark.parametrize("num_workers", [2, 3, 5, 6, 8, 14])
+    def test_packed_emits_one_message_per_worker_per_step(self, num_workers):
+        cluster, output, _, _ = run_srs(num_workers, 300, 4)
+        assert cluster.stats.total_messages == num_workers * output.num_steps
+
+    def test_per_block_emits_one_message_per_block(self):
+        # Over all of SRS each worker ships every non-preserved block exactly
+        # once: P * (m - 1) messages in the unbatched wiring.
+        num_workers = 8
+        cluster, _, _, _ = run_srs(num_workers, 300, 4, wire_format="per-block")
+        assert cluster.stats.total_messages == num_workers * (num_workers - 1)
+
+    @pytest.mark.parametrize("num_workers", [3, 8])
+    def test_both_formats_record_identical_volumes(self, num_workers):
+        packed_cluster, _, _, _ = run_srs(num_workers, 300, 4, seed=5)
+        legacy_cluster, _, _, _ = run_srs(num_workers, 300, 4, seed=5,
+                                          wire_format="per-block")
+        assert (packed_cluster.stats.received_per_worker
+                == legacy_cluster.stats.received_per_worker)
+        assert packed_cluster.stats.rounds == legacy_cluster.stats.rounds
+
+    def test_rejects_unknown_wire_format(self):
+        with pytest.raises(ValueError):
+            run_srs(4, 100, 2, wire_format="json")
 
 
 class TestSRSValidation:

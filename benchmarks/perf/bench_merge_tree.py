@@ -1,0 +1,285 @@
+"""Wide k-way merge + deferred-residual microbenchmarks (PR 3 harness).
+
+Two measurements, both emitted into one JSON trajectory point
+(``BENCH_PR3.json``) that CI uploads next to ``BENCH_PR1.json`` /
+``BENCH_PR2.json``:
+
+* **Tournament-tree merge_many** — times the compiled tournament-tree kernel
+  against the O(total x streams) head-scan kernel it replaced, at stream
+  counts matching very wide gathers (P = 8 .. 256), and asserts the outputs
+  are bit-identical.  The NumPy fallback pair (bracket tree merge vs the
+  packed-key stable sort) is recorded alongside.
+* **Deferred residual accumulation** — runs the full SparDL synchroniser
+  with eager and deferred residual collection on identical gradients and
+  records the per-worker sparse-scatter counts (the deferred mode performs
+  exactly one fold per worker per iteration) plus the bit-identity of
+  ``total_residual``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_merge_tree.py
+
+Exits non-zero if the tournament kernel fails to beat the head scan at
+>= 64 streams or if the deferred path stops matching the eager path
+bit-for-bit, so it doubles as a CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from naive_reference import naive_merge_many  # noqa: E402
+
+from repro.comm.cluster import SimulatedCluster  # noqa: E402
+from repro.core.config import SparDLConfig  # noqa: E402
+from repro.core.spardl import SparDLSynchronizer  # noqa: E402
+from repro.sparse.vector import (  # noqa: E402
+    _get_c_kernels,
+    _segment_sum_sorted,
+    _stable_merge_sorted,
+    _tree_merge_sorted,
+    merge_many_coo,
+)
+
+#: Gradient length and per-stream selection for the merge benchmark.
+N = 1_000_000
+NNZ_PER_STREAM = 2_000
+STREAM_COUNTS = (8, 64, 128, 256)
+
+#: Minimum tournament-over-headscan speedup gated at wide fan-ins.  The
+#: kernel-level win is far larger (see BENCH_PR3.json); the floor is kept
+#: CI-noise-safe.
+GATE_MIN_SPEEDUP = 1.5
+GATE_STREAMS = 64
+
+#: Deferred-residual scenario: P = 16 workers in two teams of eight.
+RES_WORKERS = 16
+RES_TEAMS = 2
+RES_ELEMENTS = 40_000
+RES_DENSITY = 0.01
+RES_ITERATIONS = 3
+
+
+def best_of(func, repeats: int, loops: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``loops`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            func()
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best
+
+
+def make_streams(rng: np.random.Generator, num_streams: int, n: int, nnz: int):
+    index_streams, value_streams = [], []
+    for _ in range(num_streams):
+        index_streams.append(
+            np.sort(rng.choice(n, size=nnz, replace=False)).astype(np.int64))
+        value_streams.append(rng.normal(size=nnz))
+    return index_streams, value_streams
+
+
+def _numpy_tree(index_streams, value_streams):
+    indices, values = _tree_merge_sorted(index_streams, value_streams)
+    return _segment_sum_sorted(indices, values)
+
+
+def _numpy_packed_key(index_streams, value_streams):
+    indices, values = _stable_merge_sorted(index_streams, value_streams)
+    return _segment_sum_sorted(indices, values)
+
+
+def run_merge_benchmarks(repeats: int = 3, loops: int = 1,
+                         seed: int = 0) -> Dict[str, dict]:
+    """Time tournament vs head-scan at every stream count; verify bits."""
+    kernels = _get_c_kernels()
+    rng = np.random.default_rng(seed)
+    results: Dict[str, dict] = {}
+    for num_streams in STREAM_COUNTS:
+        index_streams, value_streams = make_streams(
+            rng, num_streams, N, NNZ_PER_STREAM)
+        # Bit-identity to the seed fold (sequential pairwise np.unique +
+        # np.add.at merging) — checked for the production dispatch AND the
+        # NumPy bracket reference, independent of compiler availability.
+        seed_fold = naive_merge_many(index_streams, value_streams)
+        production = merge_many_coo(index_streams, value_streams)
+        bracket = _numpy_tree(index_streams, value_streams)
+        seed_identical = all(
+            np.array_equal(seed_fold[0], candidate[0])
+            and np.array_equal(seed_fold[1].view(np.int64),
+                               candidate[1].view(np.int64))
+            for candidate in (production, bracket))
+        entry: Dict[str, object] = {
+            "num_streams": num_streams,
+            "total_entries": num_streams * NNZ_PER_STREAM,
+            "seed_fold_bit_identical": bool(seed_identical),
+        }
+        if kernels is not None:
+            reference = kernels.merge_many(index_streams, value_streams,
+                                           impl="headscan")
+            tournament = kernels.merge_many(index_streams, value_streams,
+                                            impl="tournament")
+            bit_identical = (
+                np.array_equal(reference[0], tournament[0])
+                and np.array_equal(reference[1].view(np.int64),
+                                   tournament[1].view(np.int64)))
+            headscan_s = best_of(
+                lambda: kernels.merge_many(index_streams, value_streams,
+                                           impl="headscan"),
+                repeats, loops)
+            tournament_s = best_of(
+                lambda: kernels.merge_many(index_streams, value_streams,
+                                           impl="tournament"),
+                repeats, loops)
+            entry.update({
+                "bit_identical": bool(bit_identical),
+                "headscan_s": headscan_s,
+                "tournament_s": tournament_s,
+                "speedup": headscan_s / tournament_s if tournament_s else
+                float("inf"),
+            })
+        else:  # no compiler: record the NumPy pair only
+            entry.update({"bit_identical": None, "headscan_s": None,
+                          "tournament_s": None, "speedup": None})
+        packed_key_s = best_of(
+            lambda: _numpy_packed_key(index_streams, value_streams),
+            repeats, loops)
+        tree_s = best_of(
+            lambda: _numpy_tree(index_streams, value_streams),
+            repeats, loops)
+        entry.update({
+            "numpy_packed_key_s": packed_key_s,
+            "numpy_tree_s": tree_s,
+            "numpy_tree_speedup": packed_key_s / tree_s if tree_s else
+            float("inf"),
+        })
+        results[f"streams_{num_streams}"] = entry
+    return results
+
+
+def _run_spardl(deferred: bool):
+    cluster = SimulatedCluster(RES_WORKERS)
+    config = SparDLConfig(density=RES_DENSITY, num_teams=RES_TEAMS,
+                          deferred_residuals=deferred)
+    sync = SparDLSynchronizer(cluster, RES_ELEMENTS, config)
+    start = time.perf_counter()
+    for iteration in range(RES_ITERATIONS):
+        gradients = {
+            worker: np.random.default_rng(97 * iteration + worker)
+            .normal(size=RES_ELEMENTS)
+            for worker in range(RES_WORKERS)
+        }
+        sync.synchronize(gradients)
+    wall_s = time.perf_counter() - start
+    total = sync.residuals.total_residual()
+    scatters = {worker: sync.residuals.store(worker).scatter_count
+                for worker in range(RES_WORKERS)}
+    return total, scatters, wall_s
+
+
+def run_residual_benchmarks() -> Dict[str, object]:
+    """Eager vs deferred residual collection on identical SparDL runs."""
+    eager_total, eager_scatters, eager_wall = _run_spardl(deferred=False)
+    deferred_total, deferred_scatters, deferred_wall = _run_spardl(
+        deferred=True)
+    return {
+        "config": {"num_workers": RES_WORKERS, "num_teams": RES_TEAMS,
+                   "num_elements": RES_ELEMENTS, "density": RES_DENSITY,
+                   "iterations": RES_ITERATIONS},
+        "total_residual_bit_identical": bool(
+            np.array_equal(eager_total.view(np.int64),
+                           deferred_total.view(np.int64))),
+        "eager": {"wall_s": eager_wall,
+                  "max_scatters_per_worker": max(eager_scatters.values()),
+                  "total_scatters": sum(eager_scatters.values())},
+        "deferred": {"wall_s": deferred_wall,
+                     "max_scatters_per_worker": max(deferred_scatters.values()),
+                     "total_scatters": sum(deferred_scatters.values())},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR3.json",
+                        help="path of the JSON trajectory point to write")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer timing repeats (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record timings without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    repeats, loops = (2, 1) if args.quick else (5, 2)
+    merge = run_merge_benchmarks(repeats=repeats, loops=loops)
+    residuals = run_residual_benchmarks()
+
+    report = {
+        "bench": "PR3 tournament-tree k-way merge + deferred residuals",
+        "config": {"n": N, "nnz_per_stream": NNZ_PER_STREAM,
+                   "stream_counts": list(STREAM_COUNTS),
+                   "repeats": repeats, "loops": loops},
+        "gate": {"min_speedup": GATE_MIN_SPEEDUP,
+                 "gated_at_streams": GATE_STREAMS},
+        "merge_many": merge,
+        "deferred_residuals": residuals,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'streams':>8}  {'headscan':>10}  {'tournament':>10}  "
+          f"{'speedup':>8}  {'numpy tree':>10}")
+    for entry in merge.values():
+        headscan = entry["headscan_s"]
+        tournament = entry["tournament_s"]
+        speedup = entry["speedup"]
+        print(f"{entry['num_streams']:>8}  "
+              f"{'-' if headscan is None else f'{headscan * 1e3:8.2f}ms'}  "
+              f"{'-' if tournament is None else f'{tournament * 1e3:8.2f}ms'}  "
+              f"{'-' if speedup is None else f'{speedup:7.1f}x'}  "
+              f"{entry['numpy_tree_s'] * 1e3:8.2f}ms")
+    deferred = residuals["deferred"]
+    eager = residuals["eager"]
+    print(f"residual scatters/worker: eager {eager['max_scatters_per_worker']}"
+          f" -> deferred {deferred['max_scatters_per_worker']} "
+          f"(bit-identical: {residuals['total_residual_bit_identical']})")
+    print(f"wrote {args.output}")
+
+    if args.no_gate:
+        return 0
+    failures = []
+    for entry in merge.values():
+        if entry["bit_identical"] is False:
+            failures.append(
+                f"streams={entry['num_streams']}: outputs not bit-identical")
+        if not entry["seed_fold_bit_identical"]:
+            failures.append(
+                f"streams={entry['num_streams']}: diverged from the seed fold")
+        if (entry["speedup"] is not None
+                and entry["num_streams"] >= GATE_STREAMS
+                and entry["speedup"] < GATE_MIN_SPEEDUP):
+            failures.append(
+                f"streams={entry['num_streams']}: tournament speedup "
+                f"{entry['speedup']:.2f}x < {GATE_MIN_SPEEDUP}x")
+    if not residuals["total_residual_bit_identical"]:
+        failures.append("deferred total_residual diverged from eager")
+    if (residuals["deferred"]["max_scatters_per_worker"]
+            > RES_ITERATIONS):
+        failures.append("deferred mode exceeded one scatter per worker "
+                        "per iteration")
+    if failures:
+        print("PERF GATE FAILED:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,6 +112,7 @@ class PackedBags:
     # ------------------------------------------------------------------
     @property
     def num_bags(self) -> int:
+        """Number of packed bags (``int``)."""
         return len(self.ids)
 
     @property
@@ -146,6 +147,7 @@ class PackedBags:
         return [self.bag(position) for position in range(self.num_bags)]
 
     def __len__(self) -> int:
+        """Alias for :attr:`num_bags`."""
         return self.num_bags
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -92,6 +92,14 @@ class SparDLConfig:
         default :data:`DEFAULT_DENSE_CROSSOVER`; any positive float
         overrides it.  Because ``k/n`` never exceeds 1, a value above 1
         disables the fallback (equivalent to ``dense_fallback=False``).
+    deferred_residuals:
+        When True, the residual manager buffers every sparse discard
+        (``collect_procedure`` / ``collect_local_sparse``) per worker and
+        folds each buffer through one
+        :func:`~repro.sparse.vector.merge_many_coo` call and a single
+        scatter at the flush points of the iteration, instead of scattering
+        once per (worker, step).  Bit-identical residuals either way; the
+        default False keeps the eager reference path.
     """
 
     k: Optional[int] = None
@@ -103,6 +111,7 @@ class SparDLConfig:
     wire_format: str = "packed"
     dense_fallback: bool = True
     dense_fallback_ratio: Optional[float] = None
+    deferred_residuals: bool = False
 
     def __post_init__(self) -> None:
         if self.k is None and self.density is None:

@@ -24,17 +24,25 @@ Three policies are provided, matching the paper's Section IV-I ablation:
 * :class:`ResidualPolicy.LOCAL` (LRES, as in DGC) collects local residuals
   only.
 * :class:`ResidualPolicy.NONE` disables error feedback entirely.
+
+Orthogonally to the policy, :class:`ResidualManager` supports **deferred
+accumulation** (``deferred=True``): sparse discards are buffered per worker
+and folded into the dense stores with one k-way merge and one scatter per
+worker at the iteration's flush points, instead of one scatter per
+(worker, step) — the amortisation matters at large worker counts where a
+synchronisation performs many small discards.  Both modes produce
+bit-identical stores; see :meth:`ResidualStore.fold_sparse_batch`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sparse.vector import SparseGradient
+from ..sparse.vector import SparseGradient, merge_many_coo
 
 __all__ = ["ResidualPolicy", "ResidualStore", "ResidualManager"]
 
@@ -55,27 +63,72 @@ class ResidualPolicy(str, Enum):
 
 
 class ResidualStore:
-    """Dense per-worker accumulator of discarded gradient mass."""
+    """Dense per-worker accumulator of discarded gradient mass.
+
+    :attr:`scatter_count` counts the sparse scatter operations performed
+    (one per :meth:`add_sparse` call, one per :meth:`fold_sparse_batch`
+    call) so the deferred-accumulation benchmark can demonstrate the
+    reduction from one scatter per (worker, step) to one per flush.
+    """
 
     def __init__(self, num_elements: int) -> None:
         if num_elements <= 0:
             raise ValueError("num_elements must be positive")
         self._data = np.zeros(num_elements, dtype=np.float64)
+        #: Number of sparse scatter operations applied to this store.
+        self.scatter_count = 0
 
     @property
     def num_elements(self) -> int:
+        """Length of the underlying dense gradient vector (``int``)."""
         return self._data.shape[0]
 
     def add_dense(self, values: np.ndarray, offset: int = 0) -> None:
+        """Accumulate a dense block ``values`` starting at ``offset``."""
         values = np.asarray(values, dtype=np.float64)
         self._data[offset:offset + values.shape[0]] += values
 
     def add_sparse(self, sparse: SparseGradient, share: float = 1.0) -> None:
+        """Accumulate ``share * sparse`` with one sparse scatter."""
         if sparse.nnz == 0:
             return
         # SparseGradient indices are unique by invariant, so a direct
         # fancy-index add is exact and much faster than np.add.at.
         self._data[sparse.indices] += sparse.values * float(share)
+        self.scatter_count += 1
+
+    def fold_sparse_batch(
+        self, discards: Sequence[Tuple[SparseGradient, float]]
+    ) -> None:
+        """Accumulate many ``(sparse, share)`` discards with ONE scatter.
+
+        Bit-identical to calling :meth:`add_sparse` once per discard in
+        order: the current store content at the touched indices is gathered
+        and fed to :func:`~repro.sparse.vector.merge_many_coo` as stream 0,
+        so each output value is the same left-to-right addition chain
+        ``((base + v1) + v2) + ...`` the sequential scatters would have
+        produced, and the result is written back with a single fancy-index
+        assignment.
+        """
+        index_streams: List[np.ndarray] = []
+        value_streams: List[np.ndarray] = []
+        for sparse, share in discards:
+            if sparse.nnz == 0:
+                continue
+            index_streams.append(sparse.indices)
+            # share == 1.0 skips the multiply; v * 1.0 == v bitwise anyway.
+            value_streams.append(sparse.values if share == 1.0
+                                 else sparse.values * float(share))
+        if not index_streams:
+            return
+        touched = np.unique(np.concatenate(index_streams))
+        base = self._data[touched]
+        indices, values = merge_many_coo([touched] + index_streams,
+                                         [base] + value_streams)
+        # Every stream index is in `touched`, so the merge returns exactly
+        # the touched set and the write-back is a plain assignment.
+        self._data[indices] = values
+        self.scatter_count += 1
 
     def peek(self) -> np.ndarray:
         """Current residual (read-only view semantics: copy)."""
@@ -88,6 +141,7 @@ class ResidualStore:
         return data
 
     def norm(self) -> float:
+        """L2 norm of the stored residual (``float``)."""
         return float(np.linalg.norm(self._data))
 
 
@@ -112,26 +166,83 @@ class ResidualManager:
        a sparsification discards values,
     3. :meth:`finalize` resolves deferred (PARTIAL-policy) discards once the
        final global gradient's index set is known.
+
+    **Deferred accumulation** (``deferred=True``): instead of scattering
+    every sparse discard into the dense store at collection time — one
+    scatter per (worker, step) — the manager buffers the discards per
+    worker and folds each worker's buffer through a single
+    :func:`~repro.sparse.vector.merge_many_coo` call and one scatter at the
+    next flush point (:meth:`flush`, reached from :meth:`apply`,
+    :meth:`finalize` and every diagnostic read).  The fold replays the same
+    left-to-right addition chain the eager scatters would have performed
+    (see :meth:`ResidualStore.fold_sparse_batch`), so both modes produce
+    bit-identical stores.  The ordering contract is that dense
+    :meth:`collect_local` residuals of an iteration are collected *before*
+    that iteration's sparse discards — which is how every synchroniser in
+    this repository behaves (SRS phase 1 precedes all transmissions).
+
+    Parameters
+    ----------
+    num_workers:
+        Number of per-worker stores to own (``int > 0``).
+    num_elements:
+        Gradient vector length of every store (``int > 0``).
+    policy:
+        Which discards to keep: a :class:`ResidualPolicy` or its string
+        value (``"global"`` / ``"partial"`` / ``"local"`` / ``"none"``).
+    deferred:
+        When True, batch sparse discards per worker and fold them at flush
+        points instead of scattering eagerly.  Default False (the eager
+        reference path).
     """
 
     def __init__(self, num_workers: int, num_elements: int,
-                 policy: ResidualPolicy | str = ResidualPolicy.GLOBAL) -> None:
+                 policy: ResidualPolicy | str = ResidualPolicy.GLOBAL,
+                 deferred: bool = False) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.policy = ResidualPolicy.coerce(policy)
         self.num_workers = num_workers
         self.num_elements = num_elements
+        self.deferred = bool(deferred)
         self._stores: Dict[int, ResidualStore] = {
             worker: ResidualStore(num_elements) for worker in range(num_workers)
         }
         self._pending: List[_PendingDiscard] = []
+        #: Deferred mode: per-worker FIFO of (discard, share) awaiting a flush.
+        self._buffered: Dict[int, List[Tuple[SparseGradient, float]]] = {
+            worker: [] for worker in range(num_workers)
+        }
 
     # ------------------------------------------------------------------
     def store(self, worker: int) -> ResidualStore:
+        """The worker's :class:`ResidualStore`, flushed of any buffered
+        discards so direct reads (``peek`` / ``norm``) are accurate."""
+        self.flush(worker)
         return self._stores[worker]
 
+    def flush(self, worker: Optional[int] = None) -> None:
+        """Fold buffered discards into the dense stores (deferred mode).
+
+        One :func:`~repro.sparse.vector.merge_many_coo` fold and one scatter
+        per non-empty buffer; a no-op in eager mode or when nothing is
+        buffered.  ``worker=None`` flushes every worker.
+        """
+        if not self.deferred:
+            return
+        workers = self._buffered.keys() if worker is None else (worker,)
+        for rank in workers:
+            buffered = self._buffered[rank]
+            if buffered:
+                self._stores[rank].fold_sparse_batch(buffered)
+                buffered.clear()
+
     def apply(self, gradients: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
-        """Return ``gradient + residual`` per worker and reset the stores."""
+        """Return ``gradient + residual`` per worker and reset the stores.
+
+        A flush point: buffered discards are folded in before draining.
+        """
+        self.flush()
         corrected = {}
         for worker, gradient in gradients.items():
             residual = self._stores[worker].drain()
@@ -149,31 +260,51 @@ class ResidualManager:
         self._stores[worker].add_dense(residual_block, offset)
 
     def collect_local_sparse(self, worker: int, dropped: SparseGradient, share: float = 1.0) -> None:
-        """Sparse variant of :meth:`collect_local`."""
+        """Sparse variant of :meth:`collect_local`.
+
+        ``dropped`` is the discarded :class:`SparseGradient`; ``share`` is
+        the fraction of it this worker keeps (1.0 unless several workers
+        discard identical values).  Buffered until the next flush in
+        deferred mode.
+        """
         if self.policy is ResidualPolicy.NONE:
+            return
+        if self.deferred:
+            if dropped.nnz:
+                self._buffered[worker].append((dropped, share))
             return
         self._stores[worker].add_sparse(dropped, share)
 
     def collect_procedure(self, worker: int, dropped: SparseGradient, share: float = 1.0) -> None:
         """Collect gradients discarded *during* the communication procedure.
 
-        Under GRES they are stored immediately on the discarding worker.
-        Under PRES they are deferred until :meth:`finalize` decides whether
-        they are end-procedure (kept) or in-procedure (dropped).  Under
-        LRES / NONE they are discarded.
+        Under GRES they are stored on the discarding worker — immediately in
+        eager mode, at the next flush in deferred mode.  Under PRES they are
+        held back until :meth:`finalize` decides whether they are
+        end-procedure (kept) or in-procedure (dropped).  Under LRES / NONE
+        they are discarded.
         """
         if dropped.nnz == 0:
             return
         if self.policy is ResidualPolicy.GLOBAL:
-            self._stores[worker].add_sparse(dropped, share)
+            if self.deferred:
+                self._buffered[worker].append((dropped, share))
+            else:
+                self._stores[worker].add_sparse(dropped, share)
         elif self.policy is ResidualPolicy.PARTIAL:
             self._pending.append(_PendingDiscard(worker, dropped, share))
         # LOCAL and NONE intentionally drop procedure residuals.
 
     def finalize(self, final_indices: Optional[Iterable[int]]) -> None:
-        """Resolve deferred discards given the final global index set."""
+        """Resolve PRES-pending discards given the final global index set.
+
+        ``final_indices`` is the index set of the final global gradient (an
+        ``np.ndarray`` or iterable of ints; ``None`` means empty).  A flush
+        point in deferred mode, for every policy.
+        """
         if self.policy is not ResidualPolicy.PARTIAL:
             self._pending.clear()
+            self.flush()
             return
         if final_indices is None:
             final = np.empty(0, dtype=np.int64)
@@ -195,19 +326,29 @@ class ResidualManager:
                 pending.sparse.indices[mask], pending.sparse.values[mask],
                 pending.sparse.length,
             )
-            self._stores[pending.worker].add_sparse(end_procedure, pending.share)
+            if self.deferred:
+                self._buffered[pending.worker].append((end_procedure, pending.share))
+            else:
+                self._stores[pending.worker].add_sparse(end_procedure, pending.share)
         self._pending.clear()
+        self.flush()
 
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def total_residual(self) -> np.ndarray:
         """Coordinate-wise sum of all workers' residuals (used by the
-        conservation tests and by convergence diagnostics)."""
+        conservation tests and by convergence diagnostics).  Returns a fresh
+        dense ``np.ndarray`` of ``num_elements`` floats; flushes buffered
+        discards first."""
+        self.flush()
         total = np.zeros(self.num_elements, dtype=np.float64)
         for store in self._stores.values():
             total += store.peek()
         return total
 
     def residual_norms(self) -> Dict[int, float]:
+        """Per-worker L2 norm of the stored residual (``{rank: float}``);
+        flushes buffered discards first."""
+        self.flush()
         return {worker: store.norm() for worker, store in self._stores.items()}

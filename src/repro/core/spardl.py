@@ -58,7 +58,27 @@ def make_teams(num_workers: int, num_teams: int) -> List[List[int]]:
 
 
 class SparDLSynchronizer(GradientSynchronizer):
-    """Sparse All-Reduce using the SparDL framework."""
+    """Sparse All-Reduce using the SparDL framework.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.comm.cluster.SimulatedCluster` to communicate
+        on; its worker count must be divisible by ``config.num_teams``.
+    num_elements:
+        Length of the dense gradient vector every worker contributes.
+    config:
+        A :class:`~repro.core.config.SparDLConfig`; validated against the
+        cluster at construction (see ``docs/configuration.md``).
+
+    Calling :meth:`synchronize` with a ``{rank: dense gradient}`` mapping
+    returns a :class:`~repro.core.base.SyncResult` whose
+    ``global_gradients`` are identical on every worker.  Residual state
+    lives in :attr:`residuals` (a
+    :class:`~repro.core.residuals.ResidualManager`, deferred-accumulation
+    mode when ``config.deferred_residuals`` is set) and carries over
+    between iterations, implementing error feedback.
+    """
 
     name = "SparDL"
 
@@ -77,7 +97,8 @@ class SparDLSynchronizer(GradientSynchronizer):
         #: (a block is never forced below its own size by integer division).
         self.k_block = max(1, -(-self.k * self.num_teams // cluster.num_workers))
         self.residuals = ResidualManager(cluster.num_workers, num_elements,
-                                         config.residual_policy)
+                                         config.residual_policy,
+                                         deferred=config.deferred_residuals)
         #: Crossover density at which the dense fallback engages.
         self.dense_crossover = config.resolve_dense_crossover()
         #: True when this configuration bypasses the sparse pipeline.
@@ -122,7 +143,10 @@ class SparDLSynchronizer(GradientSynchronizer):
         final = self._intra_team_allgather(blocks)
 
         # Resolve deferred (PRES) discards against the final index set, which
-        # is identical on every worker.
+        # is identical on every worker.  This is also the per-iteration flush
+        # point of deferred residual accumulation: every sparse discard the
+        # SRS/SAG steps buffered is folded into the stores in one merge per
+        # worker here.
         reference = final[next(iter(final))]
         self.residuals.finalize(reference.indices)
 

@@ -83,6 +83,63 @@ def _stable_merge_sorted(index_streams: Sequence[np.ndarray],
     return indices[order], values[order]
 
 
+def _tree_merge_sorted(index_streams: Sequence[np.ndarray],
+                       value_streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Tournament-bracket merge of sorted COO streams (NumPy counterpart of
+    the compiled tournament-tree kernel).
+
+    Streams are merged pairwise in rounds — a bracket of vectorized two-way
+    merges — so the total comparison work is O(total * log streams).  Only
+    the *index* arrays (with their positions in the stream-order
+    concatenation) travel through the bracket; the values are gathered once
+    at the end, so the later segment-sum still accumulates duplicates
+    strictly in stream order and the result stays bit-identical to the seed
+    fold.
+
+    This is the *reference* mirror of the compiled kernel's bracket order,
+    used by the equivalence tests and the ``BENCH_PR3.json`` harness to
+    cross-validate the production paths.  It is not the production NumPy
+    fallback: the packed-key path of :func:`_stable_merge_sorted` reaches
+    the same O(total * log streams) comparison bound through timsort's run
+    galloping and wins on constants (each bracket round here pays a full
+    NumPy-dispatch pass over the data; see ``numpy_tree_speedup`` in
+    ``BENCH_PR3.json``).
+
+    Stability: within a two-way merge, entries of the left run precede equal
+    entries of the right run (``side="left"`` / ``side="right"``), and the
+    bracket always pairs adjacent runs, so the global order of equal indices
+    is exactly the stream order.
+    """
+    runs = []
+    offset = 0
+    for stream in index_streams:
+        n = stream.shape[0]
+        runs.append((stream, np.arange(offset, offset + n, dtype=np.int64)))
+        offset += n
+    values = np.concatenate(value_streams)
+    while len(runs) > 1:
+        merged_runs = []
+        for left in range(0, len(runs) - 1, 2):
+            (ai, ap), (bi, bp) = runs[left], runs[left + 1]
+            na, nb = ai.shape[0], bi.shape[0]
+            out_i = np.empty(na + nb, dtype=np.int64)
+            out_p = np.empty(na + nb, dtype=np.int64)
+            slots_a = np.arange(na, dtype=np.int64)
+            slots_a += np.searchsorted(bi, ai, side="left")
+            slots_b = np.arange(nb, dtype=np.int64)
+            slots_b += np.searchsorted(ai, bi, side="right")
+            out_i[slots_a] = ai
+            out_i[slots_b] = bi
+            out_p[slots_a] = ap
+            out_p[slots_b] = bp
+            merged_runs.append((out_i, out_p))
+        if len(runs) % 2:
+            merged_runs.append(runs[-1])
+        runs = merged_runs
+    indices, positions = runs[0]
+    return indices, values[positions]
+
+
 def _segment_sum_sorted(indices: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Collapse duplicates of an index-sorted COO stream by summation.
 
@@ -137,9 +194,15 @@ def merge_many_coo(index_streams: Sequence[np.ndarray],
                    value_streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
     """K-way merge-sum of sorted-unique COO streams.
 
-    One k-way gather merge (compiled when available, else one stable merge
-    plus one segment-sum pass in NumPy).  Duplicate values accumulate in
-    stream order, so each output value is the left-to-right sum over
+    One k-way tournament-tree merge when the compiled kernels are
+    available, else one stable merge plus one segment-sum pass in NumPy.
+    (The NumPy path keeps the packed-key stable sort: timsort's galloping
+    merges the presorted runs in O(total * log streams) comparisons, so it
+    already *is* a tournament merge in optimized C — measured in
+    ``BENCH_PR3.json`` against the explicit bracket merge of
+    :func:`_tree_merge_sorted`, which exists as the readable reference the
+    equivalence tests cross-validate against.)  Duplicate values accumulate
+    in stream order, so each output value is the left-to-right sum over
     streams — bit-identical to folding :func:`merge_add_coo` pairwise.
     """
     kernels = _get_c_kernels()
@@ -208,6 +271,7 @@ class SparseGradient:
 
     @classmethod
     def empty(cls, length: int) -> "SparseGradient":
+        """An all-zero sparse gradient over a vector of ``length`` entries."""
         if length < 0:
             raise ValueError("length must be non-negative")
         return cls.from_sorted_unique(
@@ -253,6 +317,7 @@ class SparseGradient:
     # ------------------------------------------------------------------
     @property
     def nnz(self) -> int:
+        """Number of stored non-zero entries (``int``)."""
         return int(self.indices.shape[0])
 
     @property
@@ -262,6 +327,8 @@ class SparseGradient:
         return 2.0 * self.nnz
 
     def to_dense(self, length: Optional[int] = None) -> np.ndarray:
+        """Densify into a fresh ``float64`` array of ``length`` entries
+        (defaults to :attr:`length`)."""
         length = self.length if length is None else length
         dense = np.zeros(length, dtype=np.float64)
         dense[self.indices] = self.values
@@ -271,7 +338,8 @@ class SparseGradient:
     # algebra
     # ------------------------------------------------------------------
     def add(self, other: "SparseGradient") -> "SparseGradient":
-        """Merge-sum with another sparse gradient over the same vector."""
+        """Merge-sum with another :class:`SparseGradient` over the same
+        vector; returns a new sparse gradient (inputs are unchanged)."""
         if other.length != self.length:
             raise ValueError("cannot add sparse gradients of different lengths")
         if self.nnz == 0:
@@ -306,6 +374,8 @@ class SparseGradient:
         return SparseGradient.from_sorted_unique(indices, values, length)
 
     def scale(self, factor: float) -> "SparseGradient":
+        """A new sparse gradient with every value multiplied by ``factor``
+        (indices shared, not copied)."""
         return SparseGradient.from_sorted_unique(
             self.indices, self.values * float(factor), self.length
         )
@@ -351,9 +421,11 @@ class SparseGradient:
         )
 
     def index_set(self) -> set:
+        """The non-zero support as a Python ``set`` of ``int`` indices."""
         return set(self.indices.tolist())
 
     def __len__(self) -> int:
+        """Alias for :attr:`nnz`."""
         return self.nnz
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

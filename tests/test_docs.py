@@ -1,0 +1,53 @@
+"""The documented code examples must keep running.
+
+Runs every ``>>>`` doctest embedded in the top-level README and the docs
+pages, so the commands and snippets the documentation shows a new
+contributor cannot silently rot.  CI additionally executes
+``examples/quickstart.py`` in a dedicated docs job.
+"""
+
+from __future__ import annotations
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    "README.md",
+    "docs/architecture.md",
+    "docs/configuration.md",
+]
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES)
+def test_doc_file_exists(relpath):
+    assert (REPO_ROOT / relpath).is_file(), f"{relpath} is missing"
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES)
+def test_doc_examples_run(relpath):
+    results = doctest.testfile(str(REPO_ROOT / relpath),
+                               module_relative=False, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest example(s) in {relpath} failed")
+
+
+def test_readme_documents_the_bench_trajectory():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"):
+        assert artifact in readme, f"README must reference {artifact}"
+        assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
+
+
+def test_configuration_doc_covers_every_config_field():
+    import dataclasses
+
+    from repro.core.config import SparDLConfig
+
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for field in dataclasses.fields(SparDLConfig):
+        assert f"`{field.name}`" in doc, (
+            f"docs/configuration.md does not document SparDLConfig.{field.name}")

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import ETHERNET, SimulatedCluster, SparDLConfig, SparDLSynchronizer
 from repro.analysis import format_table, spardl_complexity
-from repro.baselines import make_synchronizer
+from repro.api import describe, make
 
 
 def main() -> None:
@@ -60,15 +60,16 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 2. Compare against the baseline methods on the same gradients
+    #    (every method built from one facade spec string)
     # ------------------------------------------------------------------
     rows = []
-    for method in ("SparDL", "Ok-Topk", "TopkA", "TopkDSA", "gTopk", "Dense"):
+    for spec in ("spardl?density=0.01", "ok-topk?density=0.01", "topka?density=0.01",
+                 "topkdsa?density=0.01", "gtopk?density=0.01", "dense"):
         cluster = SimulatedCluster(num_workers)
-        kwargs = {} if method == "Dense" else {"density": density}
-        synchronizer = make_synchronizer(method, cluster, num_elements, **kwargs)
+        synchronizer = make(spec, cluster, num_elements=num_elements)
         outcome = synchronizer.synchronize({k: v.copy() for k, v in gradients.items()})
         rows.append((
-            method,
+            describe(synchronizer),
             outcome.stats.rounds,
             outcome.stats.max_received,
             outcome.stats.simulated_time(ETHERNET) * 1e3,
@@ -76,7 +77,7 @@ def main() -> None:
         ))
     print()
     print(format_table(
-        ["method", "rounds", "max received (elems)", "simulated time (ms)", "consistent"],
+        ["spec", "rounds", "max received (elems)", "simulated time (ms)", "consistent"],
         rows, title="All methods on the same gradients (P=8, k/n=1%)"))
     print()
     print("Note: at this toy gradient size (n=10,000) the latency term dominates, so")

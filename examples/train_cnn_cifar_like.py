@@ -6,6 +6,11 @@ SparDL against dense All-Reduce and Ok-Topk.  For each method it reports the
 per-epoch accuracy together with the simulated wall-clock time (compute +
 alpha-beta communication), i.e. a miniature version of the paper's Fig. 9.
 
+Every configuration is one facade spec string handed to the trainer as a
+factory — the trainer builds the synchroniser from the model, so spec
+strings with schedules (``schedule=warmup:20``) and per-layer bucketing
+(``buckets=layer``) need no extra plumbing.
+
 Run with::
 
     python examples/train_cnn_cifar_like.py
@@ -14,24 +19,21 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.baselines import make_synchronizer
+from repro.api import make_factory
 from repro.comm import ETHERNET, SimulatedCluster
 from repro.training import DistributedTrainer, TrainerConfig, get_case
 
 NUM_WORKERS = 8
 EPOCHS = 6
 SAMPLES = 240
-DENSITY = 0.01
 
 
-def train_with(method: str, **sync_kwargs):
+def train_with(spec: str):
     case = get_case(1)  # VGG-16 on CIFAR-10 (synthetic stand-in)
     train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
     cluster = SimulatedCluster(NUM_WORKERS)
-    num_elements = case.build_model(0).num_parameters()
-    synchronizer = make_synchronizer(method, cluster, num_elements, **sync_kwargs)
     trainer = DistributedTrainer(
-        cluster, synchronizer, case.build_model, train_set, test_set,
+        cluster, make_factory(spec), case.build_model, train_set, test_set,
         config=TrainerConfig(batch_size=case.batch_size, learning_rate=case.learning_rate,
                              momentum=case.momentum, seed=0),
         network=ETHERNET, compute_profile=case.compute_profile, case_name=case.name,
@@ -48,11 +50,11 @@ def main() -> None:
     print()
 
     runs = {
-        "Dense All-Reduce": train_with("Dense"),
-        "Ok-Topk (k/n=1%)": train_with("Ok-Topk", density=DENSITY),
-        "SparDL (k/n=1%)": train_with("SparDL", density=DENSITY),
-        "SparDL (B-SAG d=4)": train_with("SparDL", density=DENSITY, num_teams=4,
-                                         sag_mode="bsag"),
+        "Dense All-Reduce": train_with("dense"),
+        "Ok-Topk (k/n=1%)": train_with("ok-topk?density=0.01"),
+        "SparDL (k/n=1%)": train_with("spardl?density=0.01"),
+        "SparDL (B-SAG d=4)": train_with("spardl?density=0.01&teams=4&sag=bsag"),
+        "SparDL (DGC warm-up)": train_with("spardl?density=0.01&schedule=warmup:20"),
     }
 
     rows = []

@@ -13,7 +13,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.baselines import make_synchronizer
+from repro.api import make_factory
 from repro.comm import ETHERNET, SimulatedCluster
 from repro.nn import perplexity
 from repro.training import DistributedTrainer, TrainerConfig, get_case
@@ -28,13 +28,12 @@ def train_at_density(density: float):
     case = get_case(6)  # LSTM-PTB
     train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
     cluster = SimulatedCluster(NUM_WORKERS)
-    num_elements = case.build_model(0).num_parameters()
     if density >= 1.0:
-        synchronizer = make_synchronizer("Dense", cluster, num_elements)
+        factory = make_factory("dense")
     else:
-        synchronizer = make_synchronizer("SparDL", cluster, num_elements, density=density)
+        factory = make_factory(f"spardl?density={density:g}")
     trainer = DistributedTrainer(
-        cluster, synchronizer, case.build_model, train_set, test_set,
+        cluster, factory, case.build_model, train_set, test_set,
         config=TrainerConfig(batch_size=case.batch_size, learning_rate=case.learning_rate,
                              momentum=case.momentum, seed=0),
         network=ETHERNET, compute_profile=case.compute_profile, case_name=case.name,

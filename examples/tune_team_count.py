@@ -14,7 +14,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table, spardl_bsag_complexity, spardl_rsag_complexity
-from repro.baselines import make_synchronizer
+from repro.api import make_factory
 from repro.comm import ETHERNET, SimulatedCluster
 from repro.training import DistributedTrainer, TrainerConfig, get_case
 
@@ -31,11 +31,9 @@ def one_epoch_time(num_teams: int, sag_mode: str, epochs: int = 1) -> tuple[floa
     case = get_case(1)
     train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
     cluster = SimulatedCluster(NUM_WORKERS)
-    num_elements = case.build_model(0).num_parameters()
-    synchronizer = make_synchronizer("SparDL", cluster, num_elements, density=DENSITY,
-                                     num_teams=num_teams, sag_mode=sag_mode)
+    spec = f"spardl?density={DENSITY:g}&teams={num_teams}&sag={sag_mode}"
     trainer = DistributedTrainer(
-        cluster, synchronizer, case.build_model, train_set, test_set,
+        cluster, make_factory(spec), case.build_model, train_set, test_set,
         config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
                              momentum=case.momentum, seed=0),
         network=ETHERNET, compute_profile=case.compute_profile, case_name=case.name,

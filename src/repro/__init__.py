@@ -44,17 +44,24 @@ from .comm import (
     SimulatedCluster,
 )
 from .core import (
+    AdaptiveSchedule,
+    BucketedSynchronizer,
+    ConstantSchedule,
     GradientSynchronizer,
+    KSchedule,
     ResidualManager,
     ResidualPolicy,
     SAGMode,
     SparDLConfig,
     SparDLSynchronizer,
     SyncResult,
+    SyncSession,
+    SyncStage,
+    WarmupSchedule,
 )
 from .sparse import BlockLayout, SparseGradient
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -68,6 +75,13 @@ __all__ = [
     "BlockLayout",
     "GradientSynchronizer",
     "SyncResult",
+    "SyncSession",
+    "SyncStage",
+    "KSchedule",
+    "ConstantSchedule",
+    "WarmupSchedule",
+    "AdaptiveSchedule",
+    "BucketedSynchronizer",
     "ResidualManager",
     "ResidualPolicy",
     "SAGMode",

@@ -13,7 +13,14 @@ from .complexity import (
     topk_a_complexity,
     topk_dsa_complexity,
 )
-from .reporting import ExperimentReport, Series, format_series, format_table, speedup_table
+from .reporting import (
+    ExperimentReport,
+    Series,
+    format_series,
+    format_table,
+    session_table,
+    speedup_table,
+)
 
 __all__ = [
     "ComplexityBound",
@@ -31,5 +38,6 @@ __all__ = [
     "Series",
     "format_series",
     "format_table",
+    "session_table",
     "speedup_table",
 ]

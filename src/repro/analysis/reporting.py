@@ -14,6 +14,7 @@ __all__ = [
     "format_table",
     "format_series",
     "speedup_table",
+    "session_table",
     "Series",
     "ExperimentReport",
 ]
@@ -95,6 +96,31 @@ def format_series(series: Iterable[Series], x_label: str = "x", y_label: str = "
         rows = [(f"{s.x[i]:.4g}", f"{s.y[i]:.4g}") for i in picks]
         blocks.append(format_table([x_label, y_label], rows, title=s.name))
     return "\n\n".join(blocks)
+
+
+def session_table(sessions: Mapping[str, object],
+                  title: Optional[str] = None) -> str:
+    """Cross-step summary table of labelled sync sessions.
+
+    ``sessions`` maps display labels to
+    :class:`~repro.core.pipeline.SyncSession` objects (or anything with a
+    compatible ``summary()``); the table shows the step count, cumulative
+    rounds/volume and the first/last schedule-resolved ``k`` — the
+    quantities the k-schedule and bucketing examples report.
+    """
+    headers = ["session", "steps", "rounds", "total volume", "k first", "k last"]
+    rows = []
+    for label, session in sessions.items():
+        summary = session.summary()
+        rows.append((
+            label,
+            summary["steps"],
+            summary["rounds"],
+            float(summary["total_volume"]),
+            "-" if summary["k_first"] is None else summary["k_first"],
+            "-" if summary["k_last"] is None else summary["k_last"],
+        ))
+    return format_table(headers, rows, title=title)
 
 
 def speedup_table(times: Mapping[str, float], reference: str,

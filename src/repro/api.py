@@ -1,0 +1,430 @@
+"""One facade for building any synchroniser from a spec string.
+
+Experiments select communication methods the way the paper's figures do —
+by short names — but a configuration is more than a name: sparsity, team
+count, SAG variant, residual policy, sparsity *schedule* and bucketing all
+ride along.  The facade folds all of it into one URL-style spec string::
+
+    spardl?density=0.01&schedule=warmup:5&buckets=layer
+    ok-topk?k=500
+    gtopk?density=0.01&schedule=adaptive
+    dense
+
+Grammar
+-------
+``name[?key=value[&key=value]...]`` where ``name`` is any method name or
+alias (case-insensitive, as in the paper's figures) and the keys are:
+
+========== ===================================================================
+``k``       entries selected per worker (mutually exclusive with ``density``)
+``density`` selected fraction ``k/n`` (mutually exclusive with ``k``)
+``schedule`` sparsity schedule: ``constant`` (default), ``warmup:STEPS`` /
+            ``warmup:STEPS:START_DENSITY`` (DGC-style ramp), ``adaptive`` /
+            ``adaptive:GAIN`` (nnz-feedback controller)
+``teams``   SparDL team count ``d`` (default 1)
+``sag``     SparDL Spar-All-Gather mode: ``auto`` / ``rsag`` / ``bsag``
+``residuals`` SparDL residual policy: ``global`` / ``partial`` / ``local`` / ``none``
+``buckets`` ``flat`` (default), ``layer`` (one bucket per parameter tensor),
+            or ``size:N`` (SSFusion-style fusion of consecutive tensors up
+            to ``N`` elements); non-flat specs need a ``model``
+``wire``    SparDL SRS wire format: ``packed`` (default) / ``per-block``
+``deferred`` SparDL deferred residual accumulation: ``true`` / ``false``
+========== ===================================================================
+
+:func:`make` builds a ready synchroniser (a
+:class:`~repro.core.bucketed.BucketedSynchronizer` when bucketing is
+requested), :func:`make_factory` defers construction until the model is
+known (the :class:`~repro.training.trainer.DistributedTrainer` calls the
+factory with its cluster and model replica), and :func:`describe` maps any
+facade-built synchroniser back to its canonical spec string —
+``parse_spec(describe(x))`` round-trips.
+
+The old ``repro.baselines.registry`` interface (``make_synchronizer`` with
+keyword arguments, ``SYNCHRONIZER_NAMES``, ``available_methods``) lives
+here now and remains importable from the registry module unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .comm.cluster import SimulatedCluster
+from .core.base import GradientSynchronizer
+from .core.bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
+from .core.config import SAGMode, SparDLConfig
+from .core.residuals import ResidualPolicy
+from .core.schedules import parse_schedule
+from .core.spardl import SparDLSynchronizer
+
+__all__ = [
+    "SYNCHRONIZER_NAMES",
+    "SyncSpec",
+    "parse_spec",
+    "make",
+    "make_factory",
+    "make_synchronizer",
+    "describe",
+    "available_methods",
+]
+
+#: Canonical method names (as used in the paper's figures).
+SYNCHRONIZER_NAMES = ("SparDL", "Ok-Topk", "TopkA", "TopkDSA", "gTopk", "Dense")
+
+_ALIASES: Dict[str, str] = {
+    "spardl": "SparDL",
+    "ok-topk": "Ok-Topk",
+    "oktopk": "Ok-Topk",
+    "ok_topk": "Ok-Topk",
+    "topka": "TopkA",
+    "topk-a": "TopkA",
+    "topk_a": "TopkA",
+    "topkdsa": "TopkDSA",
+    "topk-dsa": "TopkDSA",
+    "topk_dsa": "TopkDSA",
+    "gtopk": "gTopk",
+    "gtop-k": "gTopk",
+    "dense": "Dense",
+    "allreduce": "Dense",
+}
+
+#: Spec token used when canonicalising each method name.
+_SPEC_NAMES: Dict[str, str] = {
+    "SparDL": "spardl",
+    "Ok-Topk": "ok-topk",
+    "TopkA": "topka",
+    "TopkDSA": "topkdsa",
+    "gTopk": "gtopk",
+    "Dense": "dense",
+}
+
+#: Recognised spec keys, in canonical serialisation order.
+_SPEC_KEYS = ("k", "density", "teams", "sag", "residuals", "schedule",
+              "buckets", "wire", "deferred")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+@dataclass
+class SyncSpec:
+    """Parsed form of one spec string (see the module grammar)."""
+
+    method: str
+    k: Optional[int] = None
+    density: Optional[float] = None
+    teams: int = 1
+    sag: str = "auto"
+    residuals: str = "global"
+    schedule: str = "constant"
+    buckets: str = "flat"
+    wire: str = "packed"
+    deferred: bool = False
+    #: Extra builder options that are not part of the spec grammar
+    #: (e.g. ``sparsify_all_blocks`` for the ablation benchmark).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in SYNCHRONIZER_NAMES:
+            canonical = _ALIASES.get(str(self.method).strip().lower())
+            if canonical is None:
+                raise ValueError(
+                    f"unknown synchroniser {self.method!r}; expected one of "
+                    f"{', '.join(SYNCHRONIZER_NAMES)}")
+            self.method = canonical
+        if self.k is not None and self.density is not None:
+            raise ValueError("give only one of k and density")
+        # A sparse method without k/density is allowed at parse time (the
+        # keyword arguments of make()/make_synchronizer may still supply
+        # the target); the builders fail loudly when it is truly missing.
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> str:
+        """The canonical spec string (non-default keys only, fixed order)."""
+        params = []
+        if self.k is not None:
+            params.append(f"k={self.k}")
+        if self.density is not None:
+            params.append(f"density={self.density:g}")
+        if self.teams != 1:
+            params.append(f"teams={self.teams}")
+        if self.sag != "auto":
+            params.append(f"sag={self.sag}")
+        if self.residuals != "global":
+            params.append(f"residuals={self.residuals}")
+        if self.schedule != "constant":
+            params.append(f"schedule={self.schedule}")
+        if self.buckets != "flat":
+            params.append(f"buckets={self.buckets}")
+        if self.wire != "packed":
+            params.append(f"wire={self.wire}")
+        if self.deferred:
+            params.append("deferred=true")
+        name = _SPEC_NAMES[self.method]
+        return f"{name}?{'&'.join(params)}" if params else name
+
+    @property
+    def is_bucketed(self) -> bool:
+        return self.buckets != "flat"
+
+
+def _parse_bool(key: str, value: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"spec key {key!r} expects a boolean, got {value!r}")
+
+
+def parse_spec(spec: "str | SyncSpec") -> SyncSpec:
+    """Parse ``name?key=value&...`` into a :class:`SyncSpec`.
+
+    A ready :class:`SyncSpec` passes through unchanged, so every facade
+    entry point accepts both forms.
+    """
+    if isinstance(spec, SyncSpec):
+        return spec
+    text = str(spec).strip()
+    if not text:
+        raise ValueError("empty synchroniser spec")
+    name, _, query = text.partition("?")
+    options: Dict[str, Any] = {}
+    if query:
+        for item in query.split("&"):
+            if not item:
+                continue
+            key, separator, value = item.partition("=")
+            key = key.strip().lower()
+            if not separator or not value:
+                raise ValueError(f"malformed spec parameter {item!r} (expected key=value)")
+            if key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"unknown spec key {key!r}; expected one of {', '.join(_SPEC_KEYS)}")
+            if key in options:
+                raise ValueError(f"duplicate spec key {key!r}")
+            if key == "k":
+                options[key] = int(value)
+            elif key == "density":
+                options[key] = float(value)
+            elif key == "teams":
+                options[key] = int(value)
+            elif key == "deferred":
+                options[key] = _parse_bool(key, value)
+            else:
+                options[key] = value.strip().lower()
+    return SyncSpec(method=name, **options)
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+def _validate_schedule_spec(spec: SyncSpec) -> None:
+    """Fail on malformed schedule specs before any construction happens."""
+    if spec.method == "Dense":
+        if spec.schedule != "constant":
+            raise ValueError("Dense has no sparsity knob; schedule= does not apply")
+        return
+    parse_schedule(spec.schedule, k=spec.k, density=spec.density)
+
+
+def _build_flat(spec: SyncSpec, cluster: SimulatedCluster,
+                num_elements: int) -> GradientSynchronizer:
+    """Build one flat-vector synchroniser for ``num_elements`` gradients."""
+    from .baselines.dense import DenseAllReduceSynchronizer
+    from .baselines.gtopk import GTopkSynchronizer
+    from .baselines.ok_topk import OkTopkSynchronizer
+    from .baselines.topk_a import TopkASynchronizer
+    from .baselines.topk_dsa import TopkDSASynchronizer
+
+    method = spec.method
+    if method == "gTopk" and not _is_power_of_two(cluster.num_workers):
+        raise ValueError(
+            f"gTopk requires a power-of-two number of workers, got P={cluster.num_workers}: "
+            "its recursive-doubling exchange pairs workers rank ^ step, which only covers "
+            "every rank when P is a power of two.  Run it at P in {2, 4, 8, ...} or pick "
+            "another method (see available_methods)."
+        )
+    schedule = None if spec.schedule == "constant" else spec.schedule
+    if method == "Dense":
+        return DenseAllReduceSynchronizer(cluster, num_elements)
+    if method == "SparDL":
+        config = SparDLConfig(
+            k=spec.k, density=spec.density, num_teams=spec.teams,
+            sag_mode=SAGMode.coerce(spec.sag),
+            residual_policy=ResidualPolicy.coerce(spec.residuals),
+            wire_format=spec.wire, deferred_residuals=spec.deferred,
+            schedule=schedule,
+            **spec.extras,
+        )
+        return SparDLSynchronizer(cluster, num_elements, config)
+    classes = {
+        "Ok-Topk": OkTopkSynchronizer,
+        "TopkA": TopkASynchronizer,
+        "TopkDSA": TopkDSASynchronizer,
+        "gTopk": GTopkSynchronizer,
+    }
+    return classes[method](cluster, num_elements, k=spec.k, density=spec.density,
+                           schedule=schedule)
+
+
+def _bucket_layout(spec: SyncSpec, model) -> List[tuple]:
+    """``(name, size)`` buckets for the requested bucketing mode."""
+    if model is None:
+        raise ValueError(
+            f"buckets={spec.buckets} needs the model: pass model=... (anything with "
+            "parameters()) so the bucket layout can be derived from its tensor shapes")
+    buckets = layer_buckets(model)
+    if spec.buckets == "layer":
+        return buckets
+    if spec.buckets.startswith("size:"):
+        max_elements = int(spec.buckets.split(":", 1)[1])
+        return fuse_buckets(buckets, max_elements)
+    raise ValueError(
+        f"unknown buckets mode {spec.buckets!r}; expected flat, layer or size:N")
+
+
+def make(spec: "str | SyncSpec", cluster: SimulatedCluster, *,
+         num_elements: Optional[int] = None, model=None,
+         **overrides) -> GradientSynchronizer:
+    """Build a synchroniser from a spec string.
+
+    ``num_elements`` gives the flat gradient length directly; ``model``
+    (anything exposing ``parameters()``, e.g. a :class:`repro.nn.Module`)
+    derives it — and is required for ``buckets=layer`` / ``buckets=size:N``.
+    Keyword ``overrides`` replace individual spec keys (same names as the
+    grammar).
+    """
+    parsed = parse_spec(spec)
+    if overrides:
+        values = {key: getattr(parsed, key) for key in _SPEC_KEYS}
+        values["extras"] = dict(parsed.extras)
+        for key, value in overrides.items():
+            if key in _SPEC_KEYS:
+                values[key] = value
+            else:
+                values["extras"][key] = value
+        parsed = SyncSpec(method=parsed.method, **values)
+    _validate_schedule_spec(parsed)
+
+    if parsed.is_bucketed:
+        layout = _bucket_layout(parsed, model)
+        names = [name for name, _ in layout]
+        sizes = [size for _, size in layout]
+        flat_spec = dataclasses.replace(parsed, buckets="flat",
+                                        extras=dict(parsed.extras))
+        if flat_spec.k is not None:
+            # An absolute k is a *global* budget: replicating it into every
+            # bucket would multiply the selection by the bucket count, so
+            # convert it to the equivalent density, which buckets pro-rata
+            # (each bucket still keeps at least one entry).
+            flat_spec = dataclasses.replace(
+                flat_spec, k=None,
+                density=min(1.0, flat_spec.k / float(sum(sizes))))
+        synchronizer: GradientSynchronizer = BucketedSynchronizer(
+            cluster, sizes,
+            factory=lambda c, n: _build_flat(flat_spec, c, n),
+            bucket_names=names,
+        )
+    else:
+        if num_elements is None:
+            if model is None:
+                raise ValueError("give num_elements=... or model=...")
+            num_elements = int(model.num_parameters())
+        synchronizer = _build_flat(parsed, cluster, num_elements)
+    synchronizer._spec = parsed.canonical()
+    return synchronizer
+
+
+def make_factory(spec: "str | SyncSpec",
+                 **overrides) -> Callable[[SimulatedCluster, Any], GradientSynchronizer]:
+    """A deferred :func:`make`: ``factory(cluster, model)`` builds the
+    synchroniser once the model (and hence the gradient layout) is known.
+
+    This is the construction interface of
+    :class:`~repro.training.trainer.DistributedTrainer`, which calls the
+    factory with its cluster and reference replica.
+    """
+    parsed = parse_spec(spec)  # fail fast on malformed specs
+
+    def factory(cluster: SimulatedCluster, model) -> GradientSynchronizer:
+        return make(parsed, cluster, model=model, **overrides)
+
+    factory.spec = parsed.canonical()
+    return factory
+
+
+def describe(target) -> str:
+    """The canonical spec string of ``target``.
+
+    Accepts a spec string (canonicalised), a :class:`SyncSpec`, a
+    facade-built synchroniser, or a :func:`make_factory` factory.
+    ``parse_spec(describe(x))`` round-trips.
+    """
+    if isinstance(target, (str, SyncSpec)):
+        return parse_spec(target).canonical()
+    spec = getattr(target, "_spec", None) or getattr(target, "spec", None)
+    if isinstance(spec, str):
+        return parse_spec(spec).canonical()
+    raise ValueError(
+        f"cannot describe {type(target).__name__}: only spec strings and facade-built "
+        "synchronisers / factories carry a spec")
+
+
+# ---------------------------------------------------------------------------
+# registry-compatible interface
+# ---------------------------------------------------------------------------
+def available_methods(num_workers: int, include_dense: bool = False) -> List[str]:
+    """Method names runnable on a cluster of ``num_workers`` (gTopk requires a
+    power-of-two worker count)."""
+    methods = ["SparDL", "Ok-Topk", "TopkA", "TopkDSA"]
+    if _is_power_of_two(num_workers):
+        methods.append("gTopk")
+    if include_dense:
+        methods.append("Dense")
+    return methods
+
+
+def make_synchronizer(
+    name: str,
+    cluster: SimulatedCluster,
+    num_elements: int,
+    *,
+    k: Optional[int] = None,
+    density: Optional[float] = None,
+    num_teams: int = 1,
+    sag_mode: SAGMode | str = SAGMode.AUTO,
+    residual_policy: ResidualPolicy | str = ResidualPolicy.GLOBAL,
+    sparsify_all_blocks: bool = False,
+    schedule: Optional[str] = None,
+) -> GradientSynchronizer:
+    """Build a synchroniser by (case-insensitive) method name or spec string.
+
+    The pre-facade factory interface, kept verbatim: ``num_teams``,
+    ``sag_mode``, ``residual_policy`` and ``sparsify_all_blocks`` only
+    affect SparDL; the baselines use the residual policies of their
+    original papers.  ``name`` may also be a full spec string
+    (``"spardl?density=0.01&schedule=warmup:5"``); explicit keyword
+    arguments override the spec's keys.
+    """
+    parsed = parse_spec(name)
+    overrides: Dict[str, Any] = {}
+    if k is not None:
+        overrides["k"] = k
+    if density is not None:
+        overrides["density"] = density
+    if num_teams != 1:
+        overrides["teams"] = num_teams
+    mode = SAGMode.coerce(sag_mode)
+    if mode is not SAGMode.AUTO:
+        overrides["sag"] = mode.value
+    policy = ResidualPolicy.coerce(residual_policy)
+    if policy is not ResidualPolicy.GLOBAL:
+        overrides["residuals"] = policy.value
+    if sparsify_all_blocks:
+        overrides["sparsify_all_blocks"] = True
+    if schedule is not None:
+        overrides["schedule"] = schedule
+    return make(parsed, cluster, num_elements=num_elements, **overrides)

@@ -17,8 +17,9 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..comm.cluster import SimulatedCluster
-from ..core.base import GradientSynchronizer, resolve_k
+from ..core.base import GradientSynchronizer
 from ..core.residuals import ResidualManager, ResidualPolicy
+from ..core.schedules import KSchedule, coerce_schedule
 from ..sparse.vector import SparseGradient
 
 __all__ = ["SparseBaseline", "power_of_two_split", "is_power_of_two"]
@@ -47,7 +48,12 @@ class SparseBaseline(GradientSynchronizer):
     cluster, num_elements:
         As for :class:`~repro.core.base.GradientSynchronizer`.
     k, density:
-        Sparsity of the local selection; exactly one must be given.
+        Sparsity of the local selection; exactly one must be given (unless a
+        ``schedule`` object carrying its own target is passed instead).
+    schedule:
+        Optional :class:`~repro.core.schedules.KSchedule` (or spec string
+        such as ``"warmup:5"``) resolving the per-step ``k``.  ``None``
+        keeps the constant ``k``/``density``, bit for bit.
     residual_policy:
         Error-feedback policy used by the method (the paper's competitors use
         local or partial residual collection).
@@ -55,10 +61,16 @@ class SparseBaseline(GradientSynchronizer):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
+                 schedule: Optional[KSchedule | str] = None,
                  residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL) -> None:
-        super().__init__(cluster, num_elements)
-        self.k = resolve_k(num_elements, k, density)
+        super().__init__(cluster, num_elements,
+                         schedule=coerce_schedule(schedule, k=k, density=density))
+        self.k = self.schedule.resolve(0, num_elements)
         self.residuals = ResidualManager(cluster.num_workers, num_elements, residual_policy)
+
+    def set_sparsity(self, k: int) -> None:
+        """Adopt a per-step ``k`` (schedule resolution)."""
+        self.k = max(1, min(self.num_elements, int(k)))
 
     # ------------------------------------------------------------------
     def local_select(self, gradients: Dict[int, np.ndarray]) -> Dict[int, SparseGradient]:

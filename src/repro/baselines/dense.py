@@ -5,16 +5,20 @@ an efficient All-Reduce; the paper's Section I motivates sparsification by
 contrasting against exactly this.  The synchroniser picks Rabenseifner's
 algorithm for power-of-two worker counts and the ring algorithm otherwise,
 both of which reach the ``2 n (P-1)/P`` bandwidth lower bound.
+
+In staged-pipeline terms the method is the degenerate case: ``select`` and
+``compress`` pass the dense gradients through untouched, ``exchange`` is
+the dense All-Reduce, ``combine`` adopts its output, and there is no
+residual state to update.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from ..comm.collectives import allreduce_dense
-from ..core.base import GradientSynchronizer, SyncResult
+from ..core.base import GradientSynchronizer
+from ..core.pipeline import StepContext
 
 __all__ = ["DenseAllReduceSynchronizer"]
 
@@ -24,10 +28,12 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
 
     name = "Dense"
 
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        reduced = allreduce_dense(self.cluster, gradients)
-        return SyncResult(
-            global_gradients=reduced,
-            stats=None,
-            info={"k": self.num_elements, "final_nnz": int(np.count_nonzero(reduced[0]))},
-        )
+    def stage_exchange(self, context: StepContext) -> None:
+        context.exchanged = allreduce_dense(self.cluster, context.wire)
+
+    def stage_combine(self, context: StepContext) -> None:
+        context.global_gradients = context.exchanged
+        context.info = {
+            "k": self.num_elements,
+            "final_nnz": int(np.count_nonzero(context.exchanged[0])),
+        }

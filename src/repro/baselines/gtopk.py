@@ -16,13 +16,12 @@ worker counts (Fig. 12 evaluates gTopk at 8 workers only).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Optional
 
 from ..comm.cluster import Message, SimulatedCluster
-from ..core.base import SyncResult
+from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
+from ..core.schedules import KSchedule
 from .base import SparseBaseline, is_power_of_two
 
 __all__ = ["GTopkSynchronizer"]
@@ -34,18 +33,22 @@ class GTopkSynchronizer(SparseBaseline):
     name = "gTopk"
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
-                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+                 k: Optional[int] = None, density: Optional[float] = None,
+                 schedule: Optional[KSchedule | str] = None) -> None:
         if not is_power_of_two(cluster.num_workers):
             raise ValueError(
                 "gTopk requires a power-of-two number of workers "
                 f"(got {cluster.num_workers}); the paper evaluates it at 8 workers only"
             )
         super().__init__(cluster, num_elements, k=k, density=density,
-                         residual_policy=ResidualPolicy.PARTIAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.PARTIAL)
 
     # ------------------------------------------------------------------
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        selected = self.local_select(gradients)
+    def stage_select(self, context: StepContext) -> None:
+        context.selected = self.local_select(context.gradients)
+
+    def stage_exchange(self, context: StepContext) -> None:
+        selected = context.wire
         P = self.num_workers
         current = dict(selected)
 
@@ -73,10 +76,15 @@ class GTopkSynchronizer(SparseBaseline):
             step <<= 1
             level += 1
 
-        reference = current[0]
-        self.finalize_residuals(reference)
-        return SyncResult(
-            global_gradients={rank: sparse.to_dense() for rank, sparse in current.items()},
-            stats=None,
-            info={"k": self.k, "final_nnz": reference.nnz},
-        )
+        context.exchanged = current
+
+    def stage_combine(self, context: StepContext) -> None:
+        current = context.exchanged
+        context.global_sparse = current
+        context.reference = current[0]
+        context.global_gradients = {rank: sparse.to_dense()
+                                    for rank, sparse in current.items()}
+        context.info = {"k": self.k, "final_nnz": context.reference.nnz}
+
+    def stage_residual_update(self, context: StepContext) -> None:
+        self.finalize_residuals(context.reference)

@@ -34,8 +34,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..comm.cluster import Message, SimulatedCluster
-from ..core.base import SyncResult
+from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
+from ..core.schedules import KSchedule
 from ..sparse.topk import kth_largest_magnitude
 from ..sparse.vector import SparseGradient
 from .base import SparseBaseline
@@ -53,9 +54,10 @@ class OkTopkSynchronizer(SparseBaseline):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
+                 schedule: Optional[KSchedule | str] = None,
                  rebalance_period: Optional[int] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
-                         residual_policy=ResidualPolicy.PARTIAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.PARTIAL)
         self.rebalance_period = rebalance_period or self.REBALANCE_PERIOD
         #: Current owner-region boundaries (P + 1 cut points over [0, n]).
         self.boundaries = self._even_boundaries()
@@ -65,16 +67,16 @@ class OkTopkSynchronizer(SparseBaseline):
         self.last_selected: Dict[int, int] = {rank: self.k for rank in cluster.ranks}
 
     # ------------------------------------------------------------------
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        corrected = self.residuals.apply(gradients)
-        P = self.num_workers
+    def stage_select(self, context: StepContext) -> None:
+        corrected = self.residuals.apply(context.gradients)
+        context.selected = self._threshold_select(corrected)
 
-        selected = self._threshold_select(corrected)
-        if P == 1:
-            only = selected[0]
-            self.finalize_residuals(only)
-            return SyncResult(global_gradients={0: only.to_dense()}, stats=None,
-                              info={"k": self.k, "final_nnz": only.nnz})
+    def stage_exchange(self, context: StepContext) -> None:
+        selected = context.wire
+        if self.num_workers == 1:
+            context.exchanged = {0: [selected[0]]}
+            context.scratch["trivial"] = True
+            return
 
         if self.iteration % self.rebalance_period == 0:
             self._rebalance_regions(selected)
@@ -82,21 +84,27 @@ class OkTopkSynchronizer(SparseBaseline):
         reduced = self._reduce_scatter_direct(selected)
         pruned = self._prune_regions(reduced)
         self._exchange_sizes(pruned)
-        gathered = self._allgather_direct(pruned)
+        context.exchanged = self._allgather_direct(pruned)
 
-        global_sparse = {rank: self.merge_sum(pieces) for rank, pieces in gathered.items()}
-        reference = global_sparse[0]
-        self.finalize_residuals(reference)
-        return SyncResult(
-            global_gradients={rank: sparse.to_dense() for rank, sparse in global_sparse.items()},
-            stats=None,
-            info={
-                "k": self.k,
-                "final_nnz": reference.nnz,
-                "selected_per_worker": dict(self.last_selected),
-                "thresholds": dict(self.thresholds),
-            },
-        )
+    def stage_combine(self, context: StepContext) -> None:
+        global_sparse = {rank: self.merge_sum(pieces)
+                         for rank, pieces in context.exchanged.items()}
+        context.global_sparse = global_sparse
+        context.reference = global_sparse[0]
+        context.global_gradients = {rank: sparse.to_dense()
+                                    for rank, sparse in global_sparse.items()}
+        if context.scratch.get("trivial"):
+            context.info = {"k": self.k, "final_nnz": context.reference.nnz}
+            return
+        context.info = {
+            "k": self.k,
+            "final_nnz": context.reference.nnz,
+            "selected_per_worker": dict(self.last_selected),
+            "thresholds": dict(self.thresholds),
+        }
+
+    def stage_residual_update(self, context: StepContext) -> None:
+        self.finalize_residuals(context.reference)
 
     # ------------------------------------------------------------------
     # local threshold pruning

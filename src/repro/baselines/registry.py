@@ -1,97 +1,21 @@
 """Factory for building any synchroniser (SparDL or baseline) by name.
 
-The trainer, the examples and every benchmark select communication methods by
-the short names used in the paper's figures ("SparDL", "Ok-Topk", "TopkA",
-"TopkDSA", "gTopk", "Dense"), so experiments read like the paper's method
-lists.
+This module is now a thin compatibility shim over :mod:`repro.api`, which
+owns the method registry, the alias table and the spec-string grammar
+(``"spardl?density=0.01&schedule=warmup:5"``).  The historical interface —
+``SYNCHRONIZER_NAMES``, :func:`available_methods` and
+:func:`make_synchronizer` with keyword arguments — is re-exported
+unchanged, and :func:`make_synchronizer` additionally accepts full spec
+strings, exactly like the facade.
+
+The trainer, the examples and every benchmark select communication methods
+by the short names used in the paper's figures ("SparDL", "Ok-Topk",
+"TopkA", "TopkDSA", "gTopk", "Dense"), so experiments read like the
+paper's method lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-from ..comm.cluster import SimulatedCluster
-from ..core.base import GradientSynchronizer
-from ..core.config import SAGMode, SparDLConfig
-from ..core.residuals import ResidualPolicy
-from ..core.spardl import SparDLSynchronizer
-from .dense import DenseAllReduceSynchronizer
-from .gtopk import GTopkSynchronizer
-from .ok_topk import OkTopkSynchronizer
-from .topk_a import TopkASynchronizer
-from .topk_dsa import TopkDSASynchronizer
+from ..api import SYNCHRONIZER_NAMES, available_methods, make_synchronizer
 
 __all__ = ["SYNCHRONIZER_NAMES", "make_synchronizer", "available_methods"]
-
-#: Canonical method names (as used in the paper's figures).
-SYNCHRONIZER_NAMES = ("SparDL", "Ok-Topk", "TopkA", "TopkDSA", "gTopk", "Dense")
-
-_ALIASES: Dict[str, str] = {
-    "spardl": "SparDL",
-    "ok-topk": "Ok-Topk",
-    "oktopk": "Ok-Topk",
-    "ok_topk": "Ok-Topk",
-    "topka": "TopkA",
-    "topk-a": "TopkA",
-    "topk_a": "TopkA",
-    "topkdsa": "TopkDSA",
-    "topk-dsa": "TopkDSA",
-    "topk_dsa": "TopkDSA",
-    "gtopk": "gTopk",
-    "gtop-k": "gTopk",
-    "dense": "Dense",
-    "allreduce": "Dense",
-}
-
-
-def available_methods(num_workers: int, include_dense: bool = False) -> List[str]:
-    """Method names runnable on a cluster of ``num_workers`` (gTopk requires a
-    power-of-two worker count)."""
-    methods = ["SparDL", "Ok-Topk", "TopkA", "TopkDSA"]
-    if num_workers >= 1 and (num_workers & (num_workers - 1)) == 0:
-        methods.append("gTopk")
-    if include_dense:
-        methods.append("Dense")
-    return methods
-
-
-def make_synchronizer(
-    name: str,
-    cluster: SimulatedCluster,
-    num_elements: int,
-    *,
-    k: Optional[int] = None,
-    density: Optional[float] = None,
-    num_teams: int = 1,
-    sag_mode: SAGMode | str = SAGMode.AUTO,
-    residual_policy: ResidualPolicy | str = ResidualPolicy.GLOBAL,
-    sparsify_all_blocks: bool = False,
-) -> GradientSynchronizer:
-    """Build a synchroniser by (case-insensitive) method name.
-
-    ``num_teams``, ``sag_mode``, ``residual_policy`` and
-    ``sparsify_all_blocks`` only affect SparDL; the baselines use the
-    residual policies of their original papers.
-    """
-    canonical = _ALIASES.get(name.strip().lower())
-    if canonical is None:
-        raise ValueError(
-            f"unknown synchroniser {name!r}; expected one of {', '.join(SYNCHRONIZER_NAMES)}"
-        )
-    if canonical == "Dense":
-        return DenseAllReduceSynchronizer(cluster, num_elements)
-    if canonical == "SparDL":
-        config = SparDLConfig(
-            k=k, density=density, num_teams=num_teams, sag_mode=sag_mode,
-            residual_policy=residual_policy, sparsify_all_blocks=sparsify_all_blocks,
-        )
-        return SparDLSynchronizer(cluster, num_elements, config)
-    if canonical == "Ok-Topk":
-        return OkTopkSynchronizer(cluster, num_elements, k=k, density=density)
-    if canonical == "TopkA":
-        return TopkASynchronizer(cluster, num_elements, k=k, density=density)
-    if canonical == "TopkDSA":
-        return TopkDSASynchronizer(cluster, num_elements, k=k, density=density)
-    if canonical == "gTopk":
-        return GTopkSynchronizer(cluster, num_elements, k=k, density=density)
-    raise RuntimeError("unreachable")  # pragma: no cover

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ..comm.cluster import Message, SimulatedCluster
-from ..core.base import SyncResult
+from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
+from ..core.schedules import KSchedule
 from ..sparse.vector import SparseGradient
 from .base import SparseBaseline, power_of_two_split
 
@@ -30,24 +29,27 @@ class TopkASynchronizer(SparseBaseline):
     name = "TopkA"
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
-                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+                 k: Optional[int] = None, density: Optional[float] = None,
+                 schedule: Optional[KSchedule | str] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
-                         residual_policy=ResidualPolicy.LOCAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL)
 
     # ------------------------------------------------------------------
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        selected = self.local_select(gradients)
-        P = self.num_workers
+    def stage_select(self, context: StepContext) -> None:
+        context.selected = self.local_select(context.gradients)
 
-        if P == 1:
-            only = selected[0]
-            return SyncResult(global_gradients={0: only.to_dense()}, stats=None,
-                              info={"k": self.k, "final_nnz": only.nnz})
+    def stage_exchange(self, context: StepContext) -> None:
+        selected = context.wire
+        P = self.num_workers
 
         # Per-worker accumulation of gathered contributions.  The exchange
         # only concatenates; summation happens once at the end so that the
         # SGA dilemma manifests purely as growing message sizes.
         gathered: Dict[int, List[SparseGradient]] = {rank: [selected[rank]] for rank in range(P)}
+        if P == 1:
+            context.exchanged = gathered
+            context.scratch["trivial"] = True
+            return
 
         p2, extra = power_of_two_split(P)
 
@@ -91,11 +93,18 @@ class TopkASynchronizer(SparseBaseline):
                 for message in inbox:
                     gathered[dst] = list(message.payload)
 
-        global_sparse = {rank: self.merge_sum(pieces) for rank, pieces in gathered.items()}
-        reference = global_sparse[0]
-        self.finalize_residuals(reference)
-        return SyncResult(
-            global_gradients={rank: sparse.to_dense() for rank, sparse in global_sparse.items()},
-            stats=None,
-            info={"k": self.k, "final_nnz": reference.nnz},
-        )
+        context.exchanged = gathered
+
+    def stage_combine(self, context: StepContext) -> None:
+        global_sparse = {rank: self.merge_sum(pieces)
+                         for rank, pieces in context.exchanged.items()}
+        context.global_sparse = global_sparse
+        context.reference = global_sparse[0]
+        context.global_gradients = {rank: sparse.to_dense()
+                                    for rank, sparse in global_sparse.items()}
+        context.info = {"k": self.k, "final_nnz": context.reference.nnz}
+
+    def stage_residual_update(self, context: StepContext) -> None:
+        if context.scratch.get("trivial"):
+            return
+        self.finalize_residuals(context.reference)

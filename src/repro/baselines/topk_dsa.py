@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..comm.cluster import Message, SimulatedCluster
-from ..core.base import SyncResult
+from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
+from ..core.schedules import KSchedule
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
 from .base import SparseBaseline, power_of_two_split
@@ -37,32 +36,38 @@ class TopkDSASynchronizer(SparseBaseline):
     name = "TopkDSA"
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
-                 k: Optional[int] = None, density: Optional[float] = None) -> None:
+                 k: Optional[int] = None, density: Optional[float] = None,
+                 schedule: Optional[KSchedule | str] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
-                         residual_policy=ResidualPolicy.LOCAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL)
         self.layout = BlockLayout(num_elements, cluster.num_workers)
 
     # ------------------------------------------------------------------
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        selected = self.local_select(gradients)
-        P = self.num_workers
-        if P == 1:
-            only = selected[0]
-            return SyncResult(global_gradients={0: only.to_dense()}, stats=None,
-                              info={"k": self.k, "final_nnz": only.nnz})
+    def stage_select(self, context: StepContext) -> None:
+        context.selected = self.local_select(context.gradients)
 
+    def stage_exchange(self, context: StepContext) -> None:
+        selected = context.wire
+        if self.num_workers == 1:
+            context.exchanged = {0: [(0, selected[0])]}
+            context.scratch["trivial"] = True
+            return
         reduced = self._reduce_scatter_direct(selected)
-        gathered = self._allgather_dense_switching(reduced)
+        context.exchanged = self._allgather_dense_switching(reduced)
 
+    def stage_combine(self, context: StepContext) -> None:
         global_sparse = {rank: self.merge_sum([piece for _, piece in pieces])
-                         for rank, pieces in gathered.items()}
-        reference = global_sparse[0]
-        self.finalize_residuals(reference)
-        return SyncResult(
-            global_gradients={rank: sparse.to_dense() for rank, sparse in global_sparse.items()},
-            stats=None,
-            info={"k": self.k, "final_nnz": reference.nnz},
-        )
+                         for rank, pieces in context.exchanged.items()}
+        context.global_sparse = global_sparse
+        context.reference = global_sparse[0]
+        context.global_gradients = {rank: sparse.to_dense()
+                                    for rank, sparse in global_sparse.items()}
+        context.info = {"k": self.k, "final_nnz": context.reference.nnz}
+
+    def stage_residual_update(self, context: StepContext) -> None:
+        if context.scratch.get("trivial"):
+            return
+        self.finalize_residuals(context.reference)
 
     # ------------------------------------------------------------------
     def _reduce_scatter_direct(self, selected: Dict[int, SparseGradient]) -> Dict[int, SparseGradient]:

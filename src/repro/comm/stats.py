@@ -81,6 +81,21 @@ class CommStats:
             self.received_per_worker[w] += other.received_per_worker[w]
         self.per_round_max_received.extend(other.per_round_max_received)
 
+    @classmethod
+    def merged(cls, num_workers: int, parts: Iterable["CommStats"]) -> "CommStats":
+        """Aggregate several stats windows into one (sequential composition).
+
+        Used by the bucketed synchroniser and the session layer: the
+        buckets'/steps' rounds add up (they execute back to back in the
+        bulk-synchronous model) and the per-round busiest-receiver series
+        concatenates, so :meth:`simulated_time` prices the composition
+        exactly as the sum of its parts.
+        """
+        total = cls(num_workers=num_workers)
+        for part in parts:
+            total.merge(part)
+        return total
+
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------

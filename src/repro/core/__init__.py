@@ -1,10 +1,20 @@
 """SparDL core: Spar-Reduce-Scatter, Spar-All-Gather and residual collection."""
 
 from .base import GradientSynchronizer, SyncResult, resolve_k
+from .bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
 from .config import SAGMode, SparDLConfig
 from .partition import BagPlan, plan_bags, transmission_distances
+from .pipeline import PIPELINE_STAGES, StepContext, SyncSession, SyncStage
 from .residuals import ResidualManager, ResidualPolicy, ResidualStore
 from .sag import CompressionRatioController, SAGOutput, b_sag, cross_team_groups, r_sag
+from .schedules import (
+    AdaptiveSchedule,
+    ConstantSchedule,
+    KSchedule,
+    WarmupSchedule,
+    coerce_schedule,
+    parse_schedule,
+)
 from .spardl import SparDLSynchronizer, make_teams
 from .srs import SRSOutput, spar_reduce_scatter
 
@@ -12,6 +22,19 @@ __all__ = [
     "GradientSynchronizer",
     "SyncResult",
     "resolve_k",
+    "BucketedSynchronizer",
+    "layer_buckets",
+    "fuse_buckets",
+    "PIPELINE_STAGES",
+    "StepContext",
+    "SyncSession",
+    "SyncStage",
+    "KSchedule",
+    "ConstantSchedule",
+    "WarmupSchedule",
+    "AdaptiveSchedule",
+    "parse_schedule",
+    "coerce_schedule",
     "SAGMode",
     "SparDLConfig",
     "BagPlan",

@@ -5,6 +5,15 @@ implements :class:`GradientSynchronizer`: given the local dense gradient of
 every worker it returns the synchronised (summed) global gradient each worker
 ends up holding, together with the communication statistics of the exchange.
 
+Since the staged-pipeline redesign, a synchronisation is no longer one
+opaque call: every method expresses itself as the five stages of
+:mod:`repro.core.pipeline` (``select -> compress -> exchange -> combine ->
+residual_update``) and the base class drives them.  :meth:`synchronize`
+remains as a thin adapter over the staged driver, so existing callers and
+tests run unchanged, while sessions (:class:`~repro.core.pipeline.SyncSession`),
+sparsity schedules (:mod:`repro.core.schedules`) and per-layer bucketing
+(:mod:`repro.core.bucketed`) hook the stage boundaries directly.
+
 Keeping a single interface lets the distributed trainer, the examples and
 every benchmark swap methods freely, exactly as the paper swaps its
 communication backends.
@@ -20,28 +29,10 @@ import numpy as np
 
 from ..comm.cluster import SimulatedCluster
 from ..comm.stats import CommStats
+from .pipeline import PIPELINE_STAGES, StepContext
+from .schedules import KSchedule, resolve_k
 
 __all__ = ["SyncResult", "GradientSynchronizer", "resolve_k"]
-
-
-def resolve_k(num_elements: int, k: Optional[int], density: Optional[float]) -> int:
-    """Resolve the number of selected gradients from ``k`` or ``density``.
-
-    Exactly one of the two should be provided; the result is clamped to
-    ``[1, num_elements]``.
-    """
-    if num_elements <= 0:
-        raise ValueError("num_elements must be positive")
-    if k is None and density is None:
-        raise ValueError("either k or density must be given")
-    if k is not None and density is not None:
-        raise ValueError("give only one of k and density")
-    if k is None:
-        if not 0 < density <= 1:
-            raise ValueError("density must be in (0, 1]")
-        k = int(round(density * num_elements))
-    k = int(k)
-    return max(1, min(num_elements, k))
 
 
 @dataclass
@@ -70,43 +61,118 @@ class SyncResult:
 
 
 class GradientSynchronizer(ABC):
-    """Base class for dense and sparse All-Reduce methods."""
+    """Base class for dense and sparse All-Reduce methods.
+
+    Subclasses implement the stage methods (``stage_exchange`` and
+    ``stage_combine`` are mandatory; ``stage_select``, ``stage_compress``
+    and ``stage_residual_update`` default to the dense pass-through /
+    no-op) and, when they support sparsity schedules, :meth:`set_sparsity`.
+    """
 
     #: Short human-readable name used in reports and figures.
     name: str = "synchronizer"
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int) -> None:
+    def __init__(self, cluster: SimulatedCluster, num_elements: int,
+                 schedule: Optional[KSchedule] = None) -> None:
         if num_elements <= 0:
             raise ValueError("num_elements must be positive")
         self.cluster = cluster
         self.num_elements = int(num_elements)
         self.iteration = 0
+        #: Sparsity schedule consulted at the start of every step
+        #: (``None`` for methods without a sparsity knob, e.g. Dense).
+        self.schedule: Optional[KSchedule] = schedule
 
     @property
     def num_workers(self) -> int:
         return self.cluster.num_workers
 
     # ------------------------------------------------------------------
+    # the staged pipeline
+    # ------------------------------------------------------------------
     def synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
         """Synchronise the workers' local gradients.
 
         ``gradients`` maps every worker rank to its local dense gradient of
-        length ``num_elements``.  The concrete algorithm runs inside a fresh
-        statistics window so the returned :class:`SyncResult` accounts for
-        this call only.
+        length ``num_elements``.  This is a thin adapter over the staged
+        pipeline driver (:meth:`_step`): the concrete algorithm runs inside
+        a fresh statistics window so the returned :class:`SyncResult`
+        accounts for this call only.
         """
+        return self._step(gradients)
+
+    def _step(self, gradients: Dict[int, np.ndarray], observer=None) -> SyncResult:
+        """Run one full pipeline step: resolve ``k`` through the schedule,
+        drive the five stages inside a fresh statistics window, feed the
+        outcome back to the schedule, and advance the iteration counter.
+
+        ``observer`` (``hook(stage, context)``) is invoked after every
+        stage; :class:`~repro.core.pipeline.SyncSession` uses it to expose
+        the stage boundaries.
+        """
+        if self.schedule is not None:
+            k = int(self.schedule.resolve(self.iteration, self.num_elements))
+            if k != getattr(self, "k", None):
+                self.set_sparsity(k)
         self._validate(gradients)
         self.cluster.reset_stats()
-        result = self._synchronize(
-            {rank: np.asarray(grad, dtype=np.float64) for rank, grad in gradients.items()}
+        context = StepContext(
+            gradients={rank: np.asarray(grad, dtype=np.float64)
+                       for rank, grad in gradients.items()},
+            k=getattr(self, "k", None),
+            iteration=self.iteration,
         )
-        result.stats = self.cluster.reset_stats()
+        for stage in PIPELINE_STAGES:
+            getattr(self, f"stage_{stage.value}")(context)
+            if observer is not None:
+                observer(stage, context)
+        result = SyncResult(
+            global_gradients=context.global_gradients,
+            stats=self.cluster.reset_stats(),
+            info=context.info,
+        )
+        if self.schedule is not None:
+            self.schedule.observe(self.iteration, context.k, result)
         self.iteration += 1
         return result
 
+    # ------------------------------------------------------------------
+    # stage protocol (the SyncPipeline surface)
+    # ------------------------------------------------------------------
+    def stage_select(self, context: StepContext) -> None:
+        """Residual-corrected local selection.  Default: dense pass-through
+        (no residuals, no sparsification)."""
+        context.selected = context.gradients
+
+    def stage_compress(self, context: StepContext) -> None:
+        """Wire encoding of the selection.  Default: identity — COO sparse
+        gradients already are the wire format.  Hook point for quantisation."""
+        context.wire = context.selected
+
     @abstractmethod
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        """Method-specific synchronisation; statistics are captured by the caller."""
+    def stage_exchange(self, context: StepContext) -> None:
+        """The method-specific communication.  All cluster traffic of the
+        step happens here; reads ``context.wire``, writes ``context.exchanged``."""
+
+    @abstractmethod
+    def stage_combine(self, context: StepContext) -> None:
+        """Merge the exchanged pieces into ``context.global_gradients`` (and
+        ``context.global_sparse`` / ``context.reference`` for sparse methods),
+        and assemble ``context.info``."""
+
+    def stage_residual_update(self, context: StepContext) -> None:
+        """Resolve residual state against the final global index set.
+        Default: no-op (methods without error feedback)."""
+
+    # ------------------------------------------------------------------
+    def set_sparsity(self, k: int) -> None:
+        """Adopt a new per-step ``k`` (called by the schedule resolution).
+
+        Methods with a sparsity knob override this; the default refuses so
+        a schedule attached to a dense method fails loudly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support per-step sparsity")
 
     # ------------------------------------------------------------------
     def _validate(self, gradients: Dict[int, np.ndarray]) -> None:

@@ -1,0 +1,221 @@
+"""Per-layer bucketed synchronisation (SSFusion-style).
+
+The flat-vector synchronisers treat the model as one opaque gradient.
+Real systems shard it: SSFusion fuses per-layer sparse tensors into
+bucketed exchanges so selection, compression and communication happen at
+tensor granularity.  :class:`BucketedSynchronizer` brings that shape here:
+the flat gradient is sliced into contiguous buckets derived from the
+model's parameter shapes (one per layer, or greedily fused up to a size
+cap), and every bucket is driven by its own
+:class:`~repro.core.pipeline.SyncSession` — with its own synchroniser,
+sparsity schedule and residual state — while the aggregate still presents
+the plain :class:`~repro.core.base.GradientSynchronizer` interface, so the
+trainer and the benchmarks are oblivious.
+
+Communication accounting is honest about the simulator's execution model:
+buckets synchronise sequentially, so the aggregated
+:class:`~repro.comm.stats.CommStats` adds the buckets' rounds (the latency
+price of bucketing) as well as their volumes.  The end-to-end benchmark
+(``benchmarks/perf/bench_e2e_throughput.py``) measures exactly this
+trade-off against the flat pipeline.
+
+Note that bucketing changes *what is selected*: top-k runs per bucket, so
+small layers are guaranteed representation in the global gradient (the
+motivation DGC gives for per-layer selection), whereas the flat pipeline
+lets a few large layers monopolise the budget.  Residual conservation is
+preserved bucket by bucket, which the bucketed-vs-flat equivalence tests
+assert alongside exact equality on the dense path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm.cluster import SimulatedCluster
+from ..comm.stats import CommStats
+from .base import GradientSynchronizer, SyncResult
+from .pipeline import SyncSession
+
+__all__ = ["BucketedSynchronizer", "layer_buckets", "fuse_buckets"]
+
+#: Builds one bucket's synchroniser: ``factory(cluster, bucket_elements)``.
+BucketFactory = Callable[[SimulatedCluster, int], GradientSynchronizer]
+
+
+def layer_buckets(module) -> List[Tuple[str, int]]:
+    """``(name, size)`` of one bucket per parameter tensor of ``module``.
+
+    ``module`` is anything exposing ``parameters()`` yielding objects with
+    ``name`` and ``size`` attributes (a :class:`repro.nn.module.Module`);
+    the function is duck-typed so the core layer does not depend on the nn
+    substrate.
+    """
+    buckets: List[Tuple[str, int]] = []
+    for index, parameter in enumerate(module.parameters()):
+        name = getattr(parameter, "name", "") or f"param{index}"
+        size = int(parameter.size)
+        if size <= 0:
+            raise ValueError(f"parameter {name!r} has no elements")
+        buckets.append((name, size))
+    if not buckets:
+        raise ValueError("module has no parameters to bucket")
+    return buckets
+
+
+def fuse_buckets(buckets: Sequence[Tuple[str, int]],
+                 max_elements: int) -> List[Tuple[str, int]]:
+    """Greedily fuse consecutive buckets up to ``max_elements`` apiece.
+
+    This is SSFusion's fusion step: many small tensors share one exchange.
+    A single bucket larger than the cap keeps its own bucket (it cannot be
+    split without breaking the per-tensor selection semantics).
+    """
+    if max_elements <= 0:
+        raise ValueError("max_elements must be positive")
+    fused: List[Tuple[str, int]] = []
+    group_names: List[str] = []
+    group_size = 0
+    for name, size in buckets:
+        if group_size and group_size + size > max_elements:
+            fused.append(("+".join(group_names), group_size))
+            group_names, group_size = [], 0
+        group_names.append(name)
+        group_size += size
+    if group_size:
+        fused.append(("+".join(group_names), group_size))
+    return fused
+
+
+class BucketedSynchronizer(GradientSynchronizer):
+    """Drives one :class:`SyncSession` per gradient bucket.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster shared by every bucket.
+    bucket_sizes:
+        Element count of each contiguous bucket; they concatenate to the
+        full flat gradient.
+    factory:
+        ``factory(cluster, bucket_elements)`` building one bucket's
+        synchroniser.  Each bucket gets its own instance — and therefore
+        its own residual state and schedule position.
+    bucket_names:
+        Optional display names (defaults to ``bucket0..``).
+    """
+
+    name = "Bucketed"
+
+    def __init__(self, cluster: SimulatedCluster, bucket_sizes: Sequence[int],
+                 factory: BucketFactory,
+                 bucket_names: Optional[Sequence[str]] = None) -> None:
+        sizes = [int(size) for size in bucket_sizes]
+        if not sizes:
+            raise ValueError("at least one bucket is required")
+        if any(size <= 0 for size in sizes):
+            raise ValueError("bucket sizes must be positive")
+        super().__init__(cluster, sum(sizes))
+        self.bucket_sizes = sizes
+        if bucket_names is None:
+            bucket_names = [f"bucket{i}" for i in range(len(sizes))]
+        if len(bucket_names) != len(sizes):
+            raise ValueError("bucket_names must match bucket_sizes")
+        self.bucket_names = list(bucket_names)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        #: ``(lo, hi)`` slice of every bucket in the flat gradient.
+        self.slices: List[Tuple[int, int]] = [
+            (int(offsets[i]), int(offsets[i + 1])) for i in range(len(sizes))
+        ]
+        #: One session per bucket, each wrapping its own synchroniser.
+        self.sessions: List[SyncSession] = [
+            SyncSession(factory(cluster, size)) for size in sizes
+        ]
+        inner = self.sessions[0].synchronizer.name
+        self.name = f"Bucketed[{len(sizes)}]({inner})"
+
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def k(self) -> Optional[int]:
+        """Aggregate selection budget: the sum of the buckets' current
+        ``k`` (``None`` when the buckets have no sparsity knob, e.g. dense).
+
+        Sessions read this after every step, so a bucketed warm-up's
+        resolved-``k`` trajectory is visible exactly like a flat one's.
+        """
+        ks = [getattr(session.synchronizer, "k", None) for session in self.sessions]
+        if any(value is None for value in ks):
+            return None
+        return int(sum(ks))
+
+    def _step(self, gradients: Dict[int, np.ndarray], observer=None) -> SyncResult:
+        """One bucketed step: slice, drive every bucket's session, and
+        re-assemble the flat global gradients with aggregated statistics.
+
+        Stage observers attach at the bucket level (each inner session runs
+        the full five-stage pipeline); ``observer`` is therefore ignored
+        here rather than fired with a context the buckets share.
+        """
+        self._validate(gradients)
+        arrays = {rank: np.asarray(grad, dtype=np.float64)
+                  for rank, grad in gradients.items()}
+        results: List[SyncResult] = []
+        for (lo, hi), session in zip(self.slices, self.sessions):
+            outcome = session.step({rank: grad[lo:hi] for rank, grad in arrays.items()})
+            results.append(outcome)
+        stats = CommStats.merged(self.num_workers, (outcome.stats for outcome in results))
+        global_gradients = {
+            rank: np.concatenate([outcome.global_gradients[rank] for outcome in results])
+            for rank in arrays
+        }
+        info = {
+            "buckets": self.num_buckets,
+            "bucket_names": list(self.bucket_names),
+            "bucket_sizes": list(self.bucket_sizes),
+            "k": self._total_or_none("k", results),
+            "final_nnz": self._total_or_none("final_nnz", results),
+            "per_bucket_info": [outcome.info for outcome in results],
+        }
+        result = SyncResult(global_gradients=global_gradients, stats=stats, info=info)
+        self.iteration += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # the abstract stage methods never run: _step overrides the flat driver
+    # (buckets each run their own five-stage pipeline).
+    def stage_exchange(self, context) -> None:  # pragma: no cover
+        raise RuntimeError("BucketedSynchronizer drives per-bucket pipelines")
+
+    def stage_combine(self, context) -> None:  # pragma: no cover
+        raise RuntimeError("BucketedSynchronizer drives per-bucket pipelines")
+
+    # ------------------------------------------------------------------
+    def total_residual(self) -> np.ndarray:
+        """Sum of every bucket's residual stores, assembled to full length.
+
+        Buckets without residual state (e.g. dense buckets) contribute
+        zeros, so ``global + total_residual() == exact dense sum`` holds
+        exactly when it holds per bucket (GRES conservation).
+        """
+        total = np.zeros(self.num_elements, dtype=np.float64)
+        for (lo, hi), session in zip(self.slices, self.sessions):
+            residuals = getattr(session.synchronizer, "residuals", None)
+            if residuals is not None:
+                total[lo:hi] = residuals.total_residual()
+        return total
+
+    @staticmethod
+    def _total_or_none(key: str, results: Sequence[SyncResult]):
+        values = [outcome.info.get(key) for outcome in results]
+        if any(value is None for value in values):
+            return None
+        return int(sum(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BucketedSynchronizer(P={self.num_workers}, buckets={self.num_buckets}, "
+                f"n={self.num_elements})")

@@ -17,6 +17,7 @@ from enum import Enum
 from typing import Optional
 
 from .residuals import ResidualPolicy
+from .schedules import KSchedule, coerce_schedule
 from .srs import WIRE_FORMATS
 
 __all__ = ["SAGMode", "SparDLConfig", "DEFAULT_DENSE_CROSSOVER"]
@@ -100,6 +101,13 @@ class SparDLConfig:
         scatter at the flush points of the iteration, instead of scattering
         once per (worker, step).  Bit-identical residuals either way; the
         default False keeps the eager reference path.
+    schedule:
+        Sparsity schedule (see :mod:`repro.core.schedules`): ``None`` keeps
+        the constant ``k``/``density`` (the pre-schedule behaviour, bit for
+        bit), a spec string (``"warmup:5"``, ``"adaptive"``) is interpreted
+        against the configured ``k``/``density`` target, and a ready
+        :class:`~repro.core.schedules.KSchedule` object carries its own
+        target (``k``/``density`` must then be omitted).
     """
 
     k: Optional[int] = None
@@ -112,12 +120,19 @@ class SparDLConfig:
     dense_fallback: bool = True
     dense_fallback_ratio: Optional[float] = None
     deferred_residuals: bool = False
+    schedule: Optional[KSchedule | str] = None
 
     def __post_init__(self) -> None:
-        if self.k is None and self.density is None:
-            raise ValueError("either k or density must be given")
-        if self.k is not None and self.density is not None:
-            raise ValueError("give only one of k and density")
+        if isinstance(self.schedule, KSchedule):
+            if self.k is not None or self.density is not None:
+                raise ValueError(
+                    "a KSchedule object carries its own sparsity target; "
+                    "do not also give k or density")
+        else:
+            if self.k is None and self.density is None:
+                raise ValueError("either k or density must be given")
+            if self.k is not None and self.density is not None:
+                raise ValueError("give only one of k and density")
         if self.k is not None and self.k <= 0:
             raise ValueError("k must be positive")
         if self.density is not None and not 0 < self.density <= 1:
@@ -134,14 +149,22 @@ class SparDLConfig:
         self.residual_policy = ResidualPolicy.coerce(self.residual_policy)
 
     # ------------------------------------------------------------------
+    def resolve_schedule(self) -> KSchedule:
+        """The :class:`~repro.core.schedules.KSchedule` this configuration
+        describes (a constant schedule over ``k``/``density`` by default)."""
+        return coerce_schedule(self.schedule, k=self.k, density=self.density)
+
     def resolve_k(self, num_elements: int) -> int:
-        """Number of selected gradients for a vector of ``num_elements``."""
+        """Number of selected gradients for a vector of ``num_elements``
+        at iteration 0 of the configured schedule."""
         if num_elements <= 0:
             raise ValueError("num_elements must be positive")
         if self.k is not None:
             k = self.k
-        else:
+        elif self.density is not None:
             k = int(round(self.density * num_elements))
+        else:
+            return self.resolve_schedule().resolve(0, num_elements)
         return max(1, min(num_elements, int(k)))
 
     def validate_for_cluster(self, num_workers: int) -> None:
@@ -180,7 +203,19 @@ class SparDLConfig:
 
     def describe(self) -> str:
         """Short human-readable label used in figures and reports."""
-        sparsity = f"k={self.k}" if self.k is not None else f"k/n={self.density:g}"
-        if self.num_teams == 1:
-            return f"SparDL({sparsity})"
-        return f"SparDL({sparsity}, {self.effective_sag_mode().value.upper()}, d={self.num_teams})"
+        if self.k is not None:
+            sparsity = f"k={self.k}"
+        elif self.density is not None:
+            sparsity = f"k/n={self.density:g}"
+        else:
+            sparsity = self.resolve_schedule().spec()
+        parts = [sparsity]
+        if isinstance(self.schedule, str) and self.schedule.strip().lower() != "constant":
+            parts.append(self.schedule.strip().lower())
+        elif isinstance(self.schedule, KSchedule) and self.schedule.spec() != "constant":
+            if self.schedule.spec() != sparsity:
+                parts.append(self.schedule.spec())
+        if self.num_teams > 1:
+            parts.append(f"{self.effective_sag_mode().value.upper()}")
+            parts.append(f"d={self.num_teams}")
+        return f"SparDL({', '.join(parts)})"

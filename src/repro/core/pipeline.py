@@ -1,0 +1,212 @@
+"""The staged synchronisation pipeline: stages, step context and sessions.
+
+The paper's method is a pipeline — residual add, top-k select, SRS
+exchange, residual update — and every synchroniser in this repository now
+exposes those boundaries explicitly instead of hiding them inside one
+opaque ``synchronize()`` call.  A step runs five stages in order:
+
+``select``
+    Apply stored residuals to the new local gradients and perform the
+    method's local selection (top-k, threshold pruning, or — for methods
+    whose selection is interleaved with communication, like SparDL's
+    block-wise SRS top-k — just the residual add).
+``compress``
+    Turn the selection into its wire representation.  The default is the
+    identity (COO sparse gradients already *are* the wire format); the
+    stage exists as the hook point for quantisation and other encodings.
+``exchange``
+    The method-specific communication.  All cluster traffic of a step
+    happens here.
+``combine``
+    Merge the exchanged pieces into the per-worker global gradients and
+    assemble the step's diagnostics.
+``residual_update``
+    Resolve the residual state against the final global index set
+    (error-feedback bookkeeping for the next iteration).
+
+:class:`StepContext` is the mutable record the stages pass along;
+:class:`SyncSession` is the stateful driver that runs the stages step
+after step, carrying the iteration count, the schedule-resolved ``k`` and
+the cumulative :class:`~repro.comm.stats.CommStats` across steps.  The
+legacy ``GradientSynchronizer.synchronize()`` remains as a thin adapter
+over the same staged driver, so the two paths are bit-identical by
+construction (asserted method-by-method in ``tests/test_pipeline_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..comm.stats import CommStats
+from .schedules import KSchedule, coerce_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import GradientSynchronizer, SyncResult
+
+__all__ = ["SyncStage", "PIPELINE_STAGES", "StepContext", "SyncSession"]
+
+
+class SyncStage(str, Enum):
+    """The five stages of one synchronisation step, in execution order."""
+
+    SELECT = "select"
+    COMPRESS = "compress"
+    EXCHANGE = "exchange"
+    COMBINE = "combine"
+    RESIDUAL_UPDATE = "residual_update"
+
+
+#: Execution order of the stages.
+PIPELINE_STAGES = (
+    SyncStage.SELECT,
+    SyncStage.COMPRESS,
+    SyncStage.EXCHANGE,
+    SyncStage.COMBINE,
+    SyncStage.RESIDUAL_UPDATE,
+)
+
+
+@dataclass
+class StepContext:
+    """Mutable state passed through the stages of one step.
+
+    Each stage reads the fields the previous stages produced and writes its
+    own; ``scratch`` holds method-private intermediates (SRS/SAG outputs,
+    short-circuit flags) that do not belong to the protocol.
+    """
+
+    #: Per-worker dense input gradients (float64, validated).
+    gradients: Dict[int, np.ndarray]
+    #: The schedule-resolved ``k`` of this step (``None`` for dense methods).
+    k: Optional[int]
+    #: 0-based iteration index of this step.
+    iteration: int
+    #: Output of ``select``: per-worker selection (sparse, or dense pass-through).
+    selected: Any = None
+    #: Output of ``compress``: the wire representation (default: ``selected``).
+    wire: Any = None
+    #: Output of ``exchange``: method-specific gathered/reduced payloads.
+    exchanged: Any = None
+    #: Per-worker final sparse gradients, when the method is sparse.
+    global_sparse: Optional[Dict[int, Any]] = None
+    #: Per-worker final dense global gradients (set by ``combine``).
+    global_gradients: Optional[Dict[int, np.ndarray]] = None
+    #: The final sparse gradient whose index set drives ``residual_update``.
+    reference: Any = None
+    #: Step diagnostics collected into ``SyncResult.info``.
+    info: Dict[str, Any] = field(default_factory=dict)
+    #: Method-private intermediates (not part of the stage protocol).
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Signature of a per-stage observer: ``hook(stage, context)``.
+StageHook = Callable[[SyncStage, StepContext], None]
+
+
+class SyncSession:
+    """Stateful driver of the staged pipeline for one synchroniser.
+
+    A session owns the cross-step state the one-shot ``synchronize()``
+    call hides: the iteration count, the ``k`` each step resolved through
+    the synchroniser's :class:`~repro.core.schedules.KSchedule`, and the
+    cumulative :class:`~repro.comm.stats.CommStats` over every step driven
+    so far.  Per-stage hooks observe the :class:`StepContext` after each
+    stage — the boundary that per-stage timing, logging and the bucketing
+    layer build on.
+
+    Parameters
+    ----------
+    synchronizer:
+        The :class:`~repro.core.base.GradientSynchronizer` to drive.
+    schedule:
+        Optional schedule override: a :class:`KSchedule`, or a spec string
+        (``"warmup:5"``) interpreted against the synchroniser's current
+        ``k``.  ``None`` keeps the synchroniser's own schedule.
+
+    >>> import numpy as np
+    >>> from repro import SimulatedCluster, SparDLConfig, SparDLSynchronizer
+    >>> from repro.core.pipeline import SyncSession
+    >>> cluster = SimulatedCluster(4)
+    >>> sync = SparDLSynchronizer(cluster, 1000, SparDLConfig(density=0.01))
+    >>> session = SyncSession(sync)
+    >>> grads = {w: np.random.default_rng(w).normal(size=1000) for w in range(4)}
+    >>> result = session.step(grads)
+    >>> session.iteration, session.resolved_k
+    (1, 10)
+    """
+
+    def __init__(self, synchronizer: "GradientSynchronizer",
+                 schedule: Optional[KSchedule | str] = None) -> None:
+        self.synchronizer = synchronizer
+        if schedule is not None:
+            if isinstance(schedule, KSchedule):
+                synchronizer.schedule = schedule
+            else:
+                synchronizer.schedule = coerce_schedule(
+                    schedule, k=getattr(synchronizer, "k", None))
+        #: Number of steps driven through this session.
+        self.iteration = 0
+        #: The ``k`` the schedule resolved for the most recent step.
+        self.resolved_k: Optional[int] = None
+        #: Per-step history of the resolved ``k``.
+        self.k_history: List[Optional[int]] = []
+        #: Communication accounting accumulated over every step.
+        self.cumulative_stats = CommStats(num_workers=synchronizer.num_workers)
+        #: The most recent step's result.
+        self.last_result: Optional["SyncResult"] = None
+        self._stage_hooks: List[StageHook] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self.synchronizer.num_workers
+
+    @property
+    def num_elements(self) -> int:
+        return self.synchronizer.num_elements
+
+    @property
+    def schedule(self) -> Optional[KSchedule]:
+        return self.synchronizer.schedule
+
+    def add_stage_hook(self, hook: StageHook) -> None:
+        """Register ``hook(stage, context)`` to run after every stage."""
+        self._stage_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def step(self, gradients: Dict[int, np.ndarray]) -> "SyncResult":
+        """Run one full pipeline step and update the session state."""
+        observer = self._notify if self._stage_hooks else None
+        result = self.synchronizer._step(gradients, observer=observer)
+        self.iteration += 1
+        self.resolved_k = getattr(self.synchronizer, "k", None)
+        self.k_history.append(self.resolved_k)
+        self.cumulative_stats.merge(result.stats)
+        self.last_result = result
+        return result
+
+    def _notify(self, stage: SyncStage, context: StepContext) -> None:
+        for hook in self._stage_hooks:
+            hook(stage, context)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Cross-step summary: steps, cumulative comm cost, k trajectory."""
+        ks = [k for k in self.k_history if k is not None]
+        return {
+            "method": self.synchronizer.name,
+            "steps": self.iteration,
+            "rounds": self.cumulative_stats.rounds,
+            "total_volume": self.cumulative_stats.total_volume,
+            "max_received": self.cumulative_stats.max_received,
+            "k_first": ks[0] if ks else None,
+            "k_last": ks[-1] if ks else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SyncSession({self.synchronizer!r}, steps={self.iteration}, "
+                f"k={self.resolved_k})")

@@ -1,0 +1,315 @@
+"""First-class sparsity schedules (the ``k`` of every synchronisation).
+
+The paper sweeps the sparsity ratio ``k/n`` as a static hyper-parameter
+(Fig. 16); follow-up systems treat it as a *schedule*: Deep Gradient
+Compression ramps the sparsity up over a few warm-up epochs so early
+iterations — whose gradients carry the most signal — are compressed
+gently, and adaptive systems retune the ratio online from what the
+exchange actually observed.  A :class:`KSchedule` makes that first-class:
+every synchroniser resolves its per-step ``k`` through its schedule at the
+start of each step, and hands the step's outcome back through
+:meth:`KSchedule.observe` afterwards.
+
+Three schedules are provided:
+
+* :class:`ConstantSchedule` — the paper's static ``k``/``density`` pair.
+  This is the default everywhere and reproduces the pre-schedule behaviour
+  bit for bit.
+* :class:`WarmupSchedule` — a DGC-style geometric ramp from a dense-ish
+  ``start_density`` down to the target over ``warmup_steps`` steps.
+* :class:`AdaptiveSchedule` — a feedback controller that treats the target
+  ``k`` as a budget on the *merged global* non-zero count and multiplicatively
+  retunes the per-worker ``k`` from the observed ``final_nnz``.
+
+Schedules also define the spec-string grammar used by :mod:`repro.api`
+(``schedule=warmup:5`` etc.); :func:`parse_schedule` and
+:meth:`KSchedule.spec` round-trip it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+__all__ = [
+    "resolve_k",
+    "KSchedule",
+    "ConstantSchedule",
+    "WarmupSchedule",
+    "AdaptiveSchedule",
+    "parse_schedule",
+    "coerce_schedule",
+    "SCHEDULE_KINDS",
+]
+
+#: Schedule kinds understood by :func:`parse_schedule` (the ``schedule=``
+#: values of the :mod:`repro.api` spec grammar).
+SCHEDULE_KINDS = ("constant", "warmup", "adaptive")
+
+
+def resolve_k(num_elements: int, k: Optional[int], density: Optional[float]) -> int:
+    """Resolve the number of selected gradients from ``k`` or ``density``.
+
+    Exactly one of the two should be provided; the result is clamped to
+    ``[1, num_elements]``.
+    """
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    if k is None and density is None:
+        raise ValueError("either k or density must be given")
+    if k is not None and density is not None:
+        raise ValueError("give only one of k and density")
+    if k is None:
+        if not 0 < density <= 1:
+            raise ValueError("density must be in (0, 1]")
+        k = int(round(density * num_elements))
+    k = int(k)
+    return max(1, min(num_elements, k))
+
+
+class KSchedule(ABC):
+    """Per-iteration resolution of the sparsity ``k``.
+
+    ``resolve(iteration, num_elements)`` is called at the *start* of every
+    step and returns the ``k`` that step selects per worker;
+    ``observe(iteration, k_used, result)`` is called at the *end* of the
+    step with the finished :class:`~repro.core.base.SyncResult`, so
+    feedback schedules can retune themselves from the observed non-zero
+    count or communication volume.  Stateless schedules ignore ``observe``.
+    """
+
+    #: Spec-grammar kind (first token of the ``schedule=`` value).
+    kind: str = "constant"
+
+    @abstractmethod
+    def resolve(self, iteration: int, num_elements: int) -> int:
+        """The ``k`` to select at ``iteration`` (0-based) for a gradient of
+        ``num_elements``."""
+
+    def observe(self, iteration: int, k_used: int, result) -> None:
+        """Feedback hook called after each step (default: no-op)."""
+
+    @abstractmethod
+    def spec(self) -> str:
+        """The ``schedule=`` spec-string value that reconstructs this
+        schedule (see :func:`parse_schedule`)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+def _validate_target(k: Optional[int], density: Optional[float]) -> None:
+    """Shared constructor validation: exactly one of ``k``/``density``."""
+    if k is None and density is None:
+        raise ValueError("either k or density must be given")
+    if k is not None and density is not None:
+        raise ValueError("give only one of k and density")
+    if k is not None and int(k) <= 0:
+        raise ValueError("k must be positive")
+    if density is not None and not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+
+
+class ConstantSchedule(KSchedule):
+    """The paper's static sparsity: the same ``k`` (or ``density``) forever.
+
+    ``resolve`` is exactly :func:`resolve_k`, so a constant schedule is
+    bit-identical to the pre-schedule code path.
+    """
+
+    kind = "constant"
+
+    def __init__(self, k: Optional[int] = None, density: Optional[float] = None) -> None:
+        _validate_target(k, density)
+        self.k = None if k is None else int(k)
+        self.density = None if density is None else float(density)
+
+    def resolve(self, iteration: int, num_elements: int) -> int:
+        return resolve_k(num_elements, self.k, self.density)
+
+    def spec(self) -> str:
+        return "constant"
+
+
+class WarmupSchedule(KSchedule):
+    """DGC-style sparsity warm-up: start dense-ish, ramp to the target.
+
+    Deep Gradient Compression ramps its sparsity exponentially over the
+    first epochs (density 0.25 -> 0.0625 -> ... -> target) so the large
+    early gradients are compressed gently.  This schedule reproduces that
+    shape per *step*: the selected density decays geometrically from
+    ``start_density`` at iteration 0 to the target ``k``/``density`` at
+    iteration ``warmup_steps``, and stays at the target afterwards.
+
+    ``start_density`` is clamped up to the target density when the target
+    is denser than the start (the ramp never goes *up*).
+    """
+
+    kind = "warmup"
+
+    #: DGC's first warm-up density (75% sparsity).
+    DEFAULT_START_DENSITY = 0.25
+
+    def __init__(self, warmup_steps: int, k: Optional[int] = None,
+                 density: Optional[float] = None,
+                 start_density: Optional[float] = None) -> None:
+        _validate_target(k, density)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        start = self.DEFAULT_START_DENSITY if start_density is None else float(start_density)
+        if not 0 < start <= 1:
+            raise ValueError("start_density must be in (0, 1]")
+        self.warmup_steps = int(warmup_steps)
+        self.k = None if k is None else int(k)
+        self.density = None if density is None else float(density)
+        self.start_density = start
+        self._explicit_start = start_density is not None
+
+    def resolve(self, iteration: int, num_elements: int) -> int:
+        target = resolve_k(num_elements, self.k, self.density)
+        if iteration >= self.warmup_steps:
+            return target
+        target_density = target / num_elements
+        start = max(self.start_density, target_density)
+        if start <= target_density:
+            return target
+        # Geometric interpolation: exactly `start` at iteration 0, exactly
+        # the target density once iteration reaches warmup_steps.
+        fraction = iteration / self.warmup_steps
+        density = start * (target_density / start) ** fraction
+        return resolve_k(num_elements, None, min(1.0, density))
+
+    def spec(self) -> str:
+        if self._explicit_start:
+            return f"warmup:{self.warmup_steps}:{self.start_density:g}"
+        return f"warmup:{self.warmup_steps}"
+
+
+class AdaptiveSchedule(KSchedule):
+    """Feedback controller: retune ``k`` from the observed global nnz.
+
+    The target ``k``/``density`` is read as a *budget on the merged global
+    gradient's non-zero count* (the quantity SparDL's Fig. 7 plots and the
+    B-SAG controller steers).  When workers select mostly disjoint indices
+    the merged nnz approaches ``P * k`` — far over budget for the same
+    per-element information — so after every step the controller rescales
+    the per-worker ``k`` multiplicatively:
+
+    ``k <- k * (budget / observed_nnz) ** gain``
+
+    damped by ``gain`` (default 0.5) and clamped to at most a 2x move per
+    step.  Steps that report no ``final_nnz``, and dense-fallback steps
+    (whose ``final_nnz`` counts the exact dense sum, not a merged sparse
+    selection), leave ``k`` untouched — otherwise a budget near the
+    fallback crossover would oscillate across it forever.
+    """
+
+    kind = "adaptive"
+
+    def __init__(self, k: Optional[int] = None, density: Optional[float] = None,
+                 gain: float = 0.5) -> None:
+        _validate_target(k, density)
+        if not 0 < gain <= 1:
+            raise ValueError("gain must be in (0, 1]")
+        self.k = None if k is None else int(k)
+        self.density = None if density is None else float(density)
+        self.gain = float(gain)
+        self._current: Optional[int] = None
+
+    def resolve(self, iteration: int, num_elements: int) -> int:
+        budget = resolve_k(num_elements, self.k, self.density)
+        if self._current is None:
+            self._current = budget
+        return max(1, min(num_elements, self._current))
+
+    def observe(self, iteration: int, k_used: int, result) -> None:
+        if result is None or result.info.get("dense_fallback"):
+            return
+        observed = result.info.get("final_nnz")
+        if not observed:
+            return
+        budget = self._budget_nnz(result)
+        ratio = budget / float(observed)
+        factor = ratio ** self.gain
+        # At most halve / double per step so one noisy iteration cannot
+        # collapse the selection.
+        factor = min(2.0, max(0.5, factor))
+        self._current = max(1, int(round(k_used * factor)))
+
+    def _budget_nnz(self, result) -> float:
+        length = None
+        gradients = getattr(result, "global_gradients", None)
+        if gradients:
+            first = next(iter(gradients.values()))
+            length = first.shape[0]
+        if length is None:  # pragma: no cover - defensive
+            return float(self.k or 1)
+        return float(resolve_k(length, self.k, self.density))
+
+    def spec(self) -> str:
+        if self.gain != 0.5:
+            return f"adaptive:{self.gain:g}"
+        return "adaptive"
+
+
+# ---------------------------------------------------------------------------
+# spec-string grammar
+# ---------------------------------------------------------------------------
+def parse_schedule(spec: str, k: Optional[int] = None,
+                   density: Optional[float] = None) -> KSchedule:
+    """Build a :class:`KSchedule` from its spec-string value.
+
+    Grammar (the ``schedule=`` value of the :mod:`repro.api` spec strings)::
+
+        constant                  -> ConstantSchedule(k, density)
+        warmup:STEPS              -> WarmupSchedule(STEPS, k, density)
+        warmup:STEPS:START        -> WarmupSchedule(STEPS, k, density, START)
+        adaptive                  -> AdaptiveSchedule(k, density)
+        adaptive:GAIN             -> AdaptiveSchedule(k, density, GAIN)
+
+    The target sparsity (``k`` or ``density``) comes from the surrounding
+    configuration, exactly as in ``SparDLConfig``.
+    """
+    text = str(spec).strip().lower()
+    if not text:
+        raise ValueError("empty schedule spec")
+    parts = text.split(":")
+    kind, args = parts[0], parts[1:]
+    if kind == "constant":
+        if args:
+            raise ValueError(f"constant schedule takes no arguments, got {spec!r}")
+        return ConstantSchedule(k=k, density=density)
+    if kind == "warmup":
+        if not 1 <= len(args) <= 2:
+            raise ValueError(
+                f"warmup schedule spec must be warmup:STEPS[:START_DENSITY], got {spec!r}")
+        steps = int(args[0])
+        start = float(args[1]) if len(args) == 2 else None
+        return WarmupSchedule(steps, k=k, density=density, start_density=start)
+    if kind == "adaptive":
+        if len(args) > 1:
+            raise ValueError(f"adaptive schedule spec must be adaptive[:GAIN], got {spec!r}")
+        gain = float(args[0]) if args else 0.5
+        return AdaptiveSchedule(k=k, density=density, gain=gain)
+    raise ValueError(
+        f"unknown schedule kind {kind!r}; expected one of {', '.join(SCHEDULE_KINDS)}")
+
+
+def coerce_schedule(schedule, k: Optional[int] = None,
+                    density: Optional[float] = None) -> KSchedule:
+    """Normalise a schedule argument into a :class:`KSchedule`.
+
+    ``schedule`` may be a ready :class:`KSchedule` (then ``k``/``density``
+    must not also be given — the schedule carries its own target), a spec
+    string interpreted against the given target, or ``None`` for the
+    constant schedule over ``k``/``density``.
+    """
+    if isinstance(schedule, KSchedule):
+        if k is not None or density is not None:
+            raise ValueError(
+                "a KSchedule object carries its own sparsity target; "
+                "do not also give k or density")
+        return schedule
+    if schedule is None:
+        return ConstantSchedule(k=k, density=density)
+    return parse_schedule(str(schedule), k=k, density=density)

@@ -38,8 +38,9 @@ from ..comm.cluster import SimulatedCluster
 from ..comm.collectives import allgather_bruck_grouped, allreduce_dense
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
-from .base import GradientSynchronizer, SyncResult
+from .base import GradientSynchronizer
 from .config import SAGMode, SparDLConfig
+from .pipeline import StepContext
 from .residuals import ResidualManager
 from .sag import CompressionRatioController, SAGOutput, b_sag, r_sag
 from .srs import spar_reduce_scatter
@@ -84,26 +85,19 @@ class SparDLSynchronizer(GradientSynchronizer):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int,
                  config: SparDLConfig) -> None:
-        super().__init__(cluster, num_elements)
+        super().__init__(cluster, num_elements, schedule=config.resolve_schedule())
         config.validate_for_cluster(cluster.num_workers)
         self.config = config
-        self.k = config.resolve_k(num_elements)
         self.num_teams = config.num_teams
         self.team_size = cluster.num_workers // config.num_teams
         self.teams = make_teams(cluster.num_workers, config.num_teams)
         self.layout = BlockLayout(num_elements, self.team_size)
-        #: Non-zeros kept per block: ``k/P`` when d=1, ``L = d*k/P`` in general.
-        #: Rounded up so that k = n degenerates to an exact dense All-Reduce
-        #: (a block is never forced below its own size by integer division).
-        self.k_block = max(1, -(-self.k * self.num_teams // cluster.num_workers))
         self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                          config.residual_policy,
                                          deferred=config.deferred_residuals)
         #: Crossover density at which the dense fallback engages.
         self.dense_crossover = config.resolve_dense_crossover()
-        #: True when this configuration bypasses the sparse pipeline.
-        self.uses_dense_fallback = (config.dense_fallback
-                                    and self.k / num_elements >= self.dense_crossover)
+        self.set_sparsity(self.schedule.resolve(0, num_elements))
         self._controller: Optional[CompressionRatioController] = None
         if self.num_teams > 1 and config.effective_sag_mode() is SAGMode.BSAG:
             self._controller = CompressionRatioController(
@@ -120,12 +114,36 @@ class SparDLSynchronizer(GradientSynchronizer):
         """The B-SAG compression-ratio controller (``None`` unless B-SAG)."""
         return self._controller
 
-    def _synchronize(self, gradients: Dict[int, np.ndarray]) -> SyncResult:
-        corrected = self.residuals.apply(gradients)
+    def set_sparsity(self, k: int) -> None:
+        """Adopt a per-step ``k`` (schedule resolution): recompute the
+        per-block budget and the dense-fallback decision."""
+        k = max(1, min(self.num_elements, int(k)))
+        self.k = k
+        #: Non-zeros kept per block: ``k/P`` when d=1, ``L = d*k/P`` in general.
+        #: Rounded up so that k = n degenerates to an exact dense All-Reduce
+        #: (a block is never forced below its own size by integer division).
+        self.k_block = max(1, -(-k * self.num_teams // self.cluster.num_workers))
+        #: True when the current ``k`` bypasses the sparse pipeline.
+        self.uses_dense_fallback = (self.config.dense_fallback
+                                    and k / self.num_elements >= self.dense_crossover)
 
+    # ------------------------------------------------------------------
+    # the staged pipeline
+    # ------------------------------------------------------------------
+    def stage_select(self, context: StepContext) -> None:
+        """Residual add (SRS phase 1).  SparDL's block-wise top-k selection
+        is interleaved with the SRS transmissions, so the selection proper
+        lives inside :meth:`stage_exchange`."""
+        context.selected = self.residuals.apply(context.gradients)
+
+    def stage_exchange(self, context: StepContext) -> None:
+        """SRS inside every team, then Spar-All-Gather across teams — or the
+        exact dense All-Reduce past the density crossover."""
+        corrected = context.wire
         if self.uses_dense_fallback:
-            return self._synchronize_dense(corrected)
-
+            context.exchanged = allreduce_dense(self.cluster, corrected)
+            context.scratch["dense_fallback"] = True
+            return
         srs_out = spar_reduce_scatter(
             cluster=self.cluster,
             teams=self.teams,
@@ -136,21 +154,36 @@ class SparDLSynchronizer(GradientSynchronizer):
             sparsify_all=self.config.sparsify_all_blocks,
             wire_format=self.config.wire_format,
         )
-
         sag_out = self._run_sag(srs_out.reduced_blocks)
-        blocks = sag_out.blocks if sag_out is not None else srs_out.reduced_blocks
+        context.scratch["srs"] = srs_out
+        context.scratch["sag"] = sag_out
+        context.exchanged = sag_out.blocks if sag_out is not None else srs_out.reduced_blocks
 
-        final = self._intra_team_allgather(blocks)
-
-        # Resolve deferred (PRES) discards against the final index set, which
-        # is identical on every worker.  This is also the per-iteration flush
-        # point of deferred residual accumulation: every sparse discard the
-        # SRS/SAG steps buffered is folded into the stores in one merge per
-        # worker here.
+    def stage_combine(self, context: StepContext) -> None:
+        """Bruck All-Gather inside every team and merge into the per-worker
+        global gradients."""
+        if context.scratch.get("dense_fallback"):
+            reduced = context.exchanged
+            reference = reduced[next(iter(reduced))]
+            context.global_gradients = reduced
+            context.info = {
+                "k": self.k,
+                "k_block": self.k_block,
+                "num_teams": self.num_teams,
+                "final_nnz": int(np.count_nonzero(reference)),
+                "srs_steps": 0,
+                "max_bag_nnz_per_step": [],
+                "dense_fallback": True,
+                "dense_crossover": self.dense_crossover,
+            }
+            return
+        final = self._intra_team_allgather(context.exchanged)
         reference = final[next(iter(final))]
-        self.residuals.finalize(reference.indices)
-
-        global_gradients = {rank: sparse.to_dense() for rank, sparse in final.items()}
+        context.global_sparse = final
+        context.reference = reference
+        context.global_gradients = {rank: sparse.to_dense() for rank, sparse in final.items()}
+        srs_out = context.scratch["srs"]
+        sag_out = context.scratch["sag"]
         info = {
             "k": self.k,
             "k_block": self.k_block,
@@ -167,29 +200,18 @@ class SparDLSynchronizer(GradientSynchronizer):
                 "sag_merged_nnz_mean": sag_out.merged_nnz_mean,
                 "sag_h": sag_out.h_used,
             })
-        return SyncResult(global_gradients=global_gradients, stats=None, info=info)
+        context.info = info
 
-    # ------------------------------------------------------------------
-    def _synchronize_dense(self, corrected: Dict[int, np.ndarray]) -> SyncResult:
-        """Dense All-Reduce fallback past the density crossover.
-
-        The residual-corrected gradients are reduced exactly, so nothing is
-        dropped and no residuals are collected this iteration (the stores
-        were already drained by ``apply``).
-        """
-        reduced = allreduce_dense(self.cluster, corrected)
-        reference = reduced[next(iter(reduced))]
-        info = {
-            "k": self.k,
-            "k_block": self.k_block,
-            "num_teams": self.num_teams,
-            "final_nnz": int(np.count_nonzero(reference)),
-            "srs_steps": 0,
-            "max_bag_nnz_per_step": [],
-            "dense_fallback": True,
-            "dense_crossover": self.dense_crossover,
-        }
-        return SyncResult(global_gradients=reduced, stats=None, info=info)
+    def stage_residual_update(self, context: StepContext) -> None:
+        """Resolve deferred (PRES) discards against the final index set,
+        which is identical on every worker.  This is also the per-iteration
+        flush point of deferred residual accumulation: every sparse discard
+        the SRS/SAG steps buffered is folded into the stores in one merge
+        per worker here.  A dense-fallback step drops nothing, so there is
+        nothing to resolve."""
+        if context.scratch.get("dense_fallback"):
+            return
+        self.residuals.finalize(context.reference.indices)
 
     def _run_sag(self, blocks: Dict[int, SparseGradient]) -> Optional[SAGOutput]:
         """Synchronise teams with R-SAG or B-SAG (no-op when ``d == 1``)."""

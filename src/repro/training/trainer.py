@@ -7,18 +7,29 @@ workers compute local gradients in parallel, synchronise them through a
 apply the identical averaged global gradient to their replicas.  Per-iteration
 simulated time combines a per-case compute profile with the alpha-beta cost of
 the measured communication (see :mod:`repro.training.timing`).
+
+The synchroniser may be passed ready-built, or as a *factory*
+``factory(cluster, model) -> GradientSynchronizer`` (e.g. from
+:func:`repro.api.make_factory`): the trainer calls the factory with its
+reference replica, so flat and bucketed synchronisers alike derive their
+gradient layout from the model instead of the caller pre-computing
+``num_parameters()``.  All synchronisation is driven through a
+:class:`~repro.core.pipeline.SyncSession`, whose cumulative
+:class:`~repro.comm.stats.CommStats` and resolved-``k`` history are exposed
+as :attr:`DistributedTrainer.session`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from ..comm.cluster import SimulatedCluster
 from ..comm.network import ETHERNET, NetworkProfile
 from ..core.base import GradientSynchronizer
+from ..core.pipeline import SyncSession
 from ..data.datasets import DataLoader, Dataset, TaskType, shard_dataset
 from ..nn.losses import CrossEntropyLoss, Loss, MSELoss, accuracy
 from ..nn.module import Module
@@ -66,13 +77,18 @@ class TrainerConfig:
         return StepLRSchedule(self.learning_rate, self.lr_step_epochs, self.lr_gamma)
 
 
+#: A ready synchroniser, or ``factory(cluster, model)`` building one.
+SynchronizerLike = Union[GradientSynchronizer,
+                         Callable[[SimulatedCluster, Module], GradientSynchronizer]]
+
+
 class DistributedTrainer:
     """Synchronous data-parallel trainer over a simulated cluster."""
 
     def __init__(
         self,
         cluster: SimulatedCluster,
-        synchronizer: GradientSynchronizer,
+        synchronizer: SynchronizerLike,
         model_factory: Callable[[int], Module],
         train_dataset: Dataset,
         eval_dataset: Dataset,
@@ -84,7 +100,6 @@ class DistributedTrainer:
         case_name: str = "",
     ) -> None:
         self.cluster = cluster
-        self.synchronizer = synchronizer
         self.config = config or TrainerConfig()
         self.network = network
         self.train_dataset = train_dataset
@@ -99,11 +114,20 @@ class DistributedTrainer:
         self.replicas: List[Module] = [model_factory(self.config.seed)
                                        for _ in range(num_workers)]
         self.num_elements = self.replicas[0].num_parameters()
+        if not isinstance(synchronizer, GradientSynchronizer):
+            # A factory builds the synchroniser *from* the model, so flat and
+            # bucketed layouts alike can never disagree with the parameter
+            # count (the historical failure mode of pre-built synchronisers).
+            synchronizer = synchronizer(cluster, self.replicas[0])
         if self.num_elements != synchronizer.num_elements:
             raise ValueError(
                 f"synchroniser was built for {synchronizer.num_elements} gradients but the "
                 f"model has {self.num_elements} parameters"
             )
+        self.synchronizer = synchronizer
+        #: Staged-pipeline driver: cumulative CommStats and k history across
+        #: the whole training run.
+        self.session = SyncSession(synchronizer)
         reference = flatten_values(self.replicas[0].parameters())
         for replica in self.replicas[1:]:
             if not np.array_equal(flatten_values(replica.parameters()), reference):
@@ -189,7 +213,7 @@ class DistributedTrainer:
             gradients[worker] = flatten_gradients(replica.parameters())
             losses.append(loss_value)
 
-        result = self.synchronizer.synchronize(gradients)
+        result = self.session.step(gradients)
         timing = iteration_time(result.stats, self.network, self.compute_profile,
                                 model_parameters=self.num_elements)
 

@@ -1,0 +1,187 @@
+"""Per-layer bucketed synchronisation: layout, equivalence, trainer wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import make, make_factory
+from repro.comm.cluster import SimulatedCluster
+from repro.core.bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
+from repro.nn.models import build_mlp
+from repro.training.cases import get_case
+from repro.training.trainer import DistributedTrainer, TrainerConfig
+
+NUM_WORKERS = 4
+
+
+def _model():
+    return build_mlp(20, [32, 16], 4, seed=0)
+
+
+def _gradients(num_elements: int, iteration: int = 0):
+    return {w: np.random.default_rng(100 * iteration + w).normal(size=num_elements)
+            for w in range(NUM_WORKERS)}
+
+
+class TestBucketLayout:
+    def test_layer_buckets_cover_every_parameter(self):
+        model = _model()
+        buckets = layer_buckets(model)
+        assert sum(size for _, size in buckets) == model.num_parameters()
+        assert len(buckets) == len(model.parameters())
+
+    def test_fuse_respects_cap_except_oversized_tensors(self):
+        buckets = [("a", 100), ("b", 50), ("c", 400), ("d", 30), ("e", 30)]
+        fused = fuse_buckets(buckets, 200)
+        assert sum(size for _, size in fused) == 610
+        # The 400-element tensor keeps its own bucket; the others fuse.
+        assert ("c", 400) in fused
+        assert all(size <= 200 for _, size in fused if size != 400)
+
+    def test_fuse_preserves_order(self):
+        fused = fuse_buckets([("a", 10), ("b", 10), ("c", 10)], 25)
+        assert fused == [("a+b", 20), ("c", 10)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fuse_buckets([("a", 10)], 0)
+        with pytest.raises(ValueError):
+            BucketedSynchronizer(SimulatedCluster(2), [],
+                                 factory=lambda c, n: None)
+
+
+class TestBucketedVersusFlat:
+    def test_dense_path_equivalent_to_flat(self):
+        """Satellite requirement: bucketed == flat for the dense path (the
+        allreduce is exact, so slicing cannot change the result beyond
+        float addition order)."""
+        model = _model()
+        n = model.num_parameters()
+        grads = _gradients(n)
+        flat = make("dense", SimulatedCluster(NUM_WORKERS), num_elements=n)
+        bucketed = make("dense?buckets=layer", SimulatedCluster(NUM_WORKERS), model=model)
+        flat_result = flat.synchronize({w: g.copy() for w, g in grads.items()})
+        bucketed_result = bucketed.synchronize({w: g.copy() for w, g in grads.items()})
+        exact = sum(grads.values())
+        for worker in range(NUM_WORKERS):
+            np.testing.assert_allclose(bucketed_result.global_gradients[worker],
+                                       flat_result.global_gradients[worker],
+                                       rtol=1e-12, atol=1e-12)
+            np.testing.assert_allclose(bucketed_result.global_gradients[worker],
+                                       exact, rtol=1e-9, atol=1e-12)
+        # Same elements move in total (the dense volume is layout-invariant);
+        # bucketing pays extra latency rounds, which the stats expose honestly.
+        assert bucketed_result.stats.total_volume == pytest.approx(
+            flat_result.stats.total_volume)
+        assert bucketed_result.stats.rounds >= flat_result.stats.rounds
+
+    def test_spardl_path_equivalent_conservation(self):
+        """Satellite requirement for the SparDL path: per-bucket top-k picks
+        *different* indices than flat top-k (small layers are guaranteed
+        representation), but both pipelines conserve gradient mass exactly:
+        global + residuals == exact dense sum."""
+        model = _model()
+        n = model.num_parameters()
+        grads = _gradients(n)
+        exact = sum(grads.values())
+        flat = make("spardl?density=0.05", SimulatedCluster(NUM_WORKERS), num_elements=n)
+        bucketed = make("spardl?density=0.05&buckets=layer",
+                        SimulatedCluster(NUM_WORKERS), model=model)
+        flat_result = flat.synchronize({w: g.copy() for w, g in grads.items()})
+        bucketed_result = bucketed.synchronize({w: g.copy() for w, g in grads.items()})
+        assert flat_result.is_consistent and bucketed_result.is_consistent
+        np.testing.assert_allclose(
+            flat_result.gradient(0) + flat.residuals.total_residual(),
+            exact, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(
+            bucketed_result.gradient(0) + bucketed.total_residual(),
+            exact, rtol=1e-9, atol=1e-12)
+
+    def test_spardl_buckets_give_small_layers_representation(self):
+        """Per-layer selection is not flat selection: every bucket
+        contributes at least one non-zero to the global gradient."""
+        model = _model()
+        bucketed = make("spardl?density=0.05&buckets=layer",
+                        SimulatedCluster(NUM_WORKERS), model=model)
+        result = bucketed.synchronize(_gradients(model.num_parameters()))
+        for info in result.info["per_bucket_info"]:
+            assert info["final_nnz"] >= 1
+
+    def test_stats_aggregate_per_bucket(self):
+        model = _model()
+        bucketed = make("spardl?density=0.05&buckets=layer",
+                        SimulatedCluster(NUM_WORKERS), model=model)
+        result = bucketed.synchronize(_gradients(model.num_parameters()))
+        sessions = bucketed.sessions
+        assert result.stats.rounds == sum(s.cumulative_stats.rounds for s in sessions)
+        assert result.stats.total_volume == pytest.approx(
+            sum(s.cumulative_stats.total_volume for s in sessions))
+        assert result.info["buckets"] == len(sessions)
+
+    def test_size_fusion_reduces_bucket_count(self):
+        model = _model()
+        per_layer = make("spardl?density=0.05&buckets=layer",
+                         SimulatedCluster(NUM_WORKERS), model=model)
+        fused = make("spardl?density=0.05&buckets=size:100000",
+                     SimulatedCluster(NUM_WORKERS), model=model)
+        assert fused.num_buckets < per_layer.num_buckets
+        assert fused.num_elements == per_layer.num_elements
+
+    def test_absolute_k_is_a_global_budget_not_per_bucket(self):
+        """k=50 over 6 buckets must select ~50 entries in total, not 6x50."""
+        model = _model()
+        bucketed = make("spardl?k=50&buckets=layer",
+                        SimulatedCluster(NUM_WORKERS), model=model)
+        total_k = bucketed.k
+        assert total_k is not None
+        # Pro-rata split with a 1-entry floor per bucket: close to 50, never
+        # anywhere near 6 * 50.
+        assert 50 <= total_k <= 50 + bucketed.num_buckets
+
+    def test_bucketed_requires_model(self):
+        with pytest.raises(ValueError, match="needs the model"):
+            make("spardl?density=0.05&buckets=layer", SimulatedCluster(4),
+                 num_elements=100)
+
+
+class TestTrainerWiring:
+    def test_trainer_builds_bucketed_synchronizer_from_factory(self):
+        case = get_case(5)
+        train, test = case.build_datasets(num_samples=48, seed=0)
+        cluster = SimulatedCluster(NUM_WORKERS)
+        trainer = DistributedTrainer(
+            cluster, make_factory("spardl?density=0.05&buckets=layer"),
+            case.build_model, train, test,
+            config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                                 momentum=case.momentum, seed=0,
+                                 check_consistency=True),
+            compute_profile=case.compute_profile,
+        )
+        assert isinstance(trainer.synchronizer, BucketedSynchronizer)
+        assert trainer.synchronizer.num_elements == trainer.num_elements
+        history = trainer.train(1)
+        assert np.isfinite(history.epochs[0].train_loss)
+        # The trainer's session accumulated the whole epoch's traffic.
+        assert trainer.session.iteration == len(history.iterations)
+        assert trainer.session.cumulative_stats.rounds > 0
+
+    def test_trainer_accepts_flat_factory_and_prebuilt(self):
+        case = get_case(5)
+        train, test = case.build_datasets(num_samples=32, seed=0)
+        cluster = SimulatedCluster(2)
+        trainer = DistributedTrainer(
+            cluster, make_factory("spardl?density=0.1"), case.build_model,
+            train, test, config=TrainerConfig(batch_size=8),
+            compute_profile=case.compute_profile,
+        )
+        assert trainer.synchronizer.num_elements == trainer.num_elements
+
+    def test_prebuilt_mismatch_still_raises(self):
+        case = get_case(5)
+        train, test = case.build_datasets(num_samples=32, seed=0)
+        cluster = SimulatedCluster(2)
+        sync = make("spardl?density=0.1", cluster, num_elements=123)
+        with pytest.raises(ValueError, match="parameters"):
+            DistributedTrainer(cluster, sync, case.build_model, train, test,
+                               config=TrainerConfig(batch_size=8))

@@ -19,6 +19,7 @@ DOC_FILES = [
     "README.md",
     "docs/architecture.md",
     "docs/configuration.md",
+    "docs/api.md",
 ]
 
 
@@ -37,7 +38,8 @@ def test_doc_examples_run(relpath):
 
 def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
-    for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"):
+    for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
+                     "BENCH_PR4.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -51,3 +53,24 @@ def test_configuration_doc_covers_every_config_field():
     for field in dataclasses.fields(SparDLConfig):
         assert f"`{field.name}`" in doc, (
             f"docs/configuration.md does not document SparDLConfig.{field.name}")
+
+
+def test_api_doc_covers_every_spec_key_and_schedule_kind():
+    from repro.api import _SPEC_KEYS
+    from repro.core.schedules import SCHEDULE_KINDS
+
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for key in _SPEC_KEYS:
+        assert f"`{key}`" in doc, f"docs/api.md does not document spec key {key!r}"
+    for kind in SCHEDULE_KINDS:
+        assert kind in doc, f"docs/api.md does not document schedule kind {kind!r}"
+    for buckets_mode in ("flat", "layer", "size:N"):
+        assert buckets_mode in doc, (
+            f"docs/api.md does not document buckets mode {buckets_mode!r}")
+
+
+def test_configuration_doc_covers_schedule_grammar():
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for token in ("warmup", "adaptive", "KSchedule", "buckets"):
+        assert token in doc, (
+            f"docs/configuration.md does not mention {token!r}")

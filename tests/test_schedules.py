@@ -1,0 +1,186 @@
+"""K-schedules: unit behaviour and end-to-end use across every method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import make
+from repro.comm.cluster import SimulatedCluster
+from repro.core.base import resolve_k
+from repro.core.pipeline import SyncSession
+from repro.core.schedules import (
+    AdaptiveSchedule,
+    ConstantSchedule,
+    WarmupSchedule,
+    coerce_schedule,
+    parse_schedule,
+)
+
+NUM_ELEMENTS = 800
+
+
+class TestConstantSchedule:
+    @pytest.mark.parametrize("kwargs", [{"k": 17}, {"density": 0.05}])
+    def test_matches_resolve_k(self, kwargs):
+        schedule = ConstantSchedule(**kwargs)
+        for iteration in (0, 1, 100):
+            assert schedule.resolve(iteration, NUM_ELEMENTS) == resolve_k(
+                NUM_ELEMENTS, kwargs.get("k"), kwargs.get("density"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule()
+        with pytest.raises(ValueError):
+            ConstantSchedule(k=5, density=0.1)
+        with pytest.raises(ValueError):
+            ConstantSchedule(density=1.5)
+
+
+class TestWarmupSchedule:
+    def test_ramps_from_start_density_to_target(self):
+        schedule = WarmupSchedule(4, density=0.01)
+        ks = [schedule.resolve(it, NUM_ELEMENTS) for it in range(7)]
+        # Iteration 0 selects at DGC's start density (0.25), then decays
+        # geometrically, reaching the target at warmup_steps and staying.
+        assert ks[0] == int(round(0.25 * NUM_ELEMENTS))
+        assert all(a >= b for a, b in zip(ks, ks[1:]))
+        target = resolve_k(NUM_ELEMENTS, None, 0.01)
+        assert ks[4] == target
+        assert ks[5] == target and ks[6] == target
+
+    def test_never_ramps_upward(self):
+        # Target denser than the start: the ramp collapses to constant.
+        schedule = WarmupSchedule(3, density=0.5, start_density=0.25)
+        ks = [schedule.resolve(it, NUM_ELEMENTS) for it in range(5)]
+        assert set(ks) == {resolve_k(NUM_ELEMENTS, None, 0.5)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(0, density=0.01)
+        with pytest.raises(ValueError):
+            WarmupSchedule(3, density=0.01, start_density=1.5)
+
+
+class TestAdaptiveSchedule:
+    def test_shrinks_k_when_observed_nnz_exceeds_budget(self):
+        """With (mostly) disjoint per-worker selections, merged nnz ~ P*k,
+        so the controller must shrink k toward budget/P."""
+        num_workers = 8
+        sync = make("topka?k=64&schedule=adaptive",
+                    SimulatedCluster(num_workers), num_elements=NUM_ELEMENTS)
+        session = SyncSession(sync)
+        for iteration in range(12):
+            grads = {w: np.random.default_rng(50 * iteration + w).normal(size=NUM_ELEMENTS)
+                     for w in range(num_workers)}
+            result = session.step(grads)
+        ks = session.k_history
+        assert ks[0] == 64
+        assert ks[-1] < ks[0]
+        # The observed global nnz must have been pulled toward the budget.
+        assert result.info["final_nnz"] <= 3 * 64
+
+    def test_ignores_dense_fallback_steps(self):
+        """A dense-fallback step reports final_nnz of the exact dense sum,
+        not a merged selection; retuning from it would oscillate the budget
+        across the crossover forever."""
+        num_elements = 10_000
+        sync = make("spardl?density=0.6&schedule=adaptive",
+                    SimulatedCluster(4), num_elements=num_elements)
+        session = SyncSession(sync)
+        for iteration in range(4):
+            grads = {w: np.random.default_rng(9 * iteration + w).normal(size=num_elements)
+                     for w in range(4)}
+            result = session.step(grads)
+            assert result.info["dense_fallback"] is True
+        assert session.k_history == [6000] * 4  # never retuned
+
+    def test_clamps_step_change_to_2x(self):
+        schedule = AdaptiveSchedule(k=100)
+
+        class FakeResult:
+            info = {"final_nnz": 100000}
+            global_gradients = {0: np.zeros(NUM_ELEMENTS)}
+
+        assert schedule.resolve(0, NUM_ELEMENTS) == 100
+        schedule.observe(0, 100, FakeResult())
+        assert schedule.resolve(1, NUM_ELEMENTS) == 50  # halved, not collapsed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSchedule(k=10, gain=0.0)
+
+
+class TestSpecGrammar:
+    @pytest.mark.parametrize("spec,cls", [
+        ("constant", ConstantSchedule),
+        ("warmup:5", WarmupSchedule),
+        ("warmup:5:0.5", WarmupSchedule),
+        ("adaptive", AdaptiveSchedule),
+        ("adaptive:0.25", AdaptiveSchedule),
+    ])
+    def test_parse_and_roundtrip(self, spec, cls):
+        schedule = parse_schedule(spec, density=0.01)
+        assert isinstance(schedule, cls)
+        assert schedule.spec() == spec
+        again = parse_schedule(schedule.spec(), density=0.01)
+        assert type(again) is type(schedule)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown schedule kind"):
+            parse_schedule("cosine:5", k=10)
+
+    def test_coerce_rejects_double_target(self):
+        with pytest.raises(ValueError, match="carries its own sparsity"):
+            coerce_schedule(ConstantSchedule(k=5), k=7)
+
+
+class TestSchedulesAcrossMethods:
+    """Satellite requirement: k-schedules across methods at P in {3, 4, 5, 8}."""
+
+    @pytest.mark.parametrize("num_workers", [3, 4, 5, 8])
+    @pytest.mark.parametrize("method", ["spardl", "ok-topk", "topka", "topkdsa", "gtopk"])
+    def test_warmup_schedule_runs_and_converges_to_target(self, method, num_workers):
+        if method == "gtopk" and (num_workers & (num_workers - 1)) != 0:
+            pytest.skip("gTopk needs a power-of-two worker count")
+        warmup = 3
+        sync = make(f"{method}?density=0.02&schedule=warmup:{warmup}",
+                    SimulatedCluster(num_workers), num_elements=NUM_ELEMENTS)
+        session = SyncSession(sync)
+        for iteration in range(warmup + 2):
+            grads = {w: np.random.default_rng(10 * iteration + w).normal(size=NUM_ELEMENTS)
+                     for w in range(num_workers)}
+            result = session.step(grads)
+            assert result.is_consistent, f"{method} diverged at iteration {iteration}"
+        ks = session.k_history
+        target = resolve_k(NUM_ELEMENTS, None, 0.02)
+        assert all(a >= b for a, b in zip(ks, ks[1:]))
+        assert ks[0] > target  # warm-up really started denser
+        assert ks[-1] == target  # ... and landed on the configured sparsity
+
+    @pytest.mark.parametrize("num_workers", [3, 4, 5, 8])
+    def test_spardl_warmup_preserves_gres_conservation(self, num_workers):
+        sync = make("spardl?density=0.02&schedule=warmup:3",
+                    SimulatedCluster(num_workers), num_elements=NUM_ELEMENTS)
+        session = SyncSession(sync)
+        grads = {w: np.random.default_rng(w).normal(size=NUM_ELEMENTS)
+                 for w in range(num_workers)}
+        result = session.step(grads)
+        reconstructed = result.gradient(0) + sync.residuals.total_residual()
+        np.testing.assert_allclose(reconstructed, sum(grads.values()),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_spardl_warmup_first_step_may_use_dense_fallback(self):
+        """A DGC warm-up that starts above the crossover density rides the
+        dense fallback for its first steps, then drops to the sparse path."""
+        sync = make("spardl?density=0.01&schedule=warmup:4:0.9",
+                    SimulatedCluster(4), num_elements=NUM_ELEMENTS)
+        session = SyncSession(sync)
+        fallbacks = []
+        for iteration in range(5):
+            grads = {w: np.random.default_rng(iteration * 7 + w).normal(size=NUM_ELEMENTS)
+                     for w in range(4)}
+            result = session.step(grads)
+            fallbacks.append(result.info["dense_fallback"])
+        assert fallbacks[0] is True
+        assert fallbacks[-1] is False

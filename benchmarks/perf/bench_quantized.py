@@ -1,0 +1,277 @@
+"""Quantized-compress-stage trajectory point (PR 5): volume vs accuracy.
+
+Sweeps the wire value quantization (``bits=2/4/8`` vs full precision)
+through the staged pipeline in two shapes:
+
+* **synchroniser-level sweep** (flat and per-layer bucketed SparDL on
+  synthetic gradients): cumulative comm volume, the volume ratio against
+  the full-precision run, a per-iteration accuracy proxy (relative L2
+  distance of the synchronised global gradient from the exact dense sum),
+  and the residual-conservation error;
+* **training trajectory** (the PR 4 end-to-end case, flat SparDL): the
+  per-epoch training-loss trajectory across bit widths — the accuracy
+  proxy of the issue's acceptance criteria — with total volume alongside,
+  so the volume-reduction/accuracy trade-off is one table.
+
+Deterministic gates (wall time is never gated):
+
+* **per-message accounting** — every non-final message of a quantized run
+  bills the ``(1 + b/32)/2`` COO accounting exactly (one full element per
+  index, ``b`` bits per value, one scale per non-empty sparse unit; dense
+  payloads at ``b/32`` per value), re-derived independently of the
+  pricer's own code path;
+* **residual conservation** — ``sum_t global_t + residuals ==
+  sum_t inputs`` (sent + quantization error + discards == input) to
+  1e-9 for every configuration, flat and bucketed;
+* **volume ordering** — fewer bits move strictly less volume, and every
+  quantized run moves less than full precision;
+* **proxy ordering** — the gradient-accuracy proxy degrades
+  monotonically as bits shrink (8-bit closer to the exact sum than
+  2-bit, averaged over the run).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_quantized.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from quantized_reference import expected_price, spy_exchange  # noqa: E402
+
+from repro.api import make, make_factory
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.network import ETHERNET
+from repro.training.cases import get_case
+from repro.training.trainer import DistributedTrainer, TrainerConfig
+
+NUM_WORKERS = 4
+NUM_ELEMENTS = 4_000
+DENSITY = 0.02
+ITERATIONS = 8
+BIT_WIDTHS = (8, 4, 2)
+
+CASE_ID = 5
+SAMPLES = 160
+EPOCHS = 2
+
+
+# ---------------------------------------------------------------------------
+# per-message accounting gate, checked against the shared independent
+# re-derivation in quantized_reference.py (which must not mirror
+# QuantizedCompressor.price)
+# ---------------------------------------------------------------------------
+def attach_accounting_gate(cluster: SimulatedCluster, bits: int, failures: list,
+                           label: str):
+    """Record every message; returns a ``check()`` that compares each
+    non-final billed size against the reference accounting."""
+    records = spy_exchange(cluster)
+
+    def check():
+        for tag, size, size_final, payload in records:
+            if size_final:
+                continue
+            expected = expected_price(payload, bits)
+            if size != expected:
+                failures.append(f"{label}: message {tag!r} billed {size}, "
+                                f"expected {expected}")
+        records.clear()
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# synchroniser-level sweep
+# ---------------------------------------------------------------------------
+def _gradients(iteration: int):
+    return {worker: np.random.default_rng(7000 + 100 * iteration + worker)
+                      .normal(size=NUM_ELEMENTS)
+            for worker in range(NUM_WORKERS)}
+
+
+def _bucket_sizes():
+    # Uneven buckets, like real layer shapes.
+    return [1_500, 400, 1_600, 500]
+
+
+def run_sync_sweep(layout: str, bits, failures: list) -> dict:
+    """Drive one configuration for ITERATIONS steps on synthetic gradients."""
+    label = f"{layout}-{'fp32' if bits is None else f'{bits}bit'}"
+    spec = f"spardl?density={DENSITY:g}"
+    if bits is not None:
+        spec += f"&bits={bits}"
+    cluster = SimulatedCluster(NUM_WORKERS)
+    if layout == "flat":
+        sync = make(spec, cluster, num_elements=NUM_ELEMENTS)
+    else:
+        from repro.core.bucketed import BucketedSynchronizer
+
+        sync = BucketedSynchronizer(
+            cluster, _bucket_sizes(),
+            factory=lambda c, n: make(spec, c, num_elements=n))
+    check_accounting = None
+    if bits is not None:
+        check_accounting = attach_accounting_gate(cluster, bits, failures, label)
+
+    total_input = np.zeros(NUM_ELEMENTS)
+    total_global = np.zeros(NUM_ELEMENTS)
+    proxy_errors = []
+    total_volume = 0.0
+    rounds = 0
+    for iteration in range(ITERATIONS):
+        gradients = _gradients(iteration)
+        exact = sum(gradients.values())
+        total_input += exact
+        result = sync.synchronize(gradients)
+        total_global += result.gradient(0)
+        total_volume += result.stats.total_volume
+        rounds += result.stats.rounds
+        proxy_errors.append(float(np.linalg.norm(result.gradient(0) - exact)
+                                  / np.linalg.norm(exact)))
+    if check_accounting is not None:
+        check_accounting()
+    if layout == "flat":
+        residual = sync.residuals.total_residual()
+    else:
+        residual = sync.total_residual()
+    conservation_error = float(np.abs(total_global + residual - total_input).max())
+    return {
+        "label": label,
+        "spec": spec,
+        "layout": layout,
+        "bits": bits,
+        "iterations": ITERATIONS,
+        "total_volume_elements": total_volume,
+        "rounds": rounds,
+        "gradient_proxy_error_mean": float(np.mean(proxy_errors)),
+        "gradient_proxy_error_per_iteration": proxy_errors,
+        "conservation_error": conservation_error,
+    }
+
+
+# ---------------------------------------------------------------------------
+# training trajectory (accuracy proxy = per-epoch training loss)
+# ---------------------------------------------------------------------------
+def run_training(bits, epochs: int) -> dict:
+    spec = f"spardl?density={DENSITY:g}"
+    if bits is not None:
+        spec += f"&bits={bits}"
+    case = get_case(CASE_ID)
+    train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
+    trainer = DistributedTrainer(
+        SimulatedCluster(NUM_WORKERS), make_factory(spec), case.build_model,
+        train_set, test_set,
+        config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0,
+                             check_consistency=True),
+        network=ETHERNET, compute_profile=case.compute_profile,
+        case_name=case.name,
+    )
+    history = trainer.train(epochs)
+    session = trainer.session
+    return {
+        "spec": spec,
+        "bits": bits,
+        "train_losses": [epoch.train_loss for epoch in history.epochs],
+        "final_train_loss": history.epochs[-1].train_loss,
+        "total_volume_elements": session.cumulative_stats.total_volume,
+        "rounds": session.cumulative_stats.rounds,
+        "sim_comm_time_s": history.total_communication_time,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR5.json",
+                        help="path of the JSON trajectory point to write")
+    parser.add_argument("--quick", action="store_true",
+                        help="one training epoch (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record results without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    epochs = 1 if args.quick else EPOCHS
+    failures: list = []
+
+    sweep = {}
+    for layout in ("flat", "bucketed"):
+        for bits in (None,) + BIT_WIDTHS:
+            row = run_sync_sweep(layout, bits, failures)
+            sweep[row["label"]] = row
+    for layout in ("flat", "bucketed"):
+        reference = sweep[f"{layout}-fp32"]["total_volume_elements"]
+        for bits in BIT_WIDTHS:
+            row = sweep[f"{layout}-{bits}bit"]
+            row["volume_ratio_vs_fp32"] = row["total_volume_elements"] / reference
+
+    training = {("fp32" if bits is None else f"{bits}bit"): run_training(bits, epochs)
+                for bits in (None,) + BIT_WIDTHS}
+
+    report = {
+        "bench": "PR5 quantized compress stage (volume vs accuracy)",
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "num_elements": NUM_ELEMENTS,
+            "density": DENSITY,
+            "iterations": ITERATIONS,
+            "bit_widths": list(BIT_WIDTHS),
+            "bucket_sizes": _bucket_sizes(),
+            "training_case": get_case(CASE_ID).name,
+            "training_samples": SAMPLES,
+            "training_epochs": epochs,
+            "network": ETHERNET.name,
+        },
+        "sync_sweep": sweep,
+        "training": training,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, row in sweep.items():
+        ratio = row.get("volume_ratio_vs_fp32")
+        print(f"{label:16s} volume {row['total_volume_elements']:10.1f} "
+              f"({'ratio %.3f' % ratio if ratio else 'reference'}) | "
+              f"proxy err {row['gradient_proxy_error_mean']:.4f} | "
+              f"conservation {row['conservation_error']:.2e}")
+    for label, row in training.items():
+        print(f"train {label:10s} loss {row['final_train_loss']:.4f} | "
+              f"volume {row['total_volume_elements']:10.1f} | "
+              f"rounds {row['rounds']}")
+    print(f"wrote {args.output}")
+
+    if args.no_gate:
+        return 0
+    for label, row in sweep.items():
+        if row["conservation_error"] > 1e-9:
+            failures.append(f"{label}: residual conservation violated "
+                            f"({row['conservation_error']:.2e})")
+    for layout in ("flat", "bucketed"):
+        volumes = [sweep[f"{layout}-fp32"]["total_volume_elements"]]
+        volumes += [sweep[f"{layout}-{bits}bit"]["total_volume_elements"]
+                    for bits in BIT_WIDTHS]  # descending bit widths
+        if not all(earlier > later for earlier, later in zip(volumes, volumes[1:])):
+            failures.append(f"{layout}: volume must shrink strictly with fewer bits")
+        proxies = [sweep[f"{layout}-{bits}bit"]["gradient_proxy_error_mean"]
+                   for bits in BIT_WIDTHS]
+        if not all(earlier < later for earlier, later in zip(proxies, proxies[1:])):
+            failures.append(f"{layout}: accuracy proxy must degrade with fewer bits")
+        if sweep[f"{layout}-fp32"]["gradient_proxy_error_mean"] > \
+                min(p for p in proxies):
+            failures.append(f"{layout}: full precision must be the most accurate")
+    if failures:
+        print("QUANTIZED BENCH GATE FAILED: " + "; ".join(failures[:10]),
+              file=sys.stderr)
+        return 1
+    print("gates passed: per-message quantized accounting, residual "
+          "conservation, volume/proxy monotonicity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

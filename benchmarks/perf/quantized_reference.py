@@ -1,0 +1,68 @@
+"""Independent re-derivation of the quantized wire accounting.
+
+The per-message accounting gates (``tests/test_quantized_pipeline.py`` and
+``benchmarks/perf/bench_quantized.py``) must not mirror
+``QuantizedCompressor.price`` — a bug copied into the checker would keep
+both green.  This module is the single shared *reference* implementation
+they check against, written from the accounting contract rather than from
+the pricer's code:
+
+* a sparse unit of ``nnz`` entries bills ``nnz`` full-precision indices,
+  ``nnz * bits/32`` value elements and one scale element (``PackedBags``:
+  one scale per non-empty bag) — i.e. the paper's ``2*nnz`` COO volume
+  scaled by ``(1 + bits/32)/2``, plus the scale;
+* dense float arrays bill ``bits/32`` per value, no scale;
+* routing integers inside containers are free metadata; a bare scalar is
+  one element of control traffic at full precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.packed import PackedBags
+from repro.sparse.vector import SparseGradient
+
+__all__ = ["expected_price", "spy_exchange"]
+
+
+def expected_price(payload, bits: int) -> float:
+    """Quantized wire size of ``payload`` per the accounting contract."""
+    if payload is None:
+        return 0.0
+    if isinstance(payload, PackedBags):
+        if payload.nnz == 0:
+            return 0.0
+        scales = int(np.count_nonzero(np.diff(payload.offsets)))
+        return payload.nnz + payload.nnz * bits / 32 + scales
+    if isinstance(payload, SparseGradient):
+        if payload.nnz == 0:
+            return 0.0
+        return payload.nnz + payload.nnz * bits / 32 + 1
+    if isinstance(payload, np.ndarray):
+        return payload.size * bits / 32
+    if isinstance(payload, (list, tuple)):
+        return sum(expected_price(item, bits) for item in payload)
+    if isinstance(payload, (int, np.integer)):
+        return 0.0
+    if isinstance(payload, (float, np.floating)):
+        return 1.0
+    raise TypeError(f"unexpected payload {type(payload)!r}")
+
+
+def spy_exchange(cluster: SimulatedCluster) -> list:
+    """Wrap ``cluster.exchange`` in place; returns the growing record list
+    of ``(tag, billed size, size_final, payload)`` per message sent."""
+    records: list = []
+    original = cluster.exchange
+
+    def spy(messages):
+        inboxes = original(messages)
+        for message in messages:
+            records.append((message.tag, float(message.size),
+                            message.size_final, message.payload))
+        return inboxes
+
+    cluster.exchange = spy
+    return records

@@ -61,7 +61,7 @@ from .core import (
 )
 from .sparse import BlockLayout, SparseGradient
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -6,6 +6,8 @@ from .complexity import (
     gtopk_complexity,
     ok_topk_complexity,
     predicted_time,
+    quantized_bandwidth,
+    quantized_complexity,
     spardl_bsag_complexity,
     spardl_complexity,
     spardl_rsag_complexity,
@@ -28,6 +30,8 @@ __all__ = [
     "gtopk_complexity",
     "ok_topk_complexity",
     "predicted_time",
+    "quantized_bandwidth",
+    "quantized_complexity",
     "spardl_bsag_complexity",
     "spardl_complexity",
     "spardl_rsag_complexity",

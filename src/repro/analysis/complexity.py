@@ -35,9 +35,15 @@ __all__ = [
     "spardl_rsag_complexity",
     "spardl_bsag_complexity",
     "dense_allreduce_complexity",
+    "quantized_bandwidth",
+    "quantized_complexity",
     "table1",
     "predicted_time",
 ]
+
+#: Number of bits of one uncompressed element (index or value) in the paper's
+#: COO accounting.
+_ELEMENT_BITS = 32
 
 
 @dataclass(frozen=True)
@@ -171,13 +177,47 @@ def dense_allreduce_complexity(P: int, n: int) -> ComplexityBound:
 
 
 # ---------------------------------------------------------------------------
+# quantized values (Section VI extension)
+# ---------------------------------------------------------------------------
+def quantized_bandwidth(bandwidth_elements: float, num_bits: int) -> float:
+    """Bandwidth of a sparse transfer after quantizing its values.
+
+    ``bandwidth_elements`` follows the paper's COO accounting (two elements
+    per non-zero: one index, one value); quantizing the values to
+    ``num_bits`` bits turns this into ``(1 + num_bits/32) / 2`` of the
+    original volume.
+    """
+    if not 1 <= num_bits <= 32:
+        raise ValueError("num_bits must be between 1 and 32")
+    return bandwidth_elements * (1.0 + num_bits / _ELEMENT_BITS) / 2.0
+
+
+def quantized_complexity(bound: ComplexityBound, num_bits: int) -> ComplexityBound:
+    """A Table I row with its bandwidth term adjusted for quantized values.
+
+    Latency is unchanged (the number of rounds does not depend on message
+    encoding); both bandwidth bounds are scaled by the quantization factor.
+    """
+    return ComplexityBound(
+        method=f"{bound.method}+{num_bits}bit",
+        latency_rounds=bound.latency_rounds,
+        bandwidth_low=quantized_bandwidth(bound.bandwidth_low, num_bits),
+        bandwidth_high=quantized_bandwidth(bound.bandwidth_high, num_bits),
+    )
+
+
+# ---------------------------------------------------------------------------
 # convenience
 # ---------------------------------------------------------------------------
-def table1(P: int, n: int, k: int, d: Optional[int] = None) -> Dict[str, ComplexityBound]:
+def table1(P: int, n: int, k: int, d: Optional[int] = None,
+           num_bits: Optional[int] = None) -> Dict[str, ComplexityBound]:
     """All rows of Table I for the given parameters.
 
     When ``d`` is given (and valid) the SparDL (R-SAG) and/or (B-SAG) rows are
-    included as well.
+    included as well.  When ``num_bits`` is given, every sparse row is
+    additionally rendered with its :func:`quantized_complexity` counterpart
+    (keyed ``"<method>+<bits>bit"``), so the table can be printed with and
+    without value quantization side by side.
     """
     rows = {
         "TopkA": topk_a_complexity(P, n, k),
@@ -190,6 +230,10 @@ def table1(P: int, n: int, k: int, d: Optional[int] = None) -> Dict[str, Complex
         if (d & (d - 1)) == 0:
             rows[f"SparDL(R-SAG,d={d})"] = spardl_rsag_complexity(P, n, k, d)
         rows[f"SparDL(B-SAG,d={d})"] = spardl_bsag_complexity(P, n, k, d)
+    if num_bits is not None:
+        for bound in list(rows.values()):
+            combined = quantized_complexity(bound, num_bits)
+            rows[combined.method] = combined
     return rows
 
 

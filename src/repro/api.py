@@ -29,6 +29,12 @@ alias (case-insensitive, as in the paper's figures) and the keys are:
             to ``N`` elements); non-flat specs need a ``model``
 ``wire``    SparDL SRS wire format: ``packed`` (default) / ``per-block``
 ``deferred`` SparDL deferred residual accumulation: ``true`` / ``false``
+``bits``    wire value quantization (all methods): bits per value in
+            ``[1, 32]``; values are quantized QSGD-style with exact error
+            feedback, sparse messages bill the ``(1 + bits/32)/2`` COO
+            accounting plus one scale element, and dense payloads bill
+            ``bits/32`` per value (absent = full precision, the
+            pre-quantization pipeline bit for bit)
 ========== ===================================================================
 
 :func:`make` builds a ready synchroniser (a
@@ -101,7 +107,7 @@ _SPEC_NAMES: Dict[str, str] = {
 
 #: Recognised spec keys, in canonical serialisation order.
 _SPEC_KEYS = ("k", "density", "teams", "sag", "residuals", "schedule",
-              "buckets", "wire", "deferred")
+              "buckets", "wire", "deferred", "bits")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -122,6 +128,7 @@ class SyncSpec:
     buckets: str = "flat"
     wire: str = "packed"
     deferred: bool = False
+    bits: Optional[int] = None
     #: Extra builder options that are not part of the spec grammar
     #: (e.g. ``sparsify_all_blocks`` for the ablation benchmark).
     extras: Dict[str, Any] = field(default_factory=dict)
@@ -136,6 +143,10 @@ class SyncSpec:
             self.method = canonical
         if self.k is not None and self.density is not None:
             raise ValueError("give only one of k and density")
+        if self.bits is not None:
+            if int(self.bits) != self.bits or not 1 <= int(self.bits) <= 32:
+                raise ValueError("bits must be an integer between 1 and 32")
+            self.bits = int(self.bits)
         # A sparse method without k/density is allowed at parse time (the
         # keyword arguments of make()/make_synchronizer may still supply
         # the target); the builders fail loudly when it is truly missing.
@@ -162,6 +173,8 @@ class SyncSpec:
             params.append(f"wire={self.wire}")
         if self.deferred:
             params.append("deferred=true")
+        if self.bits is not None:
+            params.append(f"bits={self.bits}")
         name = _SPEC_NAMES[self.method]
         return f"{name}?{'&'.join(params)}" if params else name
 
@@ -209,7 +222,7 @@ def parse_spec(spec: "str | SyncSpec") -> SyncSpec:
                 options[key] = int(value)
             elif key == "density":
                 options[key] = float(value)
-            elif key == "teams":
+            elif key in ("teams", "bits"):
                 options[key] = int(value)
             elif key == "deferred":
                 options[key] = _parse_bool(key, value)
@@ -249,14 +262,14 @@ def _build_flat(spec: SyncSpec, cluster: SimulatedCluster,
         )
     schedule = None if spec.schedule == "constant" else spec.schedule
     if method == "Dense":
-        return DenseAllReduceSynchronizer(cluster, num_elements)
+        return DenseAllReduceSynchronizer(cluster, num_elements, num_bits=spec.bits)
     if method == "SparDL":
         config = SparDLConfig(
             k=spec.k, density=spec.density, num_teams=spec.teams,
             sag_mode=SAGMode.coerce(spec.sag),
             residual_policy=ResidualPolicy.coerce(spec.residuals),
             wire_format=spec.wire, deferred_residuals=spec.deferred,
-            schedule=schedule,
+            schedule=schedule, num_bits=spec.bits,
             **spec.extras,
         )
         return SparDLSynchronizer(cluster, num_elements, config)
@@ -267,7 +280,7 @@ def _build_flat(spec: SyncSpec, cluster: SimulatedCluster,
         "gTopk": GTopkSynchronizer,
     }
     return classes[method](cluster, num_elements, k=spec.k, density=spec.density,
-                           schedule=schedule)
+                           schedule=schedule, num_bits=spec.bits)
 
 
 def _bucket_layout(spec: SyncSpec, model) -> List[tuple]:
@@ -399,6 +412,7 @@ def make_synchronizer(
     residual_policy: ResidualPolicy | str = ResidualPolicy.GLOBAL,
     sparsify_all_blocks: bool = False,
     schedule: Optional[str] = None,
+    num_bits: Optional[int] = None,
 ) -> GradientSynchronizer:
     """Build a synchroniser by (case-insensitive) method name or spec string.
 
@@ -427,4 +441,6 @@ def make_synchronizer(
         overrides["sparsify_all_blocks"] = True
     if schedule is not None:
         overrides["schedule"] = schedule
+    if num_bits is not None:
+        overrides["bits"] = num_bits
     return make(parsed, cluster, num_elements=num_elements, **overrides)

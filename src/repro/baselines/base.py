@@ -17,7 +17,9 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..comm.cluster import SimulatedCluster
+from ..compression.quantization import QuantizedCompressor
 from ..core.base import GradientSynchronizer
+from ..core.pipeline import StepContext
 from ..core.residuals import ResidualManager, ResidualPolicy
 from ..core.schedules import KSchedule, coerce_schedule
 from ..sparse.vector import SparseGradient
@@ -57,20 +59,51 @@ class SparseBaseline(GradientSynchronizer):
     residual_policy:
         Error-feedback policy used by the method (the paper's competitors use
         local or partial residual collection).
+    num_bits:
+        Optional value quantization of the wire: ``None`` (default) keeps
+        full-precision values — the pre-quantization behaviour bit for bit —
+        while an integer in ``[1, 32]`` installs a
+        :class:`~repro.compression.quantization.QuantizedCompressor` whose
+        ``compress`` stage quantizes every worker's selection (independent
+        per-worker random streams) and folds the exact quantization error
+        into the method's residual store.
     """
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
-                 residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL) -> None:
+                 residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL,
+                 num_bits: Optional[int] = None) -> None:
         super().__init__(cluster, num_elements,
                          schedule=coerce_schedule(schedule, k=k, density=density))
         self.k = self.schedule.resolve(0, num_elements)
         self.residuals = ResidualManager(cluster.num_workers, num_elements, residual_policy)
+        if num_bits is not None:
+            self.compressor = QuantizedCompressor(num_bits, cluster.num_workers)
 
     def set_sparsity(self, k: int) -> None:
         """Adopt a per-step ``k`` (schedule resolution)."""
         self.k = max(1, min(self.num_elements, int(k)))
+
+    # ------------------------------------------------------------------
+    def stage_compress(self, context: StepContext) -> None:
+        """Wire encoding of the per-worker selections.
+
+        Identity without a compressor.  With one, every worker's sparse
+        selection is quantized using that worker's independent random
+        stream — so results do not depend on iteration order — and the
+        exact quantization error of the draw is collected as that worker's
+        local residual (error feedback over the message actually sent).
+        """
+        if self.compressor is None:
+            context.wire = context.selected
+            return
+        wire: Dict[int, SparseGradient] = {}
+        for rank, sparse in context.selected.items():
+            quantized, quantization_error = self.compressor.compress_sparse(rank, sparse)
+            self.residuals.collect_local_sparse(rank, quantization_error)
+            wire[rank] = quantized
+        context.wire = wire
 
     # ------------------------------------------------------------------
     def local_select(self, gradients: Dict[int, np.ndarray]) -> Dict[int, SparseGradient]:

@@ -10,15 +10,28 @@ In staged-pipeline terms the method is the degenerate case: ``select`` and
 ``compress`` pass the dense gradients through untouched, ``exchange`` is
 the dense All-Reduce, ``combine`` adopts its output, and there is no
 residual state to update.
+
+With ``num_bits`` set the method becomes QSGD with error feedback: the
+``compress`` stage quantizes every worker's (residual-corrected) gradient
+with that worker's independent random stream, the exact quantization error
+of the draw is kept in a per-worker residual store and re-applied at the
+next step's ``select``, and every All-Reduce message is billed at
+``num_bits/32`` elements per value.  Without ``num_bits`` the method is the
+pre-quantization dense baseline, bit for bit.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..comm.cluster import SimulatedCluster
 from ..comm.collectives import allreduce_dense
+from ..compression.quantization import QuantizedCompressor
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import StepContext
+from ..core.residuals import ResidualManager, ResidualPolicy
 
 __all__ = ["DenseAllReduceSynchronizer"]
 
@@ -27,6 +40,32 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
     """Exact dense All-Reduce of the local gradients."""
 
     name = "Dense"
+
+    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+                 num_bits: Optional[int] = None) -> None:
+        super().__init__(cluster, num_elements)
+        self.residuals: Optional[ResidualManager] = None
+        if num_bits is not None:
+            self.compressor = QuantizedCompressor(num_bits, cluster.num_workers)
+            self.residuals = ResidualManager(cluster.num_workers, num_elements,
+                                             ResidualPolicy.GLOBAL)
+
+    def stage_select(self, context: StepContext) -> None:
+        if self.residuals is None:
+            context.selected = context.gradients
+        else:
+            context.selected = self.residuals.apply(context.gradients)
+
+    def stage_compress(self, context: StepContext) -> None:
+        if self.compressor is None:
+            context.wire = context.selected
+            return
+        wire = {}
+        for rank, corrected in context.selected.items():
+            quantized, error = self.compressor.compress_dense(rank, corrected)
+            self.residuals.collect_local(rank, error)
+            wire[rank] = quantized
+        context.wire = wire
 
     def stage_exchange(self, context: StepContext) -> None:
         context.exchanged = allreduce_dense(self.cluster, context.wire)

@@ -34,14 +34,16 @@ class GTopkSynchronizer(SparseBaseline):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
-                 schedule: Optional[KSchedule | str] = None) -> None:
+                 schedule: Optional[KSchedule | str] = None,
+                 num_bits: Optional[int] = None) -> None:
         if not is_power_of_two(cluster.num_workers):
             raise ValueError(
                 "gTopk requires a power-of-two number of workers "
                 f"(got {cluster.num_workers}); the paper evaluates it at 8 workers only"
             )
         super().__init__(cluster, num_elements, k=k, density=density,
-                         schedule=schedule, residual_policy=ResidualPolicy.PARTIAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.PARTIAL,
+                         num_bits=num_bits)
 
     # ------------------------------------------------------------------
     def stage_select(self, context: StepContext) -> None:

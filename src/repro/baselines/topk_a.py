@@ -30,9 +30,11 @@ class TopkASynchronizer(SparseBaseline):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
-                 schedule: Optional[KSchedule | str] = None) -> None:
+                 schedule: Optional[KSchedule | str] = None,
+                 num_bits: Optional[int] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
-                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL,
+                         num_bits=num_bits)
 
     # ------------------------------------------------------------------
     def stage_select(self, context: StepContext) -> None:
@@ -85,9 +87,15 @@ class TopkASynchronizer(SparseBaseline):
             messages = []
             for i in range(extra):
                 payload = list(gathered[i])
-                size = sum(item.comm_size for item in payload) - selected[p2 + i].comm_size
+                # The receiver already holds its own contribution, so that
+                # part of the payload costs no bandwidth (keeping the total
+                # at 2(P-1)k as in Table I).  wire_size applies the active
+                # compression, and the subtraction makes the size final —
+                # a payload-derived pricer could not reconstruct it.
+                size = self.wire_size(payload) - self.wire_size(selected[p2 + i])
                 messages.append(Message(src=i, dst=p2 + i, payload=payload,
-                                        size=max(size, 0.0), tag="topka-fold-out"))
+                                        size=max(size, 0.0), tag="topka-fold-out",
+                                        size_final=True))
             inboxes = self.cluster.exchange(messages)
             for dst, inbox in inboxes.items():
                 for message in inbox:

@@ -37,9 +37,11 @@ class TopkDSASynchronizer(SparseBaseline):
 
     def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
-                 schedule: Optional[KSchedule | str] = None) -> None:
+                 schedule: Optional[KSchedule | str] = None,
+                 num_bits: Optional[int] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
-                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL)
+                         schedule=schedule, residual_policy=ResidualPolicy.LOCAL,
+                         num_bits=num_bits)
         self.layout = BlockLayout(num_elements, cluster.num_workers)
 
     # ------------------------------------------------------------------
@@ -108,7 +110,8 @@ class TopkDSASynchronizer(SparseBaseline):
         if extra:
             messages = [
                 Message(src=p2 + i, dst=i, payload=gathered[p2 + i],
-                        size=self._payload_size(gathered[p2 + i]), tag="dsa-fold-in")
+                        size=self._payload_size(gathered[p2 + i]),
+                        tag="dsa-fold-in", size_final=True)
                 for i in range(extra)
             ]
             inboxes = self.cluster.exchange(messages)
@@ -124,7 +127,7 @@ class TopkDSASynchronizer(SparseBaseline):
                 payload = list(gathered[rank])
                 messages.append(Message(src=rank, dst=partner, payload=payload,
                                         size=self._payload_size(payload),
-                                        tag=f"dsa-ag-{step}"))
+                                        tag=f"dsa-ag-{step}", size_final=True))
             inboxes = self.cluster.exchange(messages)
             for dst, inbox in inboxes.items():
                 for message in inbox:
@@ -134,7 +137,8 @@ class TopkDSASynchronizer(SparseBaseline):
         if extra:
             messages = [
                 Message(src=i, dst=p2 + i, payload=list(gathered[i]),
-                        size=self._payload_size(gathered[i]), tag="dsa-fold-out")
+                        size=self._payload_size(gathered[i]),
+                        tag="dsa-fold-out", size_final=True)
                 for i in range(extra)
             ]
             inboxes = self.cluster.exchange(messages)
@@ -145,9 +149,21 @@ class TopkDSASynchronizer(SparseBaseline):
 
     def _payload_size(self, payload: List[Tuple[int, SparseGradient]]) -> float:
         """COO size per block, capped at the dense block size (TopkDSA's
-        switch to dense transmission)."""
+        switch to dense transmission).
+
+        Under quantization both representations carry ``num_bits``-bit
+        values, so the switch compares the quantized COO cost (scale element
+        included) against the quantized dense block.  The messages carrying
+        these payloads are ``size_final``: the per-block min cannot be
+        reconstructed from the payload alone.
+        """
         total = 0.0
+        compressor = self.compressor
         for block, sparse in payload:
             dense_size = float(self.layout.block_size(block))
-            total += min(2.0 * sparse.nnz, dense_size)
+            if compressor is None:
+                total += min(2.0 * sparse.nnz, dense_size)
+            else:
+                total += min(compressor.sparse_cost(sparse.nnz),
+                             compressor.dense_cost(dense_size))
         return total

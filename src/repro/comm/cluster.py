@@ -83,9 +83,13 @@ def freeze_payload(payload: Any) -> Any:
 class Message:
     """A point-to-point message between two workers.
 
-    ``size`` may be given explicitly (for example to model compressed
-    payloads); otherwise it is derived from the payload via
-    :func:`payload_size`.
+    ``size`` may be given explicitly (for example to exclude routing
+    metadata from the accounting); otherwise it is derived from the payload
+    via :func:`payload_size`.  ``size_final=True`` declares the explicit
+    size authoritative: an installed wire pricer (see
+    :meth:`SimulatedCluster.install_pricer`) must not re-derive it — the
+    sender already accounted for compression or control-channel semantics
+    that the payload structure alone cannot express.
     """
 
     src: int
@@ -93,6 +97,7 @@ class Message:
     payload: Any = None
     size: Optional[float] = None
     tag: str = ""
+    size_final: bool = False
 
     def __post_init__(self) -> None:
         if self.size is None:
@@ -109,6 +114,25 @@ class SimulatedCluster:
             raise ValueError("a cluster needs at least one worker")
         self._num_workers = int(num_workers)
         self._stats = CommStats(num_workers=self._num_workers)
+        self._pricer: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # wire pricing
+    # ------------------------------------------------------------------
+    def install_pricer(self, pricer: Optional[Any]) -> Optional[Any]:
+        """Install a wire pricer for subsequent :meth:`exchange` rounds.
+
+        ``pricer(message) -> float`` re-derives the billed size of every
+        message whose size came from its payload (messages constructed with
+        ``size_final=True`` keep their sender-computed size).  Synchronisers
+        with a compression stage install their compressor's pricer for the
+        duration of one step; returns the previously installed pricer so
+        nested drivers (e.g. bucketed sessions on a shared cluster) can
+        restore it.
+        """
+        previous = self._pricer
+        self._pricer = pricer
+        return previous
 
     # ------------------------------------------------------------------
     # basic properties
@@ -154,6 +178,8 @@ class SimulatedCluster:
             self._check_rank(message.dst)
             if message.src == message.dst:
                 raise ValueError("workers must not send messages to themselves")
+            if self._pricer is not None and not message.size_final:
+                message.size = float(self._pricer(message))
             message.payload = freeze_payload(message.payload)
             transfers.append((message.src, message.dst, float(message.size)))
             inboxes.setdefault(message.dst, []).append(message)

@@ -1,15 +1,19 @@
 """Value quantization for combining with sparse communication (Section VI)."""
 
 from .quantization import (
+    QuantizedCompressor,
     StochasticQuantizer,
     quantize_sparse,
     quantized_bandwidth,
     quantized_complexity,
+    quantized_sparse_cost,
 )
 
 __all__ = [
+    "QuantizedCompressor",
     "StochasticQuantizer",
     "quantize_sparse",
     "quantized_bandwidth",
     "quantized_complexity",
+    "quantized_sparse_cost",
 ]

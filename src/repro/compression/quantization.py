@@ -5,36 +5,60 @@ quantization as future work: after top-k selection, the transmitted COO pairs
 still carry full-precision values, so quantizing the value half of each pair
 multiplies the bandwidth term by ``(1 + b/32) / 2`` for ``b``-bit values.
 
-This module provides the building blocks for that combination:
+This module provides that combination:
 
 * :class:`StochasticQuantizer` — unbiased QSGD-style uniform quantization of
-  a value vector to ``b`` bits (plus one full-precision scale per message);
+  a value vector to ``b`` bits (plus one full-precision scale per message).
+  :meth:`StochasticQuantizer.quantize_with_error` performs **one** stochastic
+  draw and returns both the dequantized message and the exact quantization
+  error ``values - quantized`` of that same draw, so error feedback always
+  collects the error of the message actually sent;
 * :func:`quantize_sparse` — quantize the values of a
   :class:`~repro.sparse.vector.SparseGradient` and report the compressed
-  transmission size in 32-bit elements;
-* :func:`quantized_bandwidth` / :func:`quantized_complexity` — adjust a
-  Table I :class:`~repro.analysis.complexity.ComplexityBound` for quantized
-  values, so the combined scheme can be analysed next to the pure-sparse
-  methods.
+  transmission size in 32-bit elements (:func:`quantized_sparse_cost`);
+* :class:`QuantizedCompressor` — the pipeline's ``compress``-stage
+  implementation: per-worker independent random streams
+  (``np.random.SeedSequence.spawn``, so results do not depend on worker
+  iteration order), ``(quantized, error)`` splitting for sparse and dense
+  payloads, and the message pricer that bills every wire payload at the
+  quantized accounting (:meth:`QuantizedCompressor.price`);
+* :func:`quantized_bandwidth` / :func:`quantized_complexity` — re-exported
+  from :mod:`repro.analysis.complexity`, which adjusts a Table I
+  :class:`~repro.analysis.complexity.ComplexityBound` for quantized values so
+  the combined scheme can be analysed next to the pure-sparse methods.
 
 The quantizer is unbiased, so the usual error-feedback argument for
-convergence applies unchanged; the quantization error of each message can
-additionally be folded into the residual store exactly like a sparsification
-discard.
+convergence applies unchanged; the quantization error of each message is
+folded into the residual store exactly like a sparsification discard.
+
+Modelling convention for multi-hop procedures: each selected value is
+quantized **once**, when it is first placed on the wire, and its exact error
+enters error feedback.  Later hops forward merge-sums of quantized values;
+those messages are *priced* at ``num_bits`` bits per value (the wire carries
+``b``-bit codes end to end) but the re-encoding error of the merged sums is
+not modelled — it is second-order in the level width and has no analogue in
+the paper's accounting.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import warnings
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..analysis.complexity import ComplexityBound
+# Re-exported for backward compatibility: the Table I adjustment lives in the
+# analysis layer (so ``analysis.complexity.table1`` can render quantized rows
+# without importing this module), but has always been part of this module's
+# public interface.
+from ..analysis.complexity import quantized_bandwidth, quantized_complexity
 from ..sparse.vector import SparseGradient
 
 __all__ = [
     "StochasticQuantizer",
+    "QuantizedCompressor",
     "quantize_sparse",
+    "quantized_sparse_cost",
     "quantized_bandwidth",
     "quantized_complexity",
 ]
@@ -42,6 +66,24 @@ __all__ = [
 #: Number of bits of one uncompressed element (index or value) in the paper's
 #: COO accounting.
 _ELEMENT_BITS = 32
+
+
+def quantized_sparse_cost(nnz: int, num_bits: int) -> float:
+    """Wire size, in 32-bit elements, of one quantized sparse message.
+
+    One full element per index, ``num_bits`` bits per value, and one
+    full-precision scale element for the whole message (omitted when the
+    message is empty — nothing travels at all).  This is exactly
+    ``2 * nnz * (1 + num_bits/32) / 2 + 1``: the paper's COO volume scaled by
+    the quantization factor, plus the scale.
+    """
+    if not 1 <= num_bits <= 32:
+        raise ValueError("num_bits must be between 1 and 32")
+    if nnz < 0:
+        raise ValueError("nnz must be non-negative")
+    if nnz == 0:
+        return 0.0
+    return nnz * (1.0 + num_bits / _ELEMENT_BITS) + 1.0
 
 
 class StochasticQuantizer:
@@ -52,7 +94,7 @@ class StochasticQuantizer:
     message; each value is rounded stochastically to one of its two
     neighbouring levels so that the expectation equals the input
     (QSGD-style).  The per-message ``scale`` travels at full precision and is
-    accounted for by :func:`quantize_sparse`.
+    accounted for by :func:`quantize_sparse` / :func:`quantized_sparse_cost`.
     """
 
     def __init__(self, num_bits: int = 8, seed: int = 0) -> None:
@@ -68,20 +110,23 @@ class StochasticQuantizer:
         """Cost of one quantized value in 32-bit elements."""
         return self.num_bits / _ELEMENT_BITS
 
-    def quantize(self, values: np.ndarray,
-                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Return the dequantized representation of ``values``.
+    def quantize_with_error(self, values: np.ndarray,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize ``values`` with ONE stochastic draw; return
+        ``(quantized, error)`` with ``error == values - quantized`` exactly.
 
-        The result only takes ``2**num_bits - 1`` distinct levels (scaled by
-        the message's maximum magnitude) but is returned as float64 so it can
-        flow through the rest of the library unchanged.
+        This is the error-feedback entry point: because the error is computed
+        from the same draw as the message, ``quantized + error`` reconstructs
+        the input bit for bit, so folding ``error`` into a residual store
+        keeps the conservation invariant ``sent + error == input``.
         """
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
-            return values.copy()
+            return values.copy(), values.copy()
         scale = float(np.abs(values).max())
         if scale == 0.0:
-            return np.zeros_like(values)
+            return np.zeros_like(values), np.zeros_like(values)
         rng = rng or self._rng
         normalised = values / scale  # in [-1, 1]
         scaled = (normalised + 1.0) / 2.0 * self.num_levels  # in [0, levels]
@@ -89,12 +134,38 @@ class StochasticQuantizer:
         probability_up = scaled - lower
         level = lower + (rng.random(values.shape) < probability_up)
         level = np.clip(level, 0, self.num_levels)
-        return (level / self.num_levels * 2.0 - 1.0) * scale
+        quantized = (level / self.num_levels * 2.0 - 1.0) * scale
+        return quantized, values - quantized
+
+    def quantize(self, values: np.ndarray,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the dequantized representation of ``values``.
+
+        The result only takes ``2**num_bits - 1`` distinct levels (scaled by
+        the message's maximum magnitude) but is returned as float64 so it can
+        flow through the rest of the library unchanged.  When the error of
+        the same draw is also needed, use :meth:`quantize_with_error`.
+        """
+        return self.quantize_with_error(values, rng=rng)[0]
 
     def quantization_error(self, values: np.ndarray,
                            rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """``values - quantize(values)`` (what error feedback would collect)."""
-        return np.asarray(values, dtype=np.float64) - self.quantize(values, rng=rng)
+        """Deprecated: the error of a fresh draw, ``values - quantize(values)``.
+
+        A standalone error method can never describe a message produced by a
+        *previous* :meth:`quantize` call — each call consumes new randomness,
+        so the returned error corresponds only to the draw made here, not to
+        anything already sent.  Error feedback must use
+        :meth:`quantize_with_error`, which returns the message and its exact
+        error from a single draw.
+        """
+        warnings.warn(
+            "StochasticQuantizer.quantization_error draws fresh randomness and "
+            "cannot describe a previously sent message; use quantize_with_error() "
+            "to obtain (quantized, error) from a single draw",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.quantize_with_error(values, rng=rng)[1]
 
 
 def quantize_sparse(sparse: SparseGradient, quantizer: StochasticQuantizer,
@@ -103,38 +174,142 @@ def quantize_sparse(sparse: SparseGradient, quantizer: StochasticQuantizer,
     """Quantize the values of a sparse gradient.
 
     Returns ``(quantized, comm_size)`` where ``comm_size`` is the compressed
-    transmission size in 32-bit elements: one full element per index, a
-    ``num_bits``-bit value per entry and one full-precision scale for the
-    whole message.
+    transmission size in 32-bit elements (:func:`quantized_sparse_cost`):
+    one full element per index, a ``num_bits``-bit value per entry and one
+    full-precision scale for the whole message.
     """
     quantized_values = quantizer.quantize(sparse.values, rng=rng)
     quantized = SparseGradient(sparse.indices, quantized_values, sparse.length)
-    comm_size = sparse.nnz * (1.0 + quantizer.element_cost) + (1.0 if sparse.nnz else 0.0)
-    return quantized, comm_size
+    return quantized, quantized_sparse_cost(sparse.nnz, quantizer.num_bits)
 
 
-def quantized_bandwidth(bandwidth_elements: float, num_bits: int) -> float:
-    """Bandwidth of a sparse transfer after quantizing its values.
+class QuantizedCompressor:
+    """The ``compress`` stage: quantize wire values, feed back exact errors,
+    and price every message at the quantized accounting.
 
-    ``bandwidth_elements`` follows the paper's COO accounting (two elements
-    per non-zero: one index, one value); quantizing the values to
-    ``num_bits`` bits turns this into ``(1 + num_bits/32) / 2`` of the
-    original volume.
+    One compressor serves one synchroniser.  It owns an independent random
+    stream per worker (spawned from one ``np.random.SeedSequence``), so the
+    quantized run is reproducible **and** independent of the order in which
+    the workers of a simulated step happen to be iterated — a shared stream
+    would make worker 3's draw depend on whether worker 2 was processed
+    first.
+
+    Responsibilities:
+
+    * :meth:`compress_sparse` / :meth:`compress_dense` — quantize one
+      worker's payload with that worker's stream and return
+      ``(quantized, error)`` from a single draw, ready for the caller to
+      fold ``error`` into its :class:`~repro.core.residuals.ResidualManager`;
+    * :meth:`price` / :meth:`price_message` — the wire pricer installed on
+      the :class:`~repro.comm.cluster.SimulatedCluster` for the duration of
+      a quantized step.  Sparse payloads bill
+      :func:`quantized_sparse_cost` per message unit (scale element
+      included); dense float arrays bill ``num_bits/32`` per value (the
+      dense-fallback convention); routing integers (block ids, group
+      positions) and ``None`` stay zero-cost metadata; bare scalars remain
+      one element of control traffic, unquantized.
     """
-    if not 1 <= num_bits <= 32:
-        raise ValueError("num_bits must be between 1 and 32")
-    return bandwidth_elements * (1.0 + num_bits / _ELEMENT_BITS) / 2.0
 
+    def __init__(self, num_bits: int, num_workers: int, seed: int = 0) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.quantizer = StochasticQuantizer(num_bits)
+        self.num_bits = self.quantizer.num_bits
+        self.num_workers = int(num_workers)
+        self.seed = int(seed)
+        streams = np.random.SeedSequence(seed).spawn(self.num_workers)
+        self._rngs: Dict[int, np.random.Generator] = {
+            worker: np.random.default_rng(stream)
+            for worker, stream in enumerate(streams)
+        }
 
-def quantized_complexity(bound: ComplexityBound, num_bits: int) -> ComplexityBound:
-    """A Table I row with its bandwidth term adjusted for quantized values.
+    # ------------------------------------------------------------------
+    # value transformation (error feedback)
+    # ------------------------------------------------------------------
+    def rng(self, worker: int) -> np.random.Generator:
+        """The independent random stream of ``worker``."""
+        return self._rngs[worker]
 
-    Latency is unchanged (the number of rounds does not depend on message
-    encoding); both bandwidth bounds are scaled by the quantization factor.
-    """
-    return ComplexityBound(
-        method=f"{bound.method}+{num_bits}bit",
-        latency_rounds=bound.latency_rounds,
-        bandwidth_low=quantized_bandwidth(bound.bandwidth_low, num_bits),
-        bandwidth_high=quantized_bandwidth(bound.bandwidth_high, num_bits),
-    )
+    def compress_sparse(self, worker: int, sparse: SparseGradient
+                        ) -> Tuple[SparseGradient, SparseGradient]:
+        """Quantize a sparse selection; return ``(quantized, error)``.
+
+        Both outputs share the input's index array (quantization never moves
+        support), and ``quantized.values + error.values == sparse.values``
+        exactly — the error is what the caller hands to
+        ``ResidualManager.collect_local_sparse``.
+        """
+        if sparse.nnz == 0:
+            return sparse, SparseGradient.empty(sparse.length)
+        quantized, error = self.quantizer.quantize_with_error(
+            sparse.values, rng=self._rngs[worker])
+        return (
+            SparseGradient.from_sorted_unique(sparse.indices, quantized, sparse.length),
+            SparseGradient.from_sorted_unique(sparse.indices, error, sparse.length),
+        )
+
+    def compress_dense(self, worker: int, dense: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize a dense gradient; return ``(quantized, error)``."""
+        return self.quantizer.quantize_with_error(dense, rng=self._rngs[worker])
+
+    # ------------------------------------------------------------------
+    # wire pricing
+    # ------------------------------------------------------------------
+    def sparse_cost(self, nnz: int) -> float:
+        """:func:`quantized_sparse_cost` at this compressor's bit width."""
+        return quantized_sparse_cost(nnz, self.num_bits)
+
+    def dense_cost(self, num_values: float) -> float:
+        """Quantized cost of ``num_values`` dense values (no indices travel,
+        so the only cost is ``num_bits`` bits per value; the dense-fallback
+        convention bills no scale element)."""
+        return float(num_values) * self.num_bits / _ELEMENT_BITS
+
+    def price(self, payload: Any) -> float:
+        """Quantized wire size of ``payload``, by structural decomposition.
+
+        Mirrors :func:`repro.comm.cluster.payload_size` unit by unit, with
+        the quantized accounting substituted for every value-bearing unit.
+        Integers inside containers follow the repository's accounting
+        convention (block ids, group positions and slice offsets are header
+        metadata, never billed); a bare numeric payload is one element of
+        control traffic either way.
+        """
+        if isinstance(payload, (int, float, np.integer, np.floating)):
+            return 1.0
+        return self._price(payload)
+
+    def _price(self, payload: Any) -> float:
+        if payload is None:
+            return 0.0
+        if isinstance(payload, np.ndarray):
+            return self.dense_cost(payload.size)
+        if isinstance(payload, SparseGradient):
+            return self.sparse_cost(payload.nnz)
+        if isinstance(payload, (list, tuple)):
+            return float(sum(self._price(item) for item in payload))
+        if isinstance(payload, (int, np.integer)):
+            return 0.0  # routing metadata inside a container
+        if isinstance(payload, (float, np.floating)):
+            return 1.0  # control scalar (e.g. a transmitted size)
+        # PackedBags (duck-typed to avoid importing the comm layer here):
+        # one scale per non-empty bag, indices at full precision, values at
+        # num_bits bits.
+        offsets = getattr(payload, "offsets", None)
+        if offsets is not None and hasattr(payload, "indices"):
+            nnz = int(payload.indices.shape[0])
+            nonempty = int(np.count_nonzero(np.diff(offsets)))
+            if nnz == 0:
+                return 0.0
+            return nnz * (1.0 + self.num_bits / _ELEMENT_BITS) + float(nonempty)
+        raise TypeError(
+            f"cannot determine quantized wire size of {type(payload)!r}")
+
+    def price_message(self, message) -> float:
+        """Pricer hook for :meth:`repro.comm.cluster.SimulatedCluster.exchange`."""
+        return self.price(message.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QuantizedCompressor(num_bits={self.num_bits}, "
+                f"num_workers={self.num_workers}, seed={self.seed})")

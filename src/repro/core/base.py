@@ -23,14 +23,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
+from ..comm.cluster import SimulatedCluster, payload_size
 from ..comm.stats import CommStats
 from .pipeline import PIPELINE_STAGES, StepContext
 from .schedules import KSchedule, resolve_k
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compression.quantization import QuantizedCompressor
 
 __all__ = ["SyncResult", "GradientSynchronizer", "resolve_k"]
 
@@ -82,6 +85,10 @@ class GradientSynchronizer(ABC):
         #: Sparsity schedule consulted at the start of every step
         #: (``None`` for methods without a sparsity knob, e.g. Dense).
         self.schedule: Optional[KSchedule] = schedule
+        #: Value quantization driving the ``compress`` stage (``None`` keeps
+        #: the identity compress stage and the full-precision accounting —
+        #: the pre-quantization pipeline, bit for bit).
+        self.compressor: Optional["QuantizedCompressor"] = None
 
     @property
     def num_workers(self) -> int:
@@ -122,10 +129,24 @@ class GradientSynchronizer(ABC):
             k=getattr(self, "k", None),
             iteration=self.iteration,
         )
-        for stage in PIPELINE_STAGES:
-            getattr(self, f"stage_{stage.value}")(context)
-            if observer is not None:
-                observer(stage, context)
+        # A compression stage re-prices every wire message of this step at
+        # its compressed accounting.  The pricer is scoped to the step (and
+        # the previous one restored) because the cluster is shared — e.g. by
+        # the buckets of a BucketedSynchronizer, which may mix quantized and
+        # full-precision buckets.
+        previous_pricer = None
+        if self.compressor is not None:
+            previous_pricer = self.cluster.install_pricer(self.compressor.price_message)
+        try:
+            for stage in PIPELINE_STAGES:
+                getattr(self, f"stage_{stage.value}")(context)
+                if observer is not None:
+                    observer(stage, context)
+        finally:
+            if self.compressor is not None:
+                self.cluster.install_pricer(previous_pricer)
+        if self.compressor is not None:
+            context.info.setdefault("quantized_bits", self.compressor.num_bits)
         result = SyncResult(
             global_gradients=context.global_gradients,
             stats=self.cluster.reset_stats(),
@@ -163,6 +184,21 @@ class GradientSynchronizer(ABC):
     def stage_residual_update(self, context: StepContext) -> None:
         """Resolve residual state against the final global index set.
         Default: no-op (methods without error feedback)."""
+
+    # ------------------------------------------------------------------
+    def wire_size(self, payload: Any) -> float:
+        """Billed wire size of ``payload`` under the active compression.
+
+        Methods that compute explicit message sizes (metadata exclusion,
+        dense switching, fold-out subtraction) route them through this
+        helper so one code path serves both the full-precision and the
+        quantized accounting; such messages are sent with
+        ``size_final=True`` because the pricer cannot reconstruct the
+        adjustment from the payload alone.
+        """
+        if self.compressor is not None:
+            return self.compressor.price(payload)
+        return payload_size(payload)
 
     # ------------------------------------------------------------------
     def set_sparsity(self, k: int) -> None:

@@ -108,6 +108,16 @@ class SparDLConfig:
         against the configured ``k``/``density`` target, and a ready
         :class:`~repro.core.schedules.KSchedule` object carries its own
         target (``k``/``density`` must then be omitted).
+    num_bits:
+        Value quantization of the wire (Section VI extension): ``None``
+        (default) transmits full-precision values — the pre-quantization
+        pipeline bit for bit — while an integer in ``[1, 32]`` installs a
+        :class:`~repro.compression.quantization.QuantizedCompressor` behind
+        the pipeline's ``compress`` stage: selected values are quantized
+        QSGD-style (per-worker independent random streams), the exact
+        per-message quantization error joins the residual error-feedback
+        path, and every message is billed at the ``(1 + num_bits/32)/2``
+        COO accounting (dense-fallback values at ``num_bits/32`` apiece).
     """
 
     k: Optional[int] = None
@@ -121,6 +131,7 @@ class SparDLConfig:
     dense_fallback_ratio: Optional[float] = None
     deferred_residuals: bool = False
     schedule: Optional[KSchedule | str] = None
+    num_bits: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.schedule, KSchedule):
@@ -145,6 +156,8 @@ class SparDLConfig:
             )
         if self.dense_fallback_ratio is not None and self.dense_fallback_ratio <= 0:
             raise ValueError("dense_fallback_ratio must be positive")
+        if self.num_bits is not None and not 1 <= int(self.num_bits) <= 32:
+            raise ValueError("num_bits must be between 1 and 32 (or None)")
         self.sag_mode = SAGMode.coerce(self.sag_mode)
         self.residual_policy = ResidualPolicy.coerce(self.residual_policy)
 
@@ -218,4 +231,6 @@ class SparDLConfig:
         if self.num_teams > 1:
             parts.append(f"{self.effective_sag_mode().value.upper()}")
             parts.append(f"d={self.num_teams}")
+        if self.num_bits is not None:
+            parts.append(f"{self.num_bits}bit")
         return f"SparDL({', '.join(parts)})"

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..comm.cluster import SimulatedCluster
 from ..comm.collectives import allgather_bruck_grouped, allreduce_dense
+from ..compression.quantization import QuantizedCompressor
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
 from .base import GradientSynchronizer
@@ -95,6 +96,9 @@ class SparDLSynchronizer(GradientSynchronizer):
         self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                          config.residual_policy,
                                          deferred=config.deferred_residuals)
+        if config.num_bits is not None:
+            self.compressor = QuantizedCompressor(config.num_bits,
+                                                  cluster.num_workers)
         #: Crossover density at which the dense fallback engages.
         self.dense_crossover = config.resolve_dense_crossover()
         self.set_sparsity(self.schedule.resolve(0, num_elements))
@@ -130,6 +134,27 @@ class SparDLSynchronizer(GradientSynchronizer):
     # ------------------------------------------------------------------
     # the staged pipeline
     # ------------------------------------------------------------------
+    def stage_compress(self, context: StepContext) -> None:
+        """Wire encoding of the step.
+
+        Without quantization this is the identity.  With
+        ``config.num_bits`` set, the dense-fallback path quantizes every
+        worker's corrected gradient here (one draw per worker, exact error
+        into that worker's residual store); on the sparse path the selection
+        is interleaved with the SRS transmissions, so the compressor is
+        applied inside :meth:`stage_exchange` instead — right after each
+        block-wise top-k, i.e. the moment a value first reaches the wire.
+        """
+        if self.compressor is None or not self.uses_dense_fallback:
+            context.wire = context.selected
+            return
+        wire = {}
+        for rank, corrected in context.selected.items():
+            quantized, error = self.compressor.compress_dense(rank, corrected)
+            self.residuals.collect_local(rank, error)
+            wire[rank] = quantized
+        context.wire = wire
+
     def stage_select(self, context: StepContext) -> None:
         """Residual add (SRS phase 1).  SparDL's block-wise top-k selection
         is interleaved with the SRS transmissions, so the selection proper
@@ -153,6 +178,7 @@ class SparDLSynchronizer(GradientSynchronizer):
             residuals=self.residuals,
             sparsify_all=self.config.sparsify_all_blocks,
             wire_format=self.config.wire_format,
+            compressor=self.compressor,
         )
         sag_out = self._run_sag(srs_out.reduced_blocks)
         context.scratch["srs"] = srs_out

@@ -41,7 +41,7 @@ reduced blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
 from .partition import BagPlan, plan_bags, transmission_distances
 from .residuals import ResidualManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compression.quantization import QuantizedCompressor
 
 __all__ = ["SRSOutput", "spar_reduce_scatter", "WIRE_FORMATS"]
 
@@ -85,6 +88,7 @@ def spar_reduce_scatter(
     residuals: ResidualManager,
     sparsify_all: bool = False,
     wire_format: str = "packed",
+    compressor: Optional["QuantizedCompressor"] = None,
 ) -> SRSOutput:
     """Run SRS concurrently inside every team.
 
@@ -110,6 +114,15 @@ def spar_reduce_scatter(
         ``"per-block"`` sends one message per block per step (the unbatched
         wiring, kept for the batching benchmark).  Both move identical
         element counts and produce bit-identical results.
+    compressor:
+        Optional :class:`~repro.compression.quantization.QuantizedCompressor`.
+        When given, every block is quantized immediately after its local
+        top-k — the moment its values first reach the wire — using the
+        owning worker's independent random stream, and the exact
+        quantization error of that draw is collected as a local residual.
+        Later transmission steps forward merge-sums of the quantized blocks
+        unchanged; the synchroniser's installed pricer bills them at the
+        quantized accounting.
     """
     team_size = _validate_teams(cluster, teams, layout)
     if k_block <= 0:
@@ -131,8 +144,12 @@ def spar_reduce_scatter(
                 selected, residual_block, offset = layout.sparse_block_from_dense(
                     dense, block, k_block
                 )
-                blocks[block] = selected
                 residuals.collect_local(rank, residual_block, offset)
+                if compressor is not None:
+                    selected, quantization_error = compressor.compress_sparse(
+                        rank, selected)
+                    residuals.collect_local_sparse(rank, quantization_error)
+                blocks[block] = selected
             held[rank] = blocks
             plans[rank] = plan_bags(position, team_size)
 

@@ -8,12 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.analysis.complexity import spardl_complexity
+from repro.analysis.complexity import spardl_complexity, table1
 from repro.compression import (
+    QuantizedCompressor,
     StochasticQuantizer,
     quantize_sparse,
     quantized_bandwidth,
     quantized_complexity,
+    quantized_sparse_cost,
 )
 from repro.sparse.vector import SparseGradient
 
@@ -70,13 +72,65 @@ class TestStochasticQuantizer:
         assert StochasticQuantizer(num_bits=8).element_cost == pytest.approx(0.25)
         assert StochasticQuantizer(num_bits=32).element_cost == pytest.approx(1.0)
 
-    def test_quantization_error_plus_quantized_reconstructs(self):
+    def test_quantize_with_error_is_exact_from_one_draw(self):
+        """The confirmed bug: the error must equal ``values - <the message
+        actually produced>``, which requires message and error to come from
+        one draw.  quantize_with_error guarantees it bitwise."""
         quantizer = StochasticQuantizer(num_bits=4, seed=5)
         values = np.random.default_rng(2).normal(size=100)
-        rng = np.random.default_rng(7)
-        quantized = quantizer.quantize(values, rng=np.random.default_rng(7))
-        error = quantizer.quantization_error(values, rng=np.random.default_rng(7))
+        quantized, error = quantizer.quantize_with_error(values)
+        assert np.array_equal(error, values - quantized)
         np.testing.assert_allclose(quantized + error, values, atol=1e-12)
+
+    def test_standalone_error_of_a_prior_quantize_was_the_bug(self):
+        """Calling quantize() and then the standalone error method consumes
+        two draws, so the reported error does not describe the sent message
+        — the failure mode quantize_with_error exists to prevent."""
+        quantizer = StochasticQuantizer(num_bits=2, seed=5)
+        values = np.random.default_rng(3).normal(size=200)
+        quantized = quantizer.quantize(values)
+        with pytest.warns(DeprecationWarning):
+            error = quantizer.quantization_error(values)
+        assert not np.array_equal(error, values - quantized)
+
+    def test_quantization_error_deprecated_but_exact_for_its_own_draw(self):
+        quantizer = StochasticQuantizer(num_bits=4, seed=5)
+        values = np.random.default_rng(2).normal(size=100)
+        quantized = quantizer.quantize(values, rng=np.random.default_rng(7))
+        with pytest.warns(DeprecationWarning):
+            error = quantizer.quantization_error(values, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(quantized + error, values, atol=1e-12)
+
+    def test_quantize_matches_quantize_with_error(self):
+        quantizer = StochasticQuantizer(num_bits=3, seed=0)
+        values = np.random.default_rng(4).normal(size=50)
+        via_pair = quantizer.quantize_with_error(values, rng=np.random.default_rng(9))[0]
+        direct = quantizer.quantize(values, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(via_pair, direct)
+
+    def test_quantize_with_error_empty_and_zero(self):
+        quantizer = StochasticQuantizer(num_bits=4, seed=0)
+        q, e = quantizer.quantize_with_error(np.zeros(0))
+        assert q.size == 0 and e.size == 0
+        q, e = quantizer.quantize_with_error(np.zeros(7))
+        np.testing.assert_array_equal(q, np.zeros(7))
+        np.testing.assert_array_equal(e, np.zeros(7))
+
+    def test_unbiasedness_over_repeated_draws_of_the_pair(self):
+        """Mean of quantize_with_error's message converges to the input
+        (and the mean error to zero): QSGD unbiasedness through the new
+        single-draw interface."""
+        quantizer = StochasticQuantizer(num_bits=2, seed=11)
+        values = np.array([0.4, -0.9, 0.08, 1.0])
+        total_q = np.zeros_like(values)
+        total_e = np.zeros_like(values)
+        repeats = 4000
+        for _ in range(repeats):
+            q, e = quantizer.quantize_with_error(values)
+            total_q += q
+            total_e += e
+        np.testing.assert_allclose(total_q / repeats, values, atol=0.02)
+        np.testing.assert_allclose(total_e / repeats, np.zeros_like(values), atol=0.02)
 
     @given(values=hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
                              elements=st.floats(-1e4, 1e4, allow_nan=False)),
@@ -106,6 +160,109 @@ class TestQuantizedSparse:
         assert quantized.nnz == 0
         assert comm_size == 0.0
 
+    @pytest.mark.parametrize("bits,per_value", [(2, 2 / 32), (4, 0.125),
+                                                (8, 0.25), (16, 0.5), (32, 1.0)])
+    def test_cost_closed_form(self, bits, per_value):
+        """nnz full-precision indices + nnz b-bit values + one scale —
+        exactly 2*nnz*(1 + b/32)/2 + 1."""
+        for nnz in (1, 3, 17, 1000):
+            expected = nnz * (1.0 + per_value) + 1.0
+            assert quantized_sparse_cost(nnz, bits) == pytest.approx(expected)
+            assert quantized_sparse_cost(nnz, bits) == pytest.approx(
+                2 * nnz * (1 + bits / 32) / 2 + 1)
+        assert quantized_sparse_cost(0, bits) == 0.0
+
+    def test_cost_matches_quantize_sparse(self):
+        sparse = SparseGradient(np.arange(5), np.arange(1.0, 6.0), 50)
+        for bits in (2, 4, 8):
+            quantizer = StochasticQuantizer(num_bits=bits, seed=0)
+            _, comm_size = quantize_sparse(sparse, quantizer)
+            assert comm_size == quantized_sparse_cost(sparse.nnz, bits)
+
+    def test_cost_validates_inputs(self):
+        with pytest.raises(ValueError):
+            quantized_sparse_cost(1, 0)
+        with pytest.raises(ValueError):
+            quantized_sparse_cost(1, 33)
+        with pytest.raises(ValueError):
+            quantized_sparse_cost(-1, 8)
+
+
+class TestQuantizedCompressor:
+    def test_per_worker_streams_are_independent_of_order(self):
+        """The second confirmed bug: a shared RNG made results depend on
+        worker iteration order.  With spawned per-worker streams, quantizing
+        the workers in any order produces identical messages."""
+        values = {w: np.random.default_rng(w).normal(size=64) for w in range(6)}
+        sparses = {w: SparseGradient(np.arange(64), v, 64) for w, v in values.items()}
+        forward = QuantizedCompressor(4, num_workers=6, seed=1)
+        backward = QuantizedCompressor(4, num_workers=6, seed=1)
+        out_fwd = {w: forward.compress_sparse(w, sparses[w])[0] for w in range(6)}
+        out_bwd = {w: backward.compress_sparse(w, sparses[w])[0]
+                   for w in reversed(range(6))}
+        for w in range(6):
+            np.testing.assert_array_equal(out_fwd[w].values, out_bwd[w].values)
+
+    def test_streams_differ_between_workers(self):
+        compressor = QuantizedCompressor(2, num_workers=4, seed=0)
+        values = np.random.default_rng(0).normal(size=256)
+        sparse = SparseGradient(np.arange(256), values, 256)
+        messages = [compressor.compress_sparse(w, sparse)[0].values for w in range(4)]
+        assert not np.array_equal(messages[0], messages[1])
+
+    def test_compress_sparse_error_is_exact(self):
+        compressor = QuantizedCompressor(4, num_workers=2, seed=3)
+        sparse = SparseGradient(np.array([1, 5, 9]), np.array([0.3, -1.2, 0.8]), 20)
+        quantized, error = compressor.compress_sparse(0, sparse)
+        np.testing.assert_array_equal(quantized.indices, sparse.indices)
+        np.testing.assert_array_equal(error.indices, sparse.indices)
+        np.testing.assert_array_equal(error.values, sparse.values - quantized.values)
+        np.testing.assert_allclose(quantized.values + error.values, sparse.values,
+                                   atol=1e-12)
+
+    def test_compress_sparse_empty(self):
+        compressor = QuantizedCompressor(8, num_workers=1)
+        quantized, error = compressor.compress_sparse(0, SparseGradient.empty(10))
+        assert quantized.nnz == 0 and error.nnz == 0
+
+    def test_compress_dense_error_is_exact(self):
+        compressor = QuantizedCompressor(2, num_workers=2, seed=0)
+        dense = np.random.default_rng(1).normal(size=100)
+        quantized, error = compressor.compress_dense(1, dense)
+        np.testing.assert_array_equal(error, dense - quantized)
+        np.testing.assert_allclose(quantized + error, dense, atol=1e-12)
+
+    def test_pricing_units(self):
+        compressor = QuantizedCompressor(8, num_workers=2)
+        sparse = SparseGradient(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]), 10)
+        # sparse message: quantize_sparse accounting, scale included
+        assert compressor.price(sparse) == quantized_sparse_cost(3, 8)
+        # dense values: num_bits/32 apiece, no scale
+        assert compressor.price(np.zeros(100)) == pytest.approx(25.0)
+        # routing ints inside containers are metadata; bare scalars are one
+        # element of control traffic
+        assert compressor.price((7, sparse)) == quantized_sparse_cost(3, 8)
+        assert compressor.price(3.5) == 1.0
+        assert compressor.price(None) == 0.0
+        # lists decompose recursively
+        assert compressor.price([sparse, sparse]) == 2 * quantized_sparse_cost(3, 8)
+
+    def test_pricing_packed_bags(self):
+        from repro.comm.packed import PackedBags
+
+        compressor = QuantizedCompressor(8, num_workers=2)
+        bags = [SparseGradient(np.array([1, 2]), np.array([1.0, 2.0]), 10),
+                SparseGradient.empty(10),
+                SparseGradient(np.array([5]), np.array([3.0]), 10)]
+        packed = PackedBags.pack(bags)
+        # 3 nnz total, 2 non-empty bags -> 2 scales
+        assert compressor.price(packed) == pytest.approx(3 * 1.25 + 2.0)
+
+    def test_pricing_rejects_unknown_payloads(self):
+        compressor = QuantizedCompressor(8, num_workers=1)
+        with pytest.raises(TypeError):
+            compressor.price(object())
+
 
 class TestQuantizedComplexity:
     def test_bandwidth_factor(self):
@@ -127,3 +284,13 @@ class TestQuantizedComplexity:
         bound = spardl_complexity(14, 10 ** 6, 10 ** 4)
         combined = quantized_complexity(bound, 4)
         assert combined.time(1e-3, 1e-8) < bound.time(1e-3, 1e-8)
+
+    def test_table1_renders_quantized_rows_next_to_plain_ones(self):
+        plain = table1(8, 10 ** 5, 10 ** 3, d=2)
+        both = table1(8, 10 ** 5, 10 ** 3, d=2, num_bits=8)
+        assert set(plain) <= set(both)
+        for name, bound in plain.items():
+            combined = both[f"{name}+8bit"]
+            assert combined.latency_rounds == bound.latency_rounds
+            assert combined.bandwidth_high == pytest.approx(
+                bound.bandwidth_high * (1 + 8 / 32) / 2)

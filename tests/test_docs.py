@@ -39,7 +39,7 @@ def test_doc_examples_run(relpath):
 def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
     for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
-                     "BENCH_PR4.json"):
+                     "BENCH_PR4.json", "BENCH_PR5.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -74,3 +74,16 @@ def test_configuration_doc_covers_schedule_grammar():
     for token in ("warmup", "adaptive", "KSchedule", "buckets"):
         assert token in doc, (
             f"docs/configuration.md does not mention {token!r}")
+
+
+def test_api_doc_covers_quantization():
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for token in ("`bits`", "QuantizedCompressor", "Error feedback",
+                  "quantized_complexity"):
+        assert token in doc, f"docs/api.md does not mention {token!r}"
+
+
+def test_configuration_doc_covers_quantization():
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for token in ("`num_bits`", "QuantizedCompressor", "BENCH_PR5.json"):
+        assert token in doc, f"docs/configuration.md does not mention {token!r}"

@@ -1,0 +1,331 @@
+"""End-to-end gates for the quantized ``compress`` stage (PR 5).
+
+Three contracts, straight from the issue's acceptance criteria:
+
+* **bits absent == pre-quantization pipeline.**  Without ``bits`` no
+  compressor is installed, the compress stage is the identity and no wire
+  pricer ever runs — `tests/test_pipeline_equivalence.py` already gates the
+  resulting behaviour bit-for-bit; here we gate the *mechanism* (no
+  compressor object, identity wire).
+* **bits=b == quantized accounting, per message.**  Every message of a
+  quantized step bills the ``(1 + b/32)/2`` COO accounting exactly — one
+  full element per index, ``b`` bits per value, one scale element per
+  non-empty sparse unit, ``b/32`` per dense value — verified message by
+  message against an independent re-derivation, plus in closed form for a
+  controlled TopkA run.
+* **residual mass is conserved.**  ``sum_t global_t + residuals ==
+  sum_t inputs`` (sent + quantization error + discards == input, telescoped
+  over iterations) for every GRES-collecting configuration, including teams,
+  the deferred-residual path and the dense fallback.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SYNCHRONIZER_NAMES, describe, make, make_synchronizer, parse_spec
+from repro.comm.cluster import SimulatedCluster
+from repro.core.bucketed import BucketedSynchronizer
+from repro.core.config import SparDLConfig
+from repro.core.pipeline import SyncSession
+
+# The independent re-derivation of the quantized accounting is shared with
+# the BENCH_PR5 gate (benchmarks/perf/quantized_reference.py) so the test
+# and the benchmark enforce one contract.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks" / "perf"))
+from quantized_reference import expected_price, spy_exchange  # noqa: E402
+
+NUM_ELEMENTS = 600
+ITERATIONS = 3
+
+
+def _spec(method: str, bits=None) -> str:
+    base = "dense" if method == "Dense" else f"{method.lower()}?density=0.05"
+    if bits is None:
+        return base
+    separator = "&" if "?" in base else "?"
+    return f"{base}{separator}bits={bits}"
+
+
+def _gradients(num_workers: int, iteration: int, reverse: bool = False):
+    workers = range(num_workers)
+    if reverse:
+        workers = reversed(list(workers))
+    return {
+        worker: np.random.default_rng(1000 * iteration + worker)
+                  .normal(size=NUM_ELEMENTS)
+        for worker in workers
+    }
+
+
+def _methods_for(num_workers: int):
+    return [name for name in SYNCHRONIZER_NAMES
+            if name != "gTopk" or (num_workers & (num_workers - 1)) == 0]
+
+
+class TestBitsAbsentIsIdentity:
+    @pytest.mark.parametrize("method", SYNCHRONIZER_NAMES)
+    def test_no_compressor_without_bits(self, method):
+        sync = make(_spec(method), SimulatedCluster(8), num_elements=NUM_ELEMENTS)
+        assert sync.compressor is None
+        assert sync.cluster._pricer is None
+        result = sync.synchronize(_gradients(8, 0))
+        assert "quantized_bits" not in result.info
+        assert sync.cluster._pricer is None
+
+    @pytest.mark.parametrize("method", SYNCHRONIZER_NAMES)
+    def test_compressor_with_bits(self, method):
+        sync = make(_spec(method, bits=8), SimulatedCluster(8),
+                    num_elements=NUM_ELEMENTS)
+        assert sync.compressor is not None
+        assert sync.compressor.num_bits == 8
+        result = sync.synchronize(_gradients(8, 0))
+        assert result.info["quantized_bits"] == 8
+        assert result.is_consistent
+        # the pricer is scoped to the step: uninstalled afterwards
+        assert sync.cluster._pricer is None
+
+
+class TestPerMessageAccounting:
+    @pytest.mark.parametrize("num_workers", [5, 8])
+    @pytest.mark.parametrize("method", SYNCHRONIZER_NAMES)
+    @pytest.mark.parametrize("bits", [2, 8])
+    def test_every_message_bills_the_quantized_accounting(self, method,
+                                                          num_workers, bits):
+        if method not in _methods_for(num_workers):
+            pytest.skip("gTopk needs a power-of-two worker count")
+        cluster = SimulatedCluster(num_workers)
+        sync = make(_spec(method, bits=bits), cluster, num_elements=NUM_ELEMENTS)
+        records = spy_exchange(cluster)
+        for iteration in range(2):
+            sync.synchronize(_gradients(num_workers, iteration))
+        assert records, "no traffic recorded"
+        for tag, size, size_final, payload in records:
+            if not size_final:
+                assert size == expected_price(payload, bits), (
+                    f"{method}/{tag}: billed {size}, expected "
+                    f"{expected_price(payload, bits)}")
+            elif tag == "oktopk-rebalance":
+                # control statistics travel at full precision
+                assert size == float(num_workers)
+            elif tag == "topka-fold-out":
+                # gathered set minus the receiver's own contribution
+                assert size <= expected_price(payload, bits)
+            elif tag.startswith("dsa-"):
+                # per-block min(quantized COO, quantized dense block)
+                assert 0.0 <= size <= expected_price(payload, bits)
+            else:  # pragma: no cover - new size_final sites must be priced
+                raise AssertionError(f"unpriced size_final message {tag!r}")
+
+    def test_topka_closed_form_volume(self):
+        """TopkA at a power-of-two P has a known message structure (no
+        merging during the exchange), so the quantized volume has a closed
+        form: each round r moves P messages of 2^r selections apiece, each
+        selection billing k(1 + b/32) + 1."""
+        P, k, bits = 4, 30, 8
+        cluster = SimulatedCluster(P)
+        sync = make(f"topka?k={k}&bits={bits}", cluster, num_elements=NUM_ELEMENTS)
+        result = sync.synchronize(_gradients(P, 0))
+        unit = k * (1 + bits / 32) + 1
+        expected = P * unit + P * 2 * unit  # rounds: 1 then 2 selections each
+        assert result.stats.total_volume == pytest.approx(expected)
+
+    def test_dense_fallback_prices_bits_per_value(self):
+        """Past the crossover SparDL runs the dense All-Reduce; message
+        sizes depend only on chunk lengths, so the quantized volume is
+        exactly bits/32 of the full-precision volume."""
+        P, bits = 8, 8
+        plain = make("spardl?density=0.8", SimulatedCluster(P),
+                     num_elements=NUM_ELEMENTS)
+        quantized = make(f"spardl?density=0.8&bits={bits}", SimulatedCluster(P),
+                         num_elements=NUM_ELEMENTS)
+        result_plain = plain.synchronize(_gradients(P, 0))
+        result_quant = quantized.synchronize(_gradients(P, 0))
+        assert result_plain.info["dense_fallback"]
+        assert result_quant.info["dense_fallback"]
+        assert result_quant.stats.total_volume == pytest.approx(
+            result_plain.stats.total_volume * bits / 32)
+        assert result_quant.stats.rounds == result_plain.stats.rounds
+
+    def test_quantized_volume_is_reduced_for_every_method(self):
+        P = 8
+        for method in SYNCHRONIZER_NAMES:
+            plain = make(_spec(method), SimulatedCluster(P),
+                         num_elements=NUM_ELEMENTS)
+            quantized = make(_spec(method, bits=4), SimulatedCluster(P),
+                             num_elements=NUM_ELEMENTS)
+            volume_plain = plain.synchronize(_gradients(P, 0)).stats.total_volume
+            volume_quant = quantized.synchronize(_gradients(P, 0)).stats.total_volume
+            assert volume_quant < volume_plain, method
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize("method", SYNCHRONIZER_NAMES)
+    def test_worker_iteration_order_does_not_change_results(self, method):
+        """Per-worker spawned random streams: feeding the gradients dict in
+        reversed insertion order must produce bit-identical results."""
+        P = 8
+        forward = make(_spec(method, bits=4), SimulatedCluster(P),
+                       num_elements=NUM_ELEMENTS)
+        backward = make(_spec(method, bits=4), SimulatedCluster(P),
+                        num_elements=NUM_ELEMENTS)
+        for iteration in range(ITERATIONS):
+            result_fwd = forward.synchronize(_gradients(P, iteration))
+            result_bwd = backward.synchronize(
+                _gradients(P, iteration, reverse=True))
+            for worker in range(P):
+                np.testing.assert_array_equal(
+                    result_fwd.global_gradients[worker],
+                    result_bwd.global_gradients[worker],
+                    err_msg=f"{method}: worker {worker} depends on iteration order")
+            assert result_fwd.stats.total_volume == result_bwd.stats.total_volume
+
+    def test_streams_are_reproducible_across_constructions(self):
+        P = 4
+        first = make("spardl?density=0.05&bits=8", SimulatedCluster(P),
+                     num_elements=NUM_ELEMENTS)
+        second = make("spardl?density=0.05&bits=8", SimulatedCluster(P),
+                      num_elements=NUM_ELEMENTS)
+        a = first.synchronize(_gradients(P, 0))
+        b = second.synchronize(_gradients(P, 0))
+        np.testing.assert_array_equal(a.gradient(0), b.gradient(0))
+
+
+class TestResidualConservation:
+    @pytest.mark.parametrize("spec", [
+        "spardl?density=0.05&bits=8",
+        "spardl?density=0.05&bits=2",
+        "spardl?density=0.05&teams=2&bits=4",          # R-SAG
+        "spardl?density=0.05&teams=3&bits=8",          # B-SAG (P=6)
+        "spardl?density=0.05&bits=8&deferred=true",    # deferred residual path
+        "spardl?density=0.8&bits=8",                   # dense fallback
+        "dense?bits=8",                                # QSGD with error feedback
+    ])
+    def test_sent_plus_error_plus_discards_equals_input(self, spec):
+        P = 6 if "teams=3" in spec else 8
+        sync = make(spec, SimulatedCluster(P), num_elements=NUM_ELEMENTS)
+        total_input = np.zeros(NUM_ELEMENTS)
+        total_global = np.zeros(NUM_ELEMENTS)
+        for iteration in range(ITERATIONS):
+            gradients = _gradients(P, iteration)
+            total_input += sum(gradients.values())
+            result = sync.synchronize(gradients)
+            assert result.is_consistent
+            total_global += result.gradient(0)
+        residual = sync.residuals.total_residual()
+        np.testing.assert_allclose(total_global + residual, total_input,
+                                   atol=1e-9)
+
+    def test_deferred_matches_eager_bitwise_under_quantization(self):
+        """The deferred residual fold must replay the eager scatter chain
+        even when quantization errors join the discards."""
+        P = 6
+        eager = make("spardl?density=0.05&teams=2&bits=4", SimulatedCluster(P),
+                     num_elements=NUM_ELEMENTS)
+        deferred = make("spardl?density=0.05&teams=2&bits=4&deferred=true",
+                        SimulatedCluster(P), num_elements=NUM_ELEMENTS)
+        for iteration in range(ITERATIONS):
+            gradients = _gradients(P, iteration)
+            result_eager = eager.synchronize({w: g.copy() for w, g in gradients.items()})
+            result_deferred = deferred.synchronize({w: g.copy() for w, g in gradients.items()})
+            for worker in range(P):
+                np.testing.assert_array_equal(
+                    result_eager.global_gradients[worker],
+                    result_deferred.global_gradients[worker])
+        np.testing.assert_array_equal(eager.residuals.total_residual(),
+                                      deferred.residuals.total_residual())
+
+
+class TestSessionsAndBuckets:
+    @pytest.mark.parametrize("method", SYNCHRONIZER_NAMES)
+    def test_session_equals_legacy_with_bits(self, method):
+        P = 8
+        legacy = make(_spec(method, bits=8), SimulatedCluster(P),
+                      num_elements=NUM_ELEMENTS)
+        session = SyncSession(make(_spec(method, bits=8), SimulatedCluster(P),
+                                   num_elements=NUM_ELEMENTS))
+        for iteration in range(ITERATIONS):
+            gradients = _gradients(P, iteration)
+            expected = legacy.synchronize({w: g.copy() for w, g in gradients.items()})
+            actual = session.step({w: g.copy() for w, g in gradients.items()})
+            for worker in range(P):
+                np.testing.assert_array_equal(actual.global_gradients[worker],
+                                              expected.global_gradients[worker])
+            assert actual.stats.total_volume == expected.stats.total_volume
+            assert actual.stats.rounds == expected.stats.rounds
+
+    def test_bucketed_quantized_run_conserves_and_prices(self):
+        P = 4
+        cluster = SimulatedCluster(P)
+        sizes = [200, 150, 250]
+        bucketed = BucketedSynchronizer(
+            cluster, sizes,
+            factory=lambda c, n: make("spardl?density=0.05&bits=8", c,
+                                      num_elements=n))
+        total_input = np.zeros(NUM_ELEMENTS)
+        total_global = np.zeros(NUM_ELEMENTS)
+        for iteration in range(ITERATIONS):
+            gradients = _gradients(P, iteration)
+            total_input += sum(gradients.values())
+            result = bucketed.synchronize(gradients)
+            total_global += result.gradient(0)
+        np.testing.assert_allclose(total_global + bucketed.total_residual(),
+                                   total_input, atol=1e-9)
+
+    def test_mixed_precision_buckets_restore_the_pricer(self):
+        """A quantized bucket must not leak its pricer into a later
+        full-precision bucket on the shared cluster."""
+        P = 4
+        cluster = SimulatedCluster(P)
+        specs = ["spardl?density=0.2&bits=8", "spardl?density=0.2"]
+        built = iter(specs)
+        bucketed = BucketedSynchronizer(
+            cluster, [300, 300],
+            factory=lambda c, n: make(next(built), c, num_elements=n))
+        reference = make("spardl?density=0.2", SimulatedCluster(P),
+                         num_elements=300)
+        gradients = _gradients(P, 0)
+        result = bucketed.synchronize(gradients)
+        expected = reference.synchronize({w: g[300:] for w, g in gradients.items()})
+        # the full-precision bucket's volume matches a standalone
+        # full-precision run exactly: no pricer leaked
+        bucket1_stats = bucketed.sessions[1].cumulative_stats
+        assert bucket1_stats.total_volume == expected.stats.total_volume
+        assert cluster._pricer is None
+        assert result.is_consistent
+
+
+class TestSpecSurface:
+    def test_describe_round_trips_bits(self):
+        spec = "spardl?density=0.01&teams=2&schedule=warmup:5&bits=8"
+        sync = make(spec, SimulatedCluster(8), num_elements=1000)
+        assert describe(sync) == spec
+        assert parse_spec(describe(sync)).bits == 8
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            parse_spec("spardl?density=0.01&bits=0")
+        with pytest.raises(ValueError):
+            parse_spec("spardl?density=0.01&bits=33")
+        with pytest.raises(ValueError):
+            SparDLConfig(density=0.01, num_bits=40)
+
+    def test_config_describe_mentions_bits(self):
+        assert "8bit" in SparDLConfig(density=0.01, num_bits=8).describe()
+
+    def test_make_synchronizer_num_bits_kwarg(self):
+        sync = make_synchronizer("SparDL", SimulatedCluster(4), 1000,
+                                 density=0.01, num_bits=4)
+        assert sync.compressor is not None
+        assert sync.compressor.num_bits == 4
+
+    def test_bits_override_through_make(self):
+        sync = make("spardl?density=0.01", SimulatedCluster(4),
+                    num_elements=1000, bits=8)
+        assert sync.compressor.num_bits == 8
+        assert describe(sync) == "spardl?density=0.01&bits=8"

@@ -1,0 +1,305 @@
+"""Fault/straggler/churn degradation curves (PR 6): SparDL vs dense.
+
+Sweeps three failure axes the paper's perfectly reliable testbed never
+measures, through the seeded :class:`~repro.comm.faults.FaultPlan` layer:
+
+* **drop-rate sweep** — message drop probability 0 to 0.5 under bounded
+  retry-with-backoff: extra billed rounds, retries, losses, the
+  gradient-accuracy proxy (relative L2 distance from the exact dense sum)
+  and the residual-conservation error;
+* **straggler sweep** — straggler severity 1x to 8x (with a slow-NIC
+  ingress override on one worker): per-iteration simulated time where
+  compute waits for the slowest worker and rounds are priced as the max
+  over per-worker critical paths;
+* **churn sweep** — 0 to 3 crash/join events mid-run: conservation and
+  worker agreement across team re-partitions.
+
+Deterministic gates (wall time is never gated):
+
+* **no-fault identity** — the zero-rate leg of every sweep matches a run
+  with no plan installed exactly (rounds, volume, per-worker accounting);
+* **residual conservation** — ``sum_t global_t + residuals == sum_t
+  inputs`` to 1e-9 for SparDL in every scenario, including under losses
+  and across membership transitions;
+* **dense exactness** — the dense baseline's reliable transport keeps its
+  result exact at every drop rate;
+* **honest billing** — every faulted run records ``rounds == fault-free
+  rounds + fault_extra_rounds`` and drops/retries are visible in the
+  counters;
+* **straggler monotonicity** — simulated iteration time grows strictly
+  with straggler severity (the factors are common random numbers across
+  severities, so the curve is noise-free).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_faults.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import make
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.faults import FaultPlan, MembershipEvent
+from repro.comm.network import ETHERNET
+from repro.core.pipeline import RetryPolicy, SyncSession
+from repro.training.timing import ComputeProfile, iteration_time
+
+NUM_WORKERS = 8
+NUM_ELEMENTS = 3_000
+DENSITY = 0.02
+ITERATIONS = 6
+SEED = 2024
+
+DROP_RATES = (0.0, 0.1, 0.3, 0.5)
+STRAGGLER_SEVERITIES = (1.0, 2.0, 4.0, 8.0)
+STRAGGLER_RATE = 0.3
+CHURN_LEVELS = (0, 1, 2, 3)
+
+COMPUTE = ComputeProfile(compute_time_per_update=5e-3, paper_parameters=1e6)
+
+METHOD_SPECS = {
+    "spardl": f"spardl?density={DENSITY:g}&teams=2",
+    "dense": "dense",
+}
+
+
+def _gradients(num_workers: int, iteration: int):
+    return {worker: np.random.default_rng(9000 + 100 * iteration + worker)
+                      .normal(size=NUM_ELEMENTS)
+            for worker in range(NUM_WORKERS) if worker < num_workers}
+
+
+def _churn_events(level: int):
+    """0..3 membership events spread over the run (crash, join, crash)."""
+    schedule = [MembershipEvent(iteration=2, kind="crash", worker=3),
+                MembershipEvent(iteration=3, kind="join"),
+                MembershipEvent(iteration=4, kind="crash", worker=0)]
+    return schedule[:level]
+
+
+def run_scenario(method: str, plan, iterations: int, failures: list,
+                 label: str) -> dict:
+    """Drive one (method, plan) scenario; returns its degradation row."""
+    cluster = SimulatedCluster(NUM_WORKERS)
+    if plan is not None:
+        cluster.install_fault_plan(plan)
+    sync = make(METHOD_SPECS[method], cluster, num_elements=NUM_ELEMENTS)
+    session = SyncSession(sync)
+    injected = np.zeros(NUM_ELEMENTS)
+    delivered = np.zeros(NUM_ELEMENTS)
+    proxy_errors = []
+    sim_time = 0.0
+    memberships = []
+    network = (plan.heterogeneous_network(NUM_WORKERS, ETHERNET)
+               if plan is not None and (plan.worker_profiles or plan.link_profiles)
+               else ETHERNET)
+    for iteration in range(iterations):
+        session.poll_membership()
+        memberships.append(session.num_workers)
+        gradients = _gradients(session.num_workers, iteration)
+        exact = sum(gradients.values())
+        injected += exact
+        result = session.step(gradients)
+        if not result.is_consistent:
+            failures.append(f"{label}: workers disagree at iteration {iteration}")
+        delivered += result.gradient(0)
+        proxy_errors.append(float(np.linalg.norm(result.gradient(0) - exact)
+                                  / np.linalg.norm(exact)))
+        factors = (plan.straggler_factors(iteration, session.num_workers)
+                   if plan is not None else None)
+        sim_time += iteration_time(result.stats, network, COMPUTE,
+                                   compute_factors=factors).total
+    residuals = getattr(sync, "residuals", None)
+    conservation = 0.0
+    if residuals is not None:
+        conservation = float(np.abs(delivered + residuals.total_residual()
+                                    - injected).max())
+    else:
+        conservation = float(np.abs(delivered - injected).max())
+    stats = session.cumulative_stats
+    return {
+        "label": label,
+        "method": method,
+        "iterations": iterations,
+        "rounds": stats.rounds,
+        "fault_extra_rounds": stats.fault_extra_rounds,
+        "dropped_messages": stats.dropped_messages,
+        "retried_messages": stats.retried_messages,
+        "lost_messages": stats.lost_messages,
+        "forced_deliveries": stats.forced_deliveries,
+        "delayed_messages": stats.delayed_messages,
+        "total_volume_elements": stats.total_volume,
+        "sim_time_s": sim_time,
+        "proxy_error_mean": float(np.mean(proxy_errors)),
+        "conservation_error": conservation,
+        "memberships": memberships,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR6.json",
+                        help="path of the JSON degradation report to write")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations and grid points (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record results without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    iterations = 3 if args.quick else ITERATIONS
+    drop_rates = DROP_RATES[:3] if args.quick else DROP_RATES
+    severities = STRAGGLER_SEVERITIES[:3] if args.quick else STRAGGLER_SEVERITIES
+    churn_levels = CHURN_LEVELS[:3] if args.quick else CHURN_LEVELS
+    failures: list = []
+
+    # ------------------------------------------------------------------
+    # axis 1: drop rate under retry-with-backoff
+    # ------------------------------------------------------------------
+    drop_sweep = {method: [] for method in METHOD_SPECS}
+    baseline = {}
+    for method in METHOD_SPECS:
+        baseline[method] = run_scenario(
+            method, None, iterations, failures, f"{method}-noplan")
+        for rate in drop_rates:
+            plan = FaultPlan(seed=SEED, drop_rate=rate,
+                             retry=RetryPolicy(max_retries=2))
+            row = run_scenario(method, plan, iterations, failures,
+                               f"{method}-drop{rate:g}")
+            row["drop_rate"] = rate
+            drop_sweep[method].append(row)
+
+    # ------------------------------------------------------------------
+    # axis 2: straggler severity x slow-NIC heterogeneity
+    # ------------------------------------------------------------------
+    straggler_sweep = {method: [] for method in METHOD_SPECS}
+    for method in METHOD_SPECS:
+        for severity in severities:
+            plan = FaultPlan(
+                seed=SEED,
+                straggler_rate=0.0 if severity == 1.0 else STRAGGLER_RATE,
+                straggler_slowdown=max(severity, 1.0),
+                worker_profiles={0: ETHERNET.scaled(beta_factor=severity)},
+            )
+            row = run_scenario(method, plan, iterations, failures,
+                               f"{method}-straggle{severity:g}x")
+            row["straggler_severity"] = severity
+            row["straggler_rate"] = 0.0 if severity == 1.0 else STRAGGLER_RATE
+            straggler_sweep[method].append(row)
+        clean = straggler_sweep[method][0]["sim_time_s"]
+        for row in straggler_sweep[method]:
+            row["slowdown_vs_clean"] = row["sim_time_s"] / clean
+
+    # ------------------------------------------------------------------
+    # axis 3: membership churn
+    # ------------------------------------------------------------------
+    churn_sweep = {method: [] for method in METHOD_SPECS}
+    for method in METHOD_SPECS:
+        for level in churn_levels:
+            plan = FaultPlan(seed=SEED, events=_churn_events(level))
+            row = run_scenario(method, plan, iterations, failures,
+                               f"{method}-churn{level}")
+            row["churn_events"] = level
+            churn_sweep[method].append(row)
+
+    report = {
+        "bench": "PR6 fault, straggler and churn degradation curves",
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "num_elements": NUM_ELEMENTS,
+            "density": DENSITY,
+            "iterations": iterations,
+            "seed": SEED,
+            "drop_rates": list(drop_rates),
+            "straggler_severities": list(severities),
+            "straggler_rate": STRAGGLER_RATE,
+            "churn_levels": list(churn_levels),
+            "retry": {"max_retries": 2, "backoff": 2.0},
+            "network": ETHERNET.name,
+            "methods": dict(METHOD_SPECS),
+        },
+        "drop_sweep": drop_sweep,
+        "straggler_sweep": straggler_sweep,
+        "churn_sweep": churn_sweep,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for method in METHOD_SPECS:
+        for row in drop_sweep[method]:
+            print(f"{row['label']:18s} rounds {row['rounds']:4d} "
+                  f"(+{row['fault_extra_rounds']:3d}) | dropped "
+                  f"{row['dropped_messages']:4d} lost {row['lost_messages']:3d} "
+                  f"| proxy {row['proxy_error_mean']:.4f} | "
+                  f"conservation {row['conservation_error']:.2e}")
+        for row in straggler_sweep[method]:
+            print(f"{row['label']:18s} sim time {row['sim_time_s']*1e3:8.2f} ms "
+                  f"({row['slowdown_vs_clean']:.2f}x clean)")
+        for row in churn_sweep[method]:
+            print(f"{row['label']:18s} memberships {row['memberships']} | "
+                  f"conservation {row['conservation_error']:.2e}")
+    print(f"wrote {args.output}")
+
+    if args.no_gate:
+        return 0
+
+    # no-fault identity: zero-rate leg == no plan installed
+    for method in METHOD_SPECS:
+        zero = drop_sweep[method][0]
+        plain = baseline[method]
+        for key in ("rounds", "total_volume_elements", "proxy_error_mean"):
+            if zero[key] != plain[key]:
+                failures.append(f"{method}: zero-rate plan must match the "
+                                f"reliable path ({key}: {zero[key]} vs {plain[key]})")
+        if zero["fault_extra_rounds"] or zero["dropped_messages"]:
+            failures.append(f"{method}: zero-rate plan must inject nothing")
+    # conservation + honest billing on every scenario
+    for method in METHOD_SPECS:
+        for row in (drop_sweep[method] + straggler_sweep[method]
+                    + churn_sweep[method]):
+            if row["conservation_error"] > 1e-9:
+                failures.append(f"{row['label']}: conservation violated "
+                                f"({row['conservation_error']:.2e})")
+    for method in METHOD_SPECS:
+        fault_free_rounds = drop_sweep[method][0]["rounds"]
+        for row in drop_sweep[method][1:]:
+            if row["dropped_messages"] == 0:
+                failures.append(f"{row['label']}: expected drops at rate "
+                                f"{row['drop_rate']}")
+            if row["rounds"] != fault_free_rounds + row["fault_extra_rounds"]:
+                failures.append(f"{row['label']}: rounds not honestly billed")
+    # dense stays exact at every drop rate (reliable transport)
+    for row in drop_sweep["dense"]:
+        if row["proxy_error_mean"] > 1e-12:
+            failures.append(f"{row['label']}: dense must stay exact under drops")
+    # straggler curve strictly degrades (common random numbers across severities)
+    for method in METHOD_SPECS:
+        times = [row["sim_time_s"] for row in straggler_sweep[method]]
+        if not all(earlier < later for earlier, later in zip(times, times[1:])):
+            failures.append(f"{method}: sim time must grow with straggler severity")
+    # churn actually changed membership at the scheduled levels
+    for method in METHOD_SPECS:
+        for row in churn_sweep[method]:
+            expected_changes = min(row["churn_events"], iterations - 1)
+            changes = sum(1 for a, b in zip(row["memberships"],
+                                            row["memberships"][1:]) if a != b)
+            if changes < min(expected_changes, 1) and row["churn_events"]:
+                failures.append(f"{row['label']}: membership never changed")
+
+    if failures:
+        print("FAULT BENCH GATE FAILED: " + "; ".join(failures[:10]),
+              file=sys.stderr)
+        return 1
+    print("gates passed: no-fault identity, residual conservation under "
+          "drops/churn, dense exactness, honest retry billing, straggler "
+          "monotonicity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Fault injection: drops, retries, stragglers and elastic membership.
+
+The simulated cluster is perfectly reliable by default.  This example
+installs a seeded :class:`~repro.comm.faults.FaultPlan` and shows the three
+failure axes the robustness layer models:
+
+* **message drops with bounded retry** — dropped sends are retried with
+  exponential backoff and every retry/idle round is billed into
+  :class:`~repro.comm.stats.CommStats`; past the budget, SparDL degrades
+  gracefully by folding the lost sparse mass back into the sender's
+  residual (conservation still holds exactly), while the dense baseline's
+  reliable transport force-delivers;
+* **stragglers and heterogeneous links** — per-iteration compute slowdown
+  factors and per-worker network overrides turn the timing model into a
+  max over per-worker critical paths;
+* **elastic membership** — crash/join events between iterations re-run the
+  bag planning for the new worker count and hand residual state off to the
+  survivors.
+
+Run with::
+
+    python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ETHERNET,
+    FaultPlan,
+    MembershipEvent,
+    RetryPolicy,
+    SimulatedCluster,
+    SparDLConfig,
+    SparDLSynchronizer,
+    SyncSession,
+)
+from repro.training.timing import ComputeProfile, iteration_time
+
+
+def main() -> None:
+    num_workers = 8
+    num_elements = 5_000
+    iterations = 6
+
+    plan = FaultPlan(
+        seed=7,
+        drop_rate=0.25,                 # a quarter of messages vanish...
+        retry=RetryPolicy(max_retries=2, backoff=2.0),  # ...retried twice
+        straggler_rate=0.2,
+        straggler_slowdown=4.0,         # stragglers run up to 4x slower
+        worker_profiles={3: ETHERNET.scaled(beta_factor=4.0)},  # slow NIC
+        events=[MembershipEvent(iteration=2, kind="crash", worker=5),
+                MembershipEvent(iteration=4, kind="join")],
+    )
+
+    cluster = SimulatedCluster(num_workers)
+    cluster.install_fault_plan(plan)
+    sync = SparDLSynchronizer(cluster, num_elements,
+                              SparDLConfig(density=0.02, num_teams=2))
+    session = SyncSession(sync)
+    network = plan.heterogeneous_network(num_workers, ETHERNET)
+    compute = ComputeProfile(compute_time_per_update=5e-3,
+                             paper_parameters=1e6)
+
+    print("=== SparDL under drops, stragglers and churn ===")
+    header = (f"{'it':>2s} {'P':>2s} {'rounds':>6s} {'extra':>5s} "
+              f"{'dropped':>7s} {'lost':>4s} {'time':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    injected = np.zeros(num_elements)
+    delivered = np.zeros(num_elements)
+    for iteration in range(iterations):
+        if session.poll_membership():
+            print(f"   -- membership changed: now P={session.num_workers}")
+        gradients = {w: np.random.default_rng(50 * iteration + w)
+                          .normal(size=num_elements)
+                     for w in range(session.num_workers)}
+        injected += sum(gradients.values())
+        result = session.step(gradients)
+        assert result.is_consistent
+        delivered += result.gradient(0)
+        timing = iteration_time(
+            result.stats, network, compute,
+            compute_factors=plan.straggler_factors(iteration,
+                                                   session.num_workers))
+        print(f"{iteration:2d} {session.num_workers:2d} "
+              f"{result.stats.rounds:6d} "
+              f"{result.stats.fault_extra_rounds:5d} "
+              f"{result.stats.dropped_messages:7d} "
+              f"{result.stats.lost_messages:4d} "
+              f"{timing.total * 1e3:7.2f}ms")
+        if result.info.get("lost_messages"):
+            print(f"   -- {result.info['lost_messages']} message(s) lost "
+                  f"past the retry budget; L1 mass "
+                  f"{result.info['lost_mass']:.3f} folded into residuals")
+
+    conservation = np.abs(delivered + sync.residuals.total_residual()
+                          - injected).max()
+    stats = session.cumulative_stats
+    print("-" * len(header))
+    print(f"cumulative: {stats.rounds} rounds "
+          f"({stats.fault_extra_rounds} from faults), "
+          f"{stats.dropped_messages} drops, {stats.retried_messages} retries, "
+          f"{stats.lost_messages} losses, {stats.forced_deliveries} forced")
+    print(f"conservation |delivered + residuals - injected| = "
+          f"{conservation:.2e}  (exact despite every fault above)")
+    assert conservation < 1e-9
+
+
+if __name__ == "__main__":
+    main()

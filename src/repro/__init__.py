@@ -40,6 +40,9 @@ from .comm import (
     PERFECT,
     RDMA,
     CommStats,
+    FaultPlan,
+    HeterogeneousNetwork,
+    MembershipEvent,
     NetworkProfile,
     SimulatedCluster,
 )
@@ -51,6 +54,7 @@ from .core import (
     KSchedule,
     ResidualManager,
     ResidualPolicy,
+    RetryPolicy,
     SAGMode,
     SparDLConfig,
     SparDLSynchronizer,
@@ -67,7 +71,11 @@ __all__ = [
     "__version__",
     "SimulatedCluster",
     "CommStats",
+    "FaultPlan",
+    "MembershipEvent",
+    "RetryPolicy",
     "NetworkProfile",
+    "HeterogeneousNetwork",
     "ETHERNET",
     "RDMA",
     "PERFECT",

@@ -22,7 +22,7 @@ pre-quantization dense baseline, bit for bit.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -49,6 +49,15 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
             self.compressor = QuantizedCompressor(num_bits, cluster.num_workers)
             self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                              ResidualPolicy.GLOBAL)
+
+    def apply_membership(self, num_workers: int, mapping: Dict[int, int]) -> None:
+        """Dense All-Reduce has no per-rank state beyond the optional QSGD
+        error-feedback stores, which hand off like any other residuals."""
+        if self.residuals is not None:
+            self.residuals.remap_workers(num_workers, mapping)
+            self.compressor = QuantizedCompressor(self.compressor.num_bits,
+                                                  num_workers)
+        super().apply_membership(num_workers, mapping)
 
     def stage_select(self, context: StepContext) -> None:
         if self.residuals is None:

@@ -11,7 +11,8 @@ from .collectives import (
     allreduce_ring,
     reduce_scatter_direct,
 )
-from .network import ETHERNET, PERFECT, RDMA, NetworkProfile
+from .faults import FaultPlan, MembershipEvent, membership_transition
+from .network import ETHERNET, PERFECT, RDMA, HeterogeneousNetwork, NetworkProfile
 from .packed import PackedBags
 from .stats import CommStats
 
@@ -22,7 +23,11 @@ __all__ = [
     "freeze_payload",
     "PackedBags",
     "CommStats",
+    "FaultPlan",
+    "MembershipEvent",
+    "membership_transition",
     "NetworkProfile",
+    "HeterogeneousNetwork",
     "ETHERNET",
     "RDMA",
     "PERFECT",

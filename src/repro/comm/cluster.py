@@ -22,8 +22,9 @@ Design notes
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +91,15 @@ class Message:
     :meth:`SimulatedCluster.install_pricer`) must not re-derive it — the
     sender already accounted for compression or control-channel semantics
     that the payload structure alone cannot express.
+
+    ``lossy=True`` declares that the *sender* can account for this message
+    never arriving: past the retry budget of an installed
+    :class:`~repro.comm.faults.FaultPlan` the message is declared lost and
+    handed back via :meth:`SimulatedCluster.drain_lost` so its mass can be
+    folded into the sender's residual path.  Non-lossy messages model a
+    reliable transport: they are force-delivered (honestly billed) after
+    the budget, because the algorithms sending them cannot degrade
+    gracefully without diverging across workers.
     """
 
     src: int
@@ -98,6 +108,7 @@ class Message:
     size: Optional[float] = None
     tag: str = ""
     size_final: bool = False
+    lossy: bool = False
 
     def __post_init__(self) -> None:
         if self.size is None:
@@ -115,6 +126,11 @@ class SimulatedCluster:
         self._num_workers = int(num_workers)
         self._stats = CommStats(num_workers=self._num_workers)
         self._pricer: Optional[Any] = None
+        self._fault_plan: Optional[Any] = None
+        #: Monotonic round counter over the cluster's lifetime (never reset
+        #: with the statistics) — the deterministic key of fault sampling.
+        self._round_counter = 0
+        self._lost: List[Message] = []
 
     # ------------------------------------------------------------------
     # wire pricing
@@ -133,6 +149,53 @@ class SimulatedCluster:
         previous = self._pricer
         self._pricer = pricer
         return previous
+
+    # ------------------------------------------------------------------
+    # fault injection and elastic membership
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: Optional[Any]) -> Optional[Any]:
+        """Install a :class:`~repro.comm.faults.FaultPlan` for subsequent
+        :meth:`exchange` rounds; returns the previously installed plan.
+
+        With no plan installed (the default), ``exchange`` runs the exact
+        reliable code path — bit-identical messages, statistics and results.
+        A plan whose drop and delay rates are zero is equally bit-identical;
+        only actual drop/delay decisions change the recorded rounds.
+        """
+        previous = self._fault_plan
+        self._fault_plan = plan
+        return previous
+
+    @property
+    def fault_plan(self) -> Optional[Any]:
+        """The installed :class:`~repro.comm.faults.FaultPlan` (or ``None``)."""
+        return self._fault_plan
+
+    def drain_lost(self) -> List[Message]:
+        """Return (and clear) the messages lost past the retry budget since
+        the last drain.  The pipeline's robustness policy folds their mass
+        into the senders' residual stores."""
+        lost = self._lost
+        self._lost = []
+        return lost
+
+    def resize(self, num_workers: int) -> None:
+        """Adopt a new worker count (elastic membership transition).
+
+        Ranks are contiguous ``0..num_workers-1`` after the call; the
+        synchroniser applying the membership event remaps its own per-rank
+        state (see :meth:`~repro.core.base.GradientSynchronizer.poll_membership`).
+        Must be called between steps: undrained lost messages indicate the
+        previous step's loss accounting was skipped.
+        """
+        if num_workers <= 0:
+            raise ValueError("a cluster needs at least one worker")
+        if self._lost:
+            raise RuntimeError(
+                "cannot resize the cluster with undrained lost messages; "
+                "fold their mass into the residual path first (drain_lost)")
+        self._num_workers = int(num_workers)
+        self._stats = CommStats(num_workers=self._num_workers)
 
     # ------------------------------------------------------------------
     # basic properties
@@ -170,22 +233,129 @@ class SimulatedCluster:
         :func:`freeze_payload`): peers never share writable memory, so a
         receiver mutating a received array raises instead of silently
         corrupting the sender's state.
+
+        With a message-faulting :class:`~repro.comm.faults.FaultPlan`
+        installed, delivery attempts can drop or arrive late; undelivered
+        messages are retried under the plan's retry policy, with every
+        attempt, backoff idle round and late arrival billed as extra
+        recorded rounds.  Past the budget, ``lossy`` messages are parked
+        for :meth:`drain_lost` and everything else is force-delivered.
         """
+        plan = self._fault_plan
+        if plan is not None and plan.injects_message_faults:
+            return self._exchange_with_faults(messages)
         transfers = []
         inboxes: Dict[int, List[Message]] = {}
         for message in messages:
-            self._check_rank(message.src)
-            self._check_rank(message.dst)
-            if message.src == message.dst:
-                raise ValueError("workers must not send messages to themselves")
-            if self._pricer is not None and not message.size_final:
-                message.size = float(self._pricer(message))
-            message.payload = freeze_payload(message.payload)
+            self._admit(message)
             transfers.append((message.src, message.dst, float(message.size)))
             inboxes.setdefault(message.dst, []).append(message)
         if not transfers:
             return {}
         self._stats.record_round(transfers)
+        self._round_counter += 1
+        return inboxes
+
+    def _admit(self, message: Message) -> None:
+        """Validate, price and freeze one outgoing message (both exchange
+        paths share this, so a faulted exchange admits bit-identical
+        messages)."""
+        self._check_rank(message.src)
+        self._check_rank(message.dst)
+        if message.src == message.dst:
+            raise ValueError("workers must not send messages to themselves")
+        if self._pricer is not None and not message.size_final:
+            priced = float(self._pricer(message))
+            if not math.isfinite(priced) or priced < 0.0:
+                raise ValueError(
+                    f"pricer returned invalid message size {priced!r} for "
+                    f"{message.src}->{message.dst} (tag {message.tag!r})")
+            message.size = priced
+        message.payload = freeze_payload(message.payload)
+
+    def _exchange_with_faults(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
+        """One logical round under the installed fault plan.
+
+        Each pending message is attempted once per retry round; its fate
+        (deliver on time, deliver ``lateness`` rounds late, or drop — which
+        includes timing out past the plan's ``timeout_rounds``) is a pure
+        function of the plan's seed, the cluster's monotonic round counter,
+        the attempt number and the message's ``(src, dst, tag)``.  Billing
+        is honest: the nominal round is always recorded, every retry
+        attempt and every distinct lateness adds a recorded round, and the
+        retry policy's backoff idles are recorded as empty (latency-only)
+        rounds.  Inboxes preserve submission order for delivered messages,
+        so downstream merge order matches the reliable path.
+        """
+        plan = self._fault_plan
+        retry = getattr(plan, "retry", None)
+        if retry is None:
+            from ..core.pipeline import RetryPolicy
+            retry = RetryPolicy()
+        admitted: List[Message] = []
+        for message in messages:
+            self._admit(message)
+            admitted.append(message)
+        if not admitted:
+            return {}
+        base_round = self._round_counter
+        delivered: set = set()
+        pending: List[int] = list(range(len(admitted)))
+        rounds_recorded = 0
+
+        def record(indices: Sequence[int]) -> None:
+            nonlocal rounds_recorded
+            self._stats.record_round(
+                [(admitted[i].src, admitted[i].dst, float(admitted[i].size))
+                 for i in indices])
+            rounds_recorded += 1
+
+        attempt = 1
+        max_attempts = 1 + retry.max_retries
+        while pending and attempt <= max_attempts:
+            if attempt > 1:
+                for _ in range(retry.idle_rounds(attempt)):
+                    record(())
+                self._stats.retried_messages += len(pending)
+            on_time: List[int] = []
+            late: Dict[int, List[int]] = {}
+            still: List[int] = []
+            for index in pending:
+                message = admitted[index]
+                fate, lateness = plan.message_fate(
+                    base_round, attempt, message.src, message.dst, message.tag)
+                if fate == "drop":
+                    self._stats.dropped_messages += 1
+                    still.append(index)
+                elif lateness == 0:
+                    on_time.append(index)
+                else:
+                    self._stats.delayed_messages += 1
+                    late.setdefault(lateness, []).append(index)
+            record(on_time)
+            delivered.update(on_time)
+            if late:
+                for offset in range(1, max(late) + 1):
+                    bucket = late.get(offset, [])
+                    record(bucket)
+                    delivered.update(bucket)
+            pending = still
+            attempt += 1
+        if pending:
+            lost = [i for i in pending if admitted[i].lossy]
+            forced = [i for i in pending if not admitted[i].lossy]
+            self._lost.extend(admitted[i] for i in lost)
+            self._stats.lost_messages += len(lost)
+            if forced:
+                record(forced)
+                delivered.update(forced)
+                self._stats.forced_deliveries += len(forced)
+        self._stats.fault_extra_rounds += rounds_recorded - 1
+        self._round_counter += rounds_recorded
+        inboxes: Dict[int, List[Message]] = {}
+        for index, message in enumerate(admitted):
+            if index in delivered:
+                inboxes.setdefault(message.dst, []).append(message)
         return inboxes
 
     def sendrecv(self, sends: Dict[int, tuple[int, Any]]) -> Dict[int, Dict[int, Any]]:

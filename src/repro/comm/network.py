@@ -15,10 +15,13 @@ terms by more than an order of magnitude.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 __all__ = [
     "NetworkProfile",
+    "HeterogeneousNetwork",
     "ETHERNET",
     "RDMA",
     "PERFECT",
@@ -60,11 +63,62 @@ class NetworkProfile:
 
     def scaled(self, *, alpha_factor: float = 1.0, beta_factor: float = 1.0,
                name: str | None = None) -> "NetworkProfile":
-        """Return a new profile with scaled latency and/or bandwidth cost."""
+        """Return a new profile with scaled latency and/or bandwidth cost.
+
+        The derived name comes from the *base* profile, so scaling an
+        already-scaled profile yields ``"ethernet-scaled"`` again rather
+        than accumulating ``-scaled-scaled-...`` suffixes.
+        """
+        for factor_name, factor in (("alpha_factor", alpha_factor),
+                                    ("beta_factor", beta_factor)):
+            if not (math.isfinite(factor) and factor >= 0):
+                raise ValueError(
+                    f"{factor_name} must be finite and non-negative, got {factor!r}")
+        base = self.name
+        if base.endswith("-scaled"):
+            base = base[: -len("-scaled")]
         return NetworkProfile(
-            name=name or f"{self.name}-scaled",
+            name=name or f"{base}-scaled",
             alpha=self.alpha * alpha_factor,
             beta=self.beta * beta_factor,
+        )
+
+
+@dataclass(frozen=True)
+class HeterogeneousNetwork:
+    """A cluster whose workers see different alpha-beta costs.
+
+    Where :class:`NetworkProfile` prices every round by the single busiest
+    receiver, a heterogeneous network prices a bulk-synchronous round as the
+    **maximum over per-worker critical paths**: worker ``w`` finishes its
+    round after ``alpha_w + beta_w * received_w`` seconds, and the round —
+    being synchronous — ends when the slowest worker does.
+
+    Parameters
+    ----------
+    default:
+        Profile of every worker without an override.
+    overrides:
+        ``{rank: NetworkProfile}`` for the heterogeneous workers (slow NICs,
+        congested ingress links, ...).
+    """
+
+    default: NetworkProfile
+    overrides: Mapping[int, NetworkProfile] = field(default_factory=dict)
+
+    def profile_for(self, worker: int) -> NetworkProfile:
+        return self.overrides.get(worker, self.default)
+
+    def round_time(self, received: Sequence[float],
+                   volume_scale: float = 1.0) -> float:
+        """Time of one synchronous round given each worker's received
+        volume: the slowest per-worker critical path."""
+        if len(received) == 0:
+            return self.default.alpha
+        return max(
+            self.profile_for(worker).alpha
+            + self.profile_for(worker).beta * volume_scale * float(volume)
+            for worker, volume in enumerate(received)
         )
 
 

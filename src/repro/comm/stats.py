@@ -35,6 +35,26 @@ class CommStats:
     sent_per_worker: List[float] = field(default_factory=list)
     received_per_worker: List[float] = field(default_factory=list)
     per_round_max_received: List[float] = field(default_factory=list)
+    #: Per-round received volume of *every* worker (one list per round,
+    #: sized by the worker count at recording time).  Feeds the
+    #: heterogeneous timing model, which prices a round by the slowest
+    #: per-worker critical path instead of the single busiest receiver.
+    per_round_received: List[List[float]] = field(default_factory=list)
+    #: Fault accounting (all zero on a fault-free cluster): drop events
+    #: observed on the wire (including re-drops of retried messages),
+    #: messages scheduled for redelivery, messages lost past the retry
+    #: budget (lossy senders fold their mass into the residual path),
+    #: messages force-delivered over the reliable transport after the
+    #: budget, messages that arrived late within the timeout, and the
+    #: extra rounds (retries, backoff idling, late arrivals, forced
+    #: deliveries) the faults cost beyond the fault-free single round per
+    #: exchange.
+    dropped_messages: int = 0
+    retried_messages: int = 0
+    lost_messages: int = 0
+    forced_deliveries: int = 0
+    delayed_messages: int = 0
+    fault_extra_rounds: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -69,6 +89,7 @@ class CommStats:
         self.rounds += 1
         self.total_messages += count
         self.per_round_max_received.append(max(round_received) if round_received else 0.0)
+        self.per_round_received.append(round_received)
 
     def merge(self, other: "CommStats") -> None:
         """Fold another stats object (from the same cluster size) into this one."""
@@ -80,6 +101,28 @@ class CommStats:
             self.sent_per_worker[w] += other.sent_per_worker[w]
             self.received_per_worker[w] += other.received_per_worker[w]
         self.per_round_max_received.extend(other.per_round_max_received)
+        self.per_round_received.extend([list(row) for row in other.per_round_received])
+        self.dropped_messages += other.dropped_messages
+        self.retried_messages += other.retried_messages
+        self.lost_messages += other.lost_messages
+        self.forced_deliveries += other.forced_deliveries
+        self.delayed_messages += other.delayed_messages
+        self.fault_extra_rounds += other.fault_extra_rounds
+
+    def expand(self, num_workers: int) -> None:
+        """Grow the per-worker accounting to ``num_workers`` slots.
+
+        Elastic membership changes the cluster size between steps; session
+        accumulators expand to the largest worker count seen so stats from
+        different memberships can be merged.  Already-recorded per-round
+        rows keep the length of the membership they were recorded under.
+        """
+        if num_workers < self.num_workers:
+            raise ValueError("expand can only grow the worker count")
+        extra = num_workers - self.num_workers
+        self.sent_per_worker.extend([0.0] * extra)
+        self.received_per_worker.extend([0.0] * extra)
+        self.num_workers = num_workers
 
     @classmethod
     def merged(cls, num_workers: int, parts: Iterable["CommStats"]) -> "CommStats":
@@ -134,6 +177,13 @@ class CommStats:
             sent_per_worker=list(self.sent_per_worker),
             received_per_worker=list(self.received_per_worker),
             per_round_max_received=list(self.per_round_max_received),
+            per_round_received=[list(row) for row in self.per_round_received],
+            dropped_messages=self.dropped_messages,
+            retried_messages=self.retried_messages,
+            lost_messages=self.lost_messages,
+            forced_deliveries=self.forced_deliveries,
+            delayed_messages=self.delayed_messages,
+            fault_extra_rounds=self.fault_extra_rounds,
         )
 
     # ------------------------------------------------------------------

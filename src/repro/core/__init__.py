@@ -4,7 +4,14 @@ from .base import GradientSynchronizer, SyncResult, resolve_k
 from .bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
 from .config import SAGMode, SparDLConfig
 from .partition import BagPlan, plan_bags, transmission_distances
-from .pipeline import PIPELINE_STAGES, StepContext, SyncSession, SyncStage
+from .pipeline import (
+    PIPELINE_STAGES,
+    RetryPolicy,
+    StepContext,
+    SyncSession,
+    SyncStage,
+    fold_lost_messages,
+)
 from .residuals import ResidualManager, ResidualPolicy, ResidualStore
 from .sag import CompressionRatioController, SAGOutput, b_sag, cross_team_groups, r_sag
 from .schedules import (
@@ -26,6 +33,8 @@ __all__ = [
     "layer_buckets",
     "fuse_buckets",
     "PIPELINE_STAGES",
+    "RetryPolicy",
+    "fold_lost_messages",
     "StepContext",
     "SyncSession",
     "SyncStage",

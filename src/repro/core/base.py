@@ -28,8 +28,9 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 import numpy as np
 
 from ..comm.cluster import SimulatedCluster, payload_size
+from ..comm.faults import membership_transition
 from ..comm.stats import CommStats
-from .pipeline import PIPELINE_STAGES, StepContext
+from .pipeline import PIPELINE_STAGES, StepContext, SyncStage, fold_lost_messages
 from .schedules import KSchedule, resolve_k
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,6 +90,9 @@ class GradientSynchronizer(ABC):
         #: the identity compress stage and the full-precision accounting —
         #: the pre-quantization pipeline, bit for bit).
         self.compressor: Optional["QuantizedCompressor"] = None
+        # Iteration up to which membership events have been applied, so
+        # polling twice before the same step never applies an event twice.
+        self._membership_polled = -1
 
     @property
     def num_workers(self) -> int:
@@ -140,6 +144,12 @@ class GradientSynchronizer(ABC):
         try:
             for stage in PIPELINE_STAGES:
                 getattr(self, f"stage_{stage.value}")(context)
+                if stage in (SyncStage.EXCHANGE, SyncStage.COMBINE):
+                    # Graceful degradation under faults: messages lost past
+                    # the retry budget surrender their mass to the senders'
+                    # residual stores before the residual state is resolved,
+                    # so the conservation invariant survives the loss.
+                    self._absorb_lost(context)
                 if observer is not None:
                     observer(stage, context)
         finally:
@@ -147,6 +157,11 @@ class GradientSynchronizer(ABC):
                 self.cluster.install_pricer(previous_pricer)
         if self.compressor is not None:
             context.info.setdefault("quantized_bits", self.compressor.num_bits)
+        if "lost_messages" in context.scratch:
+            # Copied from scratch because combine stages may rebuild
+            # ``context.info`` wholesale after the exchange absorbed losses.
+            context.info["lost_messages"] = context.scratch["lost_messages"]
+            context.info["lost_mass"] = context.scratch["lost_mass"]
         result = SyncResult(
             global_gradients=context.global_gradients,
             stats=self.cluster.reset_stats(),
@@ -156,6 +171,60 @@ class GradientSynchronizer(ABC):
             self.schedule.observe(self.iteration, context.k, result)
         self.iteration += 1
         return result
+
+    def _absorb_lost(self, context: StepContext) -> None:
+        """Fold messages the cluster declared lost into the residual path."""
+        lost = self.cluster.drain_lost()
+        if not lost:
+            return
+        residuals = getattr(self, "residuals", None)
+        if residuals is None:
+            raise RuntimeError(
+                f"{type(self).__name__} lost {len(lost)} lossy message(s) but "
+                "has no residual manager to absorb their mass; lossy "
+                "messages require an error-feedback path")
+        mass = fold_lost_messages(lost, residuals)
+        context.scratch["lost_messages"] = (
+            context.scratch.get("lost_messages", 0) + len(lost))
+        context.scratch["lost_mass"] = (
+            context.scratch.get("lost_mass", 0.0) + mass)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def poll_membership(self) -> bool:
+        """Apply membership events scheduled before the current iteration.
+
+        Consults the cluster's installed fault plan; crash/join events keyed
+        to :attr:`iteration` resolve through
+        :func:`~repro.comm.faults.membership_transition` and are applied via
+        :meth:`apply_membership`.  Call *between* steps, before building the
+        next step's gradients — the worker count may change.  Idempotent per
+        iteration.  Returns True when the membership changed.
+        """
+        plan = self.cluster.fault_plan
+        if plan is None or not getattr(plan, "events", None):
+            return False
+        if self.iteration <= self._membership_polled:
+            return False
+        self._membership_polled = self.iteration
+        changed = False
+        for event in plan.events_at(self.iteration):
+            new_size, mapping = membership_transition(self.num_workers, event)
+            self.apply_membership(new_size, mapping)
+            changed = True
+        return changed
+
+    def apply_membership(self, num_workers: int, mapping: Dict[int, int]) -> None:
+        """Adopt a new cluster membership.
+
+        ``mapping`` sends every old rank to the new rank inheriting its
+        state (see :func:`~repro.comm.faults.membership_transition`).  The
+        base implementation resizes the cluster — sufficient for stateless
+        methods like the dense baseline; methods with per-rank state
+        (residual stores, team partitions) override and remap it first.
+        """
+        self.cluster.resize(num_workers)
 
     # ------------------------------------------------------------------
     # stage protocol (the SyncPipeline surface)

@@ -35,19 +35,25 @@ construction (asserted method-by-method in ``tests/test_pipeline_equivalence.py`
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..comm.packed import PackedBags
 from ..comm.stats import CommStats
+from ..sparse.vector import SparseGradient
 from .schedules import KSchedule, coerce_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm.cluster import Message
     from .base import GradientSynchronizer, SyncResult
+    from .residuals import ResidualManager
 
-__all__ = ["SyncStage", "PIPELINE_STAGES", "StepContext", "SyncSession"]
+__all__ = ["SyncStage", "PIPELINE_STAGES", "StepContext", "SyncSession",
+           "RetryPolicy", "fold_lost_messages"]
 
 
 class SyncStage(str, Enum):
@@ -105,6 +111,76 @@ class StepContext:
 
 #: Signature of a per-stage observer: ``hook(stage, context)``.
 StageHook = Callable[[SyncStage, StepContext], None]
+
+
+# ---------------------------------------------------------------------------
+# exchange-stage robustness policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for faulted message deliveries.
+
+    A message dropped (or timed out) on the wire is re-attempted up to
+    ``max_retries`` times.  Every attempt is billed as an extra recorded
+    round; before the ``a``-th attempt the sender additionally idles
+    ``ceil(backoff^(a-2)) - 1`` empty (latency-only) rounds, so the first
+    retry is immediate and later ones back off geometrically.  Past the
+    budget the step degrades gracefully instead of stalling: ``lossy``
+    messages are declared lost (their gradient mass is folded into the
+    sender's residual path by :func:`fold_lost_messages`, preserving the
+    conservation invariant) and reliable messages are force-delivered in
+    one final billed round.
+    """
+
+    max_retries: int = 2
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not (math.isfinite(self.backoff) and self.backoff >= 1.0):
+            raise ValueError("backoff must be a finite factor >= 1")
+
+    def idle_rounds(self, attempt: int) -> int:
+        """Backoff idle rounds billed before delivery attempt ``attempt``
+        (1-based; the first retry is attempt 2 and waits nothing)."""
+        if attempt <= 2:
+            return 0
+        return max(0, int(math.ceil(self.backoff ** (attempt - 2))) - 1)
+
+
+def _lost_sparse_parts(payload: Any) -> List[SparseGradient]:
+    """The sparse gradients carried by a lost message's payload."""
+    if isinstance(payload, PackedBags):
+        return payload.to_list()
+    if isinstance(payload, SparseGradient):
+        return [payload]
+    if (isinstance(payload, tuple) and len(payload) == 2
+            and isinstance(payload[1], SparseGradient)):
+        return [payload[1]]  # (block_id, sparse) — the per-block wire format
+    raise TypeError(
+        f"cannot fold lost payload of type {type(payload).__name__} into the "
+        "residual path; lossy messages must carry sparse gradient mass")
+
+
+def fold_lost_messages(lost: Sequence["Message"],
+                       residuals: "ResidualManager") -> float:
+    """Fold the gradient mass of lost messages into the senders' residuals.
+
+    Each lost message's sparse payload is collected as a *procedure discard*
+    of its sender — exactly how the residual policy treats any other value
+    dropped during communication — so the conservation invariant
+    ``sum_w residual_w + global == sum_w input`` keeps holding under faults
+    (under GRES exactly; PRES/LRES degrade it no further than they already
+    do for ordinary discards).  Returns the L1 mass folded, for diagnostics.
+    """
+    mass = 0.0
+    for message in lost:
+        for sparse in _lost_sparse_parts(message.payload):
+            residuals.collect_procedure(message.src, sparse)
+            if sparse.nnz:
+                mass += float(np.abs(sparse.values).sum())
+    return mass
 
 
 class SyncSession:
@@ -178,6 +254,16 @@ class SyncSession:
         self._stage_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    def poll_membership(self) -> bool:
+        """Apply membership events the installed fault plan schedules before
+        the next step (delegates to the synchroniser).
+
+        Call *before* building the step's gradients: a crash or join changes
+        :attr:`num_workers`, and :meth:`step` expects one gradient per rank
+        of the membership in force.  Returns True when membership changed.
+        """
+        return self.synchronizer.poll_membership()
+
     def step(self, gradients: Dict[int, np.ndarray]) -> "SyncResult":
         """Run one full pipeline step and update the session state."""
         observer = self._notify if self._stage_hooks else None
@@ -185,7 +271,15 @@ class SyncSession:
         self.iteration += 1
         self.resolved_k = getattr(self.synchronizer, "k", None)
         self.k_history.append(self.resolved_k)
-        self.cumulative_stats.merge(result.stats)
+        # Elastic membership: accumulate across different worker counts by
+        # expanding whichever side is narrower to the widest seen so far.
+        stats = result.stats
+        if stats.num_workers > self.cumulative_stats.num_workers:
+            self.cumulative_stats.expand(stats.num_workers)
+        elif stats.num_workers < self.cumulative_stats.num_workers:
+            stats = stats.copy()
+            stats.expand(self.cumulative_stats.num_workers)
+        self.cumulative_stats.merge(stats)
         self.last_result = result
         return result
 

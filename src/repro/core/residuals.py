@@ -334,6 +334,41 @@ class ResidualManager:
         self.flush()
 
     # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def remap_workers(self, num_workers: int, mapping: Dict[int, int]) -> None:
+        """Adopt a new worker count, handing residual state across ranks.
+
+        ``mapping`` sends every *old* rank to the new rank inheriting its
+        store (see :func:`~repro.comm.faults.membership_transition`: a
+        crashed rank maps onto a survivor, which absorbs its residual so no
+        gradient mass leaves the system; joins map identically and the new
+        rank starts empty).  Buffered discards are flushed first and
+        PRES-pending discards follow their worker, so conservation holds
+        exactly across the transition in both eager and deferred modes.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.flush()
+        new_stores: Dict[int, ResidualStore] = {
+            worker: ResidualStore(self.num_elements) for worker in range(num_workers)
+        }
+        for old, store in self._stores.items():
+            if old not in mapping:
+                raise ValueError(f"mapping does not cover old rank {old}")
+            new = mapping[old]
+            if not 0 <= new < num_workers:
+                raise ValueError(
+                    f"old rank {old} maps to {new}, outside the new "
+                    f"membership of {num_workers} workers")
+            new_stores[new]._data += store._data
+        for pending in self._pending:
+            pending.worker = mapping[pending.worker]
+        self._stores = new_stores
+        self._buffered = {worker: [] for worker in range(num_workers)}
+        self.num_workers = num_workers
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def total_residual(self) -> np.ndarray:

@@ -132,6 +132,43 @@ class SparDLSynchronizer(GradientSynchronizer):
                                     and k / self.num_elements >= self.dense_crossover)
 
     # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def apply_membership(self, num_workers: int, mapping: Dict[int, int]) -> None:
+        """Re-partition for a new worker count between iterations.
+
+        The residual stores are handed off first (crashed ranks' stores are
+        absorbed by their successors, so conservation holds across the
+        transition), then teams, block layout, per-block budget and the
+        B-SAG controller are rebuilt for the new ``P``.  The team count is
+        re-resolved as the largest divisor of the new ``P`` not exceeding
+        the configured ``num_teams`` — Theorem 1 requires teams of equal
+        size, and crashes rarely preserve divisibility.  A quantizing
+        synchroniser rebuilds its compressor (per-worker random streams
+        restart, deterministically, at the transition).
+        """
+        self.residuals.remap_workers(num_workers, mapping)
+        super().apply_membership(num_workers, mapping)
+        num_teams = 1
+        for candidate in range(min(self.config.num_teams, num_workers), 0, -1):
+            if num_workers % candidate == 0:
+                num_teams = candidate
+                break
+        self.num_teams = num_teams
+        self.team_size = num_workers // num_teams
+        self.teams = make_teams(num_workers, num_teams)
+        self.layout = BlockLayout(self.num_elements, self.team_size)
+        if self.compressor is not None:
+            self.compressor = QuantizedCompressor(self.config.num_bits,
+                                                  num_workers)
+        self.set_sparsity(self.k)
+        if self.num_teams > 1 and self.config.effective_sag_mode() is SAGMode.BSAG:
+            self._controller = CompressionRatioController(
+                k=self.k, num_workers=num_workers, num_teams=self.num_teams)
+        else:
+            self._controller = None
+
+    # ------------------------------------------------------------------
     # the staged pipeline
     # ------------------------------------------------------------------
     def stage_compress(self, context: StepContext) -> None:

@@ -177,9 +177,15 @@ def spar_reduce_scatter(
                     # One message per (worker, step): the whole bag travels as
                     # one contiguous buffer pair.  Block ids are header
                     # metadata; comm_size comes from the packed arrays alone.
+                    # SRS bags are ``lossy``: only the block owner's final
+                    # value degrades if one is lost (its mass returns to the
+                    # sender's residual store), and the downstream all-gather
+                    # keeps every worker consistent — so SRS can degrade
+                    # gracefully where the SAG/all-gather steps cannot.
                     messages.append(Message(src=rank, dst=dst,
                                              payload=PackedBags.pack(pieces, ids=bag_blocks),
-                                             tag=f"srs-{step_index}"))
+                                             tag=f"srs-{step_index}",
+                                             lossy=True))
                 else:
                     # Unbatched wiring: one message per block.  Block ids are
                     # still metadata, so each message bills the COO payload
@@ -188,7 +194,8 @@ def spar_reduce_scatter(
                         messages.append(Message(src=rank, dst=dst,
                                                  payload=(block, sparse_block),
                                                  size=sparse_block.comm_size,
-                                                 tag=f"srs-{step_index}"))
+                                                 tag=f"srs-{step_index}",
+                                                 lossy=True))
         inboxes = cluster.exchange(messages)
         max_bag_nnz_per_step.append(step_max_nnz)
 

@@ -22,9 +22,9 @@ analysis:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
-from ..comm.network import NetworkProfile
+from ..comm.network import HeterogeneousNetwork, NetworkProfile
 from ..comm.stats import CommStats
 
 __all__ = ["ComputeProfile", "IterationTiming", "communication_time", "iteration_time"]
@@ -72,28 +72,59 @@ class IterationTiming:
         return self.compute_time + self.communication_time
 
 
-def communication_time(stats: CommStats, network: NetworkProfile,
+def communication_time(stats: CommStats,
+                       network: Union[NetworkProfile, HeterogeneousNetwork],
                        volume_scale: float = 1.0) -> float:
     """Bulk-synchronous communication time of a synchronisation.
 
-    Each round costs ``alpha`` plus ``beta`` times the busiest receiver's
-    volume in that round; ``volume_scale`` rescales volumes to the paper's
+    Under a uniform :class:`~repro.comm.network.NetworkProfile` each round
+    costs ``alpha`` plus ``beta`` times the busiest receiver's volume.
+    Under a :class:`~repro.comm.network.HeterogeneousNetwork` a round is
+    priced as the **maximum over per-worker critical paths** — worker ``w``
+    finishes after ``alpha_w + beta_w * received_w`` and the synchronous
+    round waits for the slowest — using the per-round per-worker volumes
+    the cluster records.  ``volume_scale`` rescales volumes to the paper's
     model size (see module docstring).
     """
     if volume_scale <= 0:
         raise ValueError("volume_scale must be positive")
+    if isinstance(network, HeterogeneousNetwork):
+        time = sum(network.round_time(received, volume_scale)
+                   for received in stats.per_round_received)
+        # Rounds merged from stats predating per-round rows (or recorded
+        # under a different membership) price at the default latency.
+        time += network.default.alpha * max(
+            0, stats.rounds - len(stats.per_round_received))
+        return time
     time = network.alpha * stats.rounds
     time += network.beta * volume_scale * sum(stats.per_round_max_received)
     return time
 
 
-def iteration_time(stats: CommStats, network: NetworkProfile, profile: ComputeProfile,
-                   model_parameters: Optional[int] = None) -> IterationTiming:
-    """Compute + communication time of one iteration."""
+def iteration_time(stats: CommStats,
+                   network: Union[NetworkProfile, HeterogeneousNetwork],
+                   profile: ComputeProfile,
+                   model_parameters: Optional[int] = None,
+                   compute_factors: Optional[Sequence[float]] = None) -> IterationTiming:
+    """Compute + communication time of one iteration.
+
+    ``compute_factors`` are per-worker compute slowdown factors (e.g. from
+    :meth:`~repro.comm.faults.FaultPlan.straggler_factors`): synchronous
+    training waits for the slowest worker's forward/backward pass, so the
+    compute term scales by their maximum.
+    """
     scale = 1.0
     if model_parameters is not None:
         scale = profile.volume_scale(model_parameters)
+    compute = profile.compute_time_per_update
+    if compute_factors is not None:
+        factors = [float(factor) for factor in compute_factors]
+        if not factors:
+            raise ValueError("compute_factors must not be empty")
+        if any(factor < 0 for factor in factors):
+            raise ValueError("compute factors must be non-negative")
+        compute *= max(factors)
     return IterationTiming(
-        compute_time=profile.compute_time_per_update,
+        compute_time=compute,
         communication_time=communication_time(stats, network, scale),
     )

@@ -39,7 +39,7 @@ def test_doc_examples_run(relpath):
 def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
     for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
-                     "BENCH_PR4.json", "BENCH_PR5.json"):
+                     "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -87,3 +87,26 @@ def test_configuration_doc_covers_quantization():
     doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
     for token in ("`num_bits`", "QuantizedCompressor", "BENCH_PR5.json"):
         assert token in doc, f"docs/configuration.md does not mention {token!r}"
+
+
+def test_configuration_doc_covers_every_fault_plan_field():
+    import dataclasses
+
+    from repro.comm.faults import FaultPlan
+
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for field in dataclasses.fields(FaultPlan):
+        assert f"`{field.name}`" in doc, (
+            f"docs/configuration.md does not document FaultPlan.{field.name}")
+    for token in ("install_fault_plan", "fold_lost_messages",
+                  "remap_workers", "BENCH_PR6.json"):
+        assert token in doc, (
+            f"docs/configuration.md does not mention {token!r}")
+
+
+def test_api_doc_covers_fault_layer():
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for token in ("FaultPlan", "RetryPolicy", "MembershipEvent",
+                  "poll_membership", "HeterogeneousNetwork",
+                  "fault_extra_rounds", "BENCH_PR6.json"):
+        assert token in doc, f"docs/api.md does not mention {token!r}"

@@ -1,0 +1,266 @@
+"""Mid-training elastic membership: crashes, joins, and re-partitioning.
+
+On a crash/join event the synchroniser re-runs the bag planning for the new
+worker count between iterations and hands residual state off so that no
+gradient mass leaves the system.  The oracles are the PR 2 non-power-of-two
+invariants: Theorem 1 bag subsets (SRS raises on violation), index-set
+agreement across workers, and exact conservation — here asserted *across*
+the membership transition, to 1e-9, under both eager and deferred residual
+accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense import DenseAllReduceSynchronizer
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.faults import FaultPlan, MembershipEvent
+from repro.comm.stats import CommStats
+from repro.core.config import SparDLConfig
+from repro.core.pipeline import SyncSession
+from repro.core.residuals import ResidualManager
+from repro.core.spardl import SparDLSynchronizer
+
+from tests.helpers import random_gradients
+
+NUM_ELEMENTS = 600
+
+
+def _run_with_events(num_workers, events, *, num_teams=1, deferred=False,
+                     iterations=4, density=0.05):
+    """Drive a session across membership events; return the conservation
+    ledger (injected total, delivered total, synchroniser, membership log)."""
+    cluster = SimulatedCluster(num_workers)
+    cluster.install_fault_plan(FaultPlan(events=events))
+    sync = SparDLSynchronizer(cluster, NUM_ELEMENTS, SparDLConfig(
+        density=density, num_teams=num_teams, deferred_residuals=deferred))
+    session = SyncSession(sync)
+    injected = np.zeros(NUM_ELEMENTS)
+    delivered = np.zeros(NUM_ELEMENTS)
+    memberships = []
+    for iteration in range(iterations):
+        session.poll_membership()
+        current = session.num_workers
+        memberships.append(current)
+        grads = random_gradients(current, NUM_ELEMENTS, seed=31 * iteration)
+        injected += sum(grads.values())
+        result = session.step(grads)
+        assert result.is_consistent
+        delivered += result.gradient(0)
+    return injected, delivered, sync, session, memberships
+
+
+class TestJoinTransition:
+    @pytest.mark.parametrize("deferred", [False, True])
+    def test_three_to_four_join_conserves(self, deferred):
+        events = [MembershipEvent(iteration=2, kind="join")]
+        injected, delivered, sync, session, memberships = _run_with_events(
+            3, events, deferred=deferred)
+        assert memberships == [3, 3, 4, 4]
+        recon = delivered + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, injected, atol=1e-9)
+
+    def test_join_rebuilds_partitioning(self):
+        events = [MembershipEvent(iteration=1, kind="join")]
+        _, _, sync, _, _ = _run_with_events(3, events, iterations=2)
+        assert sync.num_workers == 4
+        assert sync.team_size == 4
+        assert sync.teams == [[0, 1, 2, 3]]
+        assert sync.layout.num_blocks == sync.team_size
+        assert sync.residuals.num_workers == 4
+
+    def test_join_can_restore_team_divisibility(self):
+        # 3 workers cap d=2 down to 1; the join to P=4 restores d=2.
+        events = [MembershipEvent(iteration=1, kind="join")]
+        cluster = SimulatedCluster(3)
+        cluster.install_fault_plan(FaultPlan(events=events))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS,
+                                  SparDLConfig(density=0.05, num_teams=1))
+        # configured num_teams=1 stays 1; now ask for the d-recovery case
+        sync.config = SparDLConfig(density=0.05, num_teams=2)
+        session = SyncSession(sync)
+        session.step(random_gradients(3, NUM_ELEMENTS))
+        assert session.poll_membership()
+        assert sync.num_teams == 2
+        assert sync.teams == [[0, 1], [2, 3]]
+        result = session.step(random_gradients(4, NUM_ELEMENTS, seed=5))
+        assert result.is_consistent
+
+
+class TestCrashTransition:
+    @pytest.mark.parametrize("deferred", [False, True])
+    def test_eight_to_seven_crash_conserves(self, deferred):
+        # P=8 with d=2; rank 3 crashes before iteration 2. 7 is prime, so
+        # the team count must degrade to d=1 with a 7-worker team.
+        events = [MembershipEvent(iteration=2, kind="crash", worker=3)]
+        injected, delivered, sync, session, memberships = _run_with_events(
+            8, events, num_teams=2, deferred=deferred)
+        assert memberships == [8, 8, 7, 7]
+        assert sync.num_teams == 1
+        assert sync.team_size == 7
+        recon = delivered + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, injected, atol=1e-9)
+
+    def test_crashed_residual_hands_off_to_successor(self):
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(
+            events=[MembershipEvent(iteration=1, kind="crash", worker=1)]))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS,
+                                  SparDLConfig(density=0.05))
+        session = SyncSession(sync)
+        session.step(random_gradients(4, NUM_ELEMENTS))
+        before = {w: sync.residuals.store(w).peek() for w in range(4)}
+        assert session.poll_membership()
+        # survivors 0,2,3 -> 0,1,2; crashed rank 1's store joins old rank 2
+        np.testing.assert_array_equal(sync.residuals.store(0).peek(), before[0])
+        np.testing.assert_allclose(sync.residuals.store(1).peek(),
+                                   before[1] + before[2], atol=1e-12)
+        np.testing.assert_array_equal(sync.residuals.store(2).peek(), before[3])
+
+    def test_highest_rank_crash_default(self):
+        events = [MembershipEvent(iteration=1, kind="crash")]
+        injected, delivered, sync, _, memberships = _run_with_events(
+            5, events, iterations=3)
+        assert memberships == [5, 4, 4]
+        recon = delivered + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, injected, atol=1e-9)
+
+
+class TestChurn:
+    @pytest.mark.parametrize("deferred", [False, True])
+    def test_crash_then_join_sequence(self, deferred):
+        events = [MembershipEvent(iteration=1, kind="crash", worker=0),
+                  MembershipEvent(iteration=3, kind="join"),
+                  MembershipEvent(iteration=4, kind="join")]
+        injected, delivered, sync, session, memberships = _run_with_events(
+            6, events, num_teams=2, deferred=deferred, iterations=6)
+        assert memberships == [6, 5, 5, 6, 7, 7]
+        recon = delivered + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, injected, atol=1e-9)
+
+    def test_churn_with_message_faults(self):
+        # Drops, losses and a membership change in the same run.
+        events = [MembershipEvent(iteration=2, kind="crash", worker=2)]
+        cluster = SimulatedCluster(6)
+        cluster.install_fault_plan(FaultPlan(seed=17, drop_rate=0.4,
+                                             events=events))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS,
+                                  SparDLConfig(density=0.05, num_teams=2))
+        session = SyncSession(sync)
+        injected = np.zeros(NUM_ELEMENTS)
+        delivered = np.zeros(NUM_ELEMENTS)
+        for iteration in range(4):
+            session.poll_membership()
+            grads = random_gradients(session.num_workers, NUM_ELEMENTS,
+                                     seed=13 * iteration)
+            injected += sum(grads.values())
+            delivered += session.step(grads).gradient(0)
+        recon = delivered + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, injected, atol=1e-9)
+
+
+class TestSessionAccounting:
+    def test_cumulative_stats_expand_to_widest_membership(self):
+        events = [MembershipEvent(iteration=1, kind="join")]
+        _, _, _, session, _ = _run_with_events(3, events, iterations=3)
+        assert session.cumulative_stats.num_workers == 4
+        assert session.cumulative_stats.rounds > 0
+
+    def test_cumulative_stats_keep_width_after_crash(self):
+        events = [MembershipEvent(iteration=1, kind="crash")]
+        _, _, _, session, _ = _run_with_events(5, events, iterations=3)
+        # the widest membership seen (5) stays the accounting width
+        assert session.cumulative_stats.num_workers == 5
+
+    def test_poll_is_idempotent_per_iteration(self):
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(
+            events=[MembershipEvent(iteration=1, kind="join")]))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS,
+                                  SparDLConfig(density=0.05))
+        session = SyncSession(sync)
+        session.step(random_gradients(4, NUM_ELEMENTS))
+        assert session.poll_membership()
+        assert not session.poll_membership()  # second poll applies nothing
+        assert session.num_workers == 5
+
+    def test_no_plan_poll_is_a_no_op(self):
+        sync = SparDLSynchronizer(SimulatedCluster(4), NUM_ELEMENTS,
+                                  SparDLConfig(density=0.05))
+        assert not sync.poll_membership()
+        assert sync.num_workers == 4
+
+
+class TestDenseElastic:
+    def test_dense_survives_crash_and_join(self):
+        events = [MembershipEvent(iteration=1, kind="crash", worker=0),
+                  MembershipEvent(iteration=2, kind="join")]
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(events=events))
+        sync = DenseAllReduceSynchronizer(cluster, NUM_ELEMENTS)
+        session = SyncSession(sync)
+        for iteration, expected_P in enumerate([4, 3, 4]):
+            session.poll_membership()
+            assert session.num_workers == expected_P
+            grads = random_gradients(expected_P, NUM_ELEMENTS, seed=iteration)
+            result = session.step(grads)
+            np.testing.assert_allclose(result.gradient(0), sum(grads.values()))
+
+    def test_quantized_dense_hands_off_error_feedback(self):
+        events = [MembershipEvent(iteration=1, kind="crash", worker=1)]
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(events=events))
+        sync = DenseAllReduceSynchronizer(cluster, NUM_ELEMENTS, num_bits=8)
+        session = SyncSession(sync)
+        g0 = random_gradients(4, NUM_ELEMENTS)
+        r0 = session.step(g0)
+        carried = sync.residuals.total_residual()
+        session.poll_membership()
+        np.testing.assert_allclose(sync.residuals.total_residual(), carried,
+                                   atol=1e-12)
+        g1 = random_gradients(3, NUM_ELEMENTS, seed=9)
+        r1 = session.step(g1)
+        recon = r0.gradient(0) + r1.gradient(0) + sync.residuals.total_residual()
+        np.testing.assert_allclose(recon, sum(g0.values()) + sum(g1.values()),
+                                   atol=1e-9)
+
+
+class TestRemapWorkersUnit:
+    def test_mapping_must_cover_old_ranks(self):
+        manager = ResidualManager(3, 10)
+        with pytest.raises(ValueError):
+            manager.remap_workers(2, {0: 0, 1: 1})  # rank 2 unmapped
+        with pytest.raises(ValueError):
+            manager.remap_workers(2, {0: 0, 1: 1, 2: 5})  # out of range
+        with pytest.raises(ValueError):
+            manager.remap_workers(0, {})
+
+    def test_deferred_buffers_flush_before_handoff(self):
+        from repro.sparse.vector import SparseGradient
+        manager = ResidualManager(2, 10, deferred=True)
+        sparse = SparseGradient.from_dense(np.arange(10.0))
+        manager.collect_procedure(1, sparse)
+        manager.remap_workers(1, {0: 0, 1: 0})
+        np.testing.assert_allclose(manager.store(0).peek(), np.arange(10.0))
+        assert manager.num_workers == 1
+
+
+class TestCommStatsExpand:
+    def test_expand_grows_and_merges(self):
+        stats = CommStats(num_workers=2)
+        stats.record_round([(0, 1, 5.0)])
+        stats.expand(4)
+        assert stats.num_workers == 4
+        assert stats.sent_per_worker == [5.0, 0.0, 0.0, 0.0]
+        wide = CommStats(num_workers=4)
+        wide.record_round([(0, 3, 2.0)])
+        stats.merge(wide)
+        assert stats.received_per_worker == [0.0, 5.0, 0.0, 2.0]
+        assert stats.rounds == 2
+
+    def test_expand_refuses_to_shrink(self):
+        stats = CommStats(num_workers=4)
+        with pytest.raises(ValueError):
+            stats.expand(3)

@@ -4,9 +4,10 @@ Sparse Communication (ICDE 2024).
 The package is organised as a set of substrates topped by the paper's
 contribution:
 
-* :mod:`repro.comm` — simulated step-synchronous cluster, the alpha-beta cost
-  model and the dense collective algorithms (Bruck / recursive doubling /
-  ring / Rabenseifner).
+* :mod:`repro.comm` — the :class:`~repro.comm.transport.Transport` protocol
+  with its two execution backends (the deterministic in-process simulator
+  and the real-OS-process backend), the alpha-beta cost model and the dense
+  collective algorithms (Bruck / recursive doubling / ring / Rabenseifner).
 * :mod:`repro.sparse` — COO sparse gradients, top-k selection and block
   layouts.
 * :mod:`repro.core` — SparDL itself: Spar-Reduce-Scatter, Spar-All-Gather
@@ -43,8 +44,14 @@ from .comm import (
     FaultPlan,
     HeterogeneousNetwork,
     MembershipEvent,
+    MultiprocessCluster,
     NetworkProfile,
     SimulatedCluster,
+    Transport,
+    TransportCapabilities,
+    UnsupportedTransportFeature,
+    make_transport,
+    transport_spec,
 )
 from .core import (
     AdaptiveSchedule,
@@ -65,11 +72,17 @@ from .core import (
 )
 from .sparse import BlockLayout, SparseGradient
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
+    "Transport",
+    "TransportCapabilities",
+    "UnsupportedTransportFeature",
     "SimulatedCluster",
+    "MultiprocessCluster",
+    "make_transport",
+    "transport_spec",
     "CommStats",
     "FaultPlan",
     "MembershipEvent",

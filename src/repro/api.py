@@ -35,6 +35,13 @@ alias (case-insensitive, as in the paper's figures) and the keys are:
             accounting plus one scale element, and dense payloads bill
             ``bits/32`` per value (absent = full precision, the
             pre-quantization pipeline bit for bit)
+``backend`` execution backend: ``sim:P`` (deterministic in-process
+            simulator) or ``mp:P`` (``P`` real worker processes, see
+            :class:`~repro.comm.mp_backend.MultiprocessCluster`); with a
+            backend given, :func:`make` builds the transport itself and
+            ``cluster`` may be omitted.  ``sim`` / ``mp`` without ``:P``
+            are accepted when an explicit ``cluster`` supplies the worker
+            count.  Absent = use the ``cluster`` argument as-is.
 ========== ===================================================================
 
 :func:`make` builds a ready synchroniser (a
@@ -56,7 +63,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from .comm.cluster import SimulatedCluster
+from .comm.transport import Transport, make_transport, parse_backend_spec, transport_spec
 from .core.base import GradientSynchronizer
 from .core.bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
 from .core.config import SAGMode, SparDLConfig
@@ -107,7 +114,7 @@ _SPEC_NAMES: Dict[str, str] = {
 
 #: Recognised spec keys, in canonical serialisation order.
 _SPEC_KEYS = ("k", "density", "teams", "sag", "residuals", "schedule",
-              "buckets", "wire", "deferred", "bits")
+              "buckets", "wire", "deferred", "bits", "backend")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -129,6 +136,7 @@ class SyncSpec:
     wire: str = "packed"
     deferred: bool = False
     bits: Optional[int] = None
+    backend: Optional[str] = None
     #: Extra builder options that are not part of the spec grammar
     #: (e.g. ``sparsify_all_blocks`` for the ablation benchmark).
     extras: Dict[str, Any] = field(default_factory=dict)
@@ -147,6 +155,9 @@ class SyncSpec:
             if int(self.bits) != self.bits or not 1 <= int(self.bits) <= 32:
                 raise ValueError("bits must be an integer between 1 and 32")
             self.bits = int(self.bits)
+        if self.backend is not None:
+            kind, workers = parse_backend_spec(self.backend)
+            self.backend = kind if workers is None else f"{kind}:{workers}"
         # A sparse method without k/density is allowed at parse time (the
         # keyword arguments of make()/make_synchronizer may still supply
         # the target); the builders fail loudly when it is truly missing.
@@ -175,6 +186,8 @@ class SyncSpec:
             params.append("deferred=true")
         if self.bits is not None:
             params.append(f"bits={self.bits}")
+        if self.backend is not None:
+            params.append(f"backend={self.backend}")
         name = _SPEC_NAMES[self.method]
         return f"{name}?{'&'.join(params)}" if params else name
 
@@ -243,7 +256,7 @@ def _validate_schedule_spec(spec: SyncSpec) -> None:
     parse_schedule(spec.schedule, k=spec.k, density=spec.density)
 
 
-def _build_flat(spec: SyncSpec, cluster: SimulatedCluster,
+def _build_flat(spec: SyncSpec, cluster: Transport,
                 num_elements: int) -> GradientSynchronizer:
     """Build one flat-vector synchroniser for ``num_elements`` gradients."""
     from .baselines.dense import DenseAllReduceSynchronizer
@@ -299,7 +312,38 @@ def _bucket_layout(spec: SyncSpec, model) -> List[tuple]:
         f"unknown buckets mode {spec.buckets!r}; expected flat, layer or size:N")
 
 
-def make(spec: "str | SyncSpec", cluster: SimulatedCluster, *,
+def _resolve_backend(parsed: SyncSpec,
+                     cluster: Optional[Transport]) -> Transport:
+    """The transport a spec runs on.
+
+    With no ``backend=`` key the passed ``cluster`` is used as-is (and
+    required).  With one, the key must agree with any passed cluster —
+    kind and, when given, worker count — or, when no cluster is passed,
+    carry an explicit worker count so the transport can be built here.
+    """
+    if parsed.backend is None:
+        if cluster is None:
+            raise ValueError(
+                "give cluster=... or a backend=KIND:P spec key so make() "
+                "can build the transport itself")
+        return cluster
+    kind, workers = parse_backend_spec(parsed.backend)
+    if cluster is None:
+        if workers is None:
+            raise ValueError(
+                f"backend={parsed.backend} without a cluster needs an explicit "
+                f"worker count: use backend={kind}:P or pass cluster=...")
+        return make_transport(parsed.backend)
+    actual_kind, actual_workers = parse_backend_spec(transport_spec(cluster))
+    if kind != actual_kind or (workers is not None and workers != actual_workers):
+        raise ValueError(
+            f"spec requests backend={parsed.backend} but the passed cluster is "
+            f"{transport_spec(cluster)}; drop the backend key or pass a "
+            "matching transport")
+    return cluster
+
+
+def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
          num_elements: Optional[int] = None, model=None,
          **overrides) -> GradientSynchronizer:
     """Build a synchroniser from a spec string.
@@ -309,6 +353,11 @@ def make(spec: "str | SyncSpec", cluster: SimulatedCluster, *,
     derives it — and is required for ``buckets=layer`` / ``buckets=size:N``.
     Keyword ``overrides`` replace individual spec keys (same names as the
     grammar).
+
+    ``cluster`` may be any :class:`~repro.comm.transport.Transport`; with a
+    ``backend=KIND:P`` spec key it may be omitted and the transport is
+    built here (the synchroniser's ``.cluster`` owns it — ``close()`` it,
+    or use it as a context manager, when the backend runs real processes).
     """
     parsed = parse_spec(spec)
     if overrides:
@@ -321,6 +370,7 @@ def make(spec: "str | SyncSpec", cluster: SimulatedCluster, *,
                 values["extras"][key] = value
         parsed = SyncSpec(method=parsed.method, **values)
     _validate_schedule_spec(parsed)
+    cluster = _resolve_backend(parsed, cluster)
 
     if parsed.is_bucketed:
         layout = _bucket_layout(parsed, model)
@@ -347,12 +397,17 @@ def make(spec: "str | SyncSpec", cluster: SimulatedCluster, *,
                 raise ValueError("give num_elements=... or model=...")
             num_elements = int(model.num_parameters())
         synchronizer = _build_flat(parsed, cluster, num_elements)
+    if parsed.backend is not None or getattr(cluster, "spec_name", "sim") != "sim":
+        # Record the *effective* backend (always with its worker count) so
+        # describe() round-trips e.g. "spardl?density=0.01&backend=mp:4".
+        parsed = dataclasses.replace(parsed, backend=transport_spec(cluster),
+                                     extras=dict(parsed.extras))
     synchronizer._spec = parsed.canonical()
     return synchronizer
 
 
 def make_factory(spec: "str | SyncSpec",
-                 **overrides) -> Callable[[SimulatedCluster, Any], GradientSynchronizer]:
+                 **overrides) -> Callable[[Transport, Any], GradientSynchronizer]:
     """A deferred :func:`make`: ``factory(cluster, model)`` builds the
     synchroniser once the model (and hence the gradient layout) is known.
 
@@ -362,7 +417,7 @@ def make_factory(spec: "str | SyncSpec",
     """
     parsed = parse_spec(spec)  # fail fast on malformed specs
 
-    def factory(cluster: SimulatedCluster, model) -> GradientSynchronizer:
+    def factory(cluster: Transport, model) -> GradientSynchronizer:
         return make(parsed, cluster, model=model, **overrides)
 
     factory.spec = parsed.canonical()
@@ -402,7 +457,7 @@ def available_methods(num_workers: int, include_dense: bool = False) -> List[str
 
 def make_synchronizer(
     name: str,
-    cluster: SimulatedCluster,
+    cluster: Transport,
     num_elements: int,
     *,
     k: Optional[int] = None,

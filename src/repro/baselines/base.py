@@ -16,7 +16,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
+from ..comm.transport import Transport
 from ..compression.quantization import QuantizedCompressor
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import StepContext
@@ -69,7 +69,7 @@ class SparseBaseline(GradientSynchronizer):
         into the method's residual store.
     """
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+    def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
                  residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL,

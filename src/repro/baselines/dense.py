@@ -26,7 +26,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
+from ..comm.transport import Transport
 from ..comm.collectives import allreduce_dense
 from ..compression.quantization import QuantizedCompressor
 from ..core.base import GradientSynchronizer
@@ -41,7 +41,7 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
 
     name = "Dense"
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+    def __init__(self, cluster: Transport, num_elements: int, *,
                  num_bits: Optional[int] = None) -> None:
         super().__init__(cluster, num_elements)
         self.residuals: Optional[ResidualManager] = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..comm.cluster import Message, SimulatedCluster
+from ..comm.transport import Message, Transport
 from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
 from ..core.schedules import KSchedule
@@ -32,7 +32,7 @@ class GTopkSynchronizer(SparseBaseline):
 
     name = "gTopk"
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+    def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
                  num_bits: Optional[int] = None) -> None:

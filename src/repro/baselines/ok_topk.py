@@ -33,7 +33,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..comm.cluster import Message, SimulatedCluster
+from ..comm.transport import Message, Transport
 from ..core.pipeline import StepContext
 from ..core.residuals import ResidualPolicy
 from ..core.schedules import KSchedule
@@ -52,7 +52,7 @@ class OkTopkSynchronizer(SparseBaseline):
     #: Iterations between two region re-balancing passes (as in Ok-Topk).
     REBALANCE_PERIOD = 64
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int, *,
+    def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
                  rebalance_period: Optional[int] = None,

@@ -1,6 +1,21 @@
-"""Communication substrate: simulated cluster, cost model and collectives."""
+"""Communication substrate: transports, cost model and collectives.
+
+The :class:`~repro.comm.transport.Transport` protocol names the execution
+boundary; two backends implement it — the deterministic in-process
+:class:`~repro.comm.cluster.SimulatedCluster` reference and the
+process-backed :class:`~repro.comm.mp_backend.MultiprocessCluster`.
+"""
 
 from .cluster import Message, SimulatedCluster, freeze_payload, payload_size
+from .mp_backend import MultiprocessCluster
+from .transport import (
+    Transport,
+    TransportCapabilities,
+    UnsupportedTransportFeature,
+    make_transport,
+    parse_backend_spec,
+    transport_spec,
+)
 from .collectives import (
     allgather_bruck,
     allgather_bruck_grouped,
@@ -18,7 +33,14 @@ from .stats import CommStats
 
 __all__ = [
     "Message",
+    "Transport",
+    "TransportCapabilities",
+    "UnsupportedTransportFeature",
     "SimulatedCluster",
+    "MultiprocessCluster",
+    "make_transport",
+    "parse_backend_spec",
+    "transport_spec",
     "payload_size",
     "freeze_payload",
     "PackedBags",

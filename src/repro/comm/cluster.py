@@ -8,6 +8,14 @@ itself — it executes the real communication algorithms on real gradient data
 — but it records exactly the quantities the alpha-beta model needs (rounds
 and per-worker received volume) in :class:`repro.comm.stats.CommStats`.
 
+:class:`SimulatedCluster` is the deterministic, bit-exact reference
+implementation of the :class:`~repro.comm.transport.Transport` protocol,
+and the only backend with the ``fault_injection`` capability: message
+fates, stragglers and membership events are pure functions of a seed, so a
+faulted run replays exactly.  The process-backed
+:class:`~repro.comm.mp_backend.MultiprocessCluster` is gated against this
+class bit for bit on the reliable path.
+
 Design notes
 ------------
 * A call to :meth:`SimulatedCluster.exchange` is one synchronous round: all
@@ -22,133 +30,38 @@ Design notes
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from .stats import CommStats
+from .transport import (
+    Message,
+    Transport,
+    TransportCapabilities,
+    freeze_payload,
+    payload_size,
+)
 
 __all__ = ["Message", "SimulatedCluster", "payload_size", "freeze_payload"]
 
 
-def payload_size(payload: Any) -> float:
-    """Number of transmitted elements for ``payload``.
-
-    * ``None`` has size 0 (control message).
-    * NumPy arrays: one element per entry.
-    * Objects with a ``comm_size`` attribute (e.g. sparse gradients in COO
-      form) report their own size.
-    * Lists / tuples: sum of their items.
-    * Scalars: 1.
-    """
-    if payload is None:
-        return 0.0
-    if isinstance(payload, np.ndarray):
-        return float(payload.size)
-    comm_size = getattr(payload, "comm_size", None)
-    if comm_size is not None:
-        return float(comm_size)
-    if isinstance(payload, (list, tuple)):
-        return float(sum(payload_size(item) for item in payload))
-    if isinstance(payload, (int, float, np.integer, np.floating)):
-        return 1.0
-    raise TypeError(f"cannot determine communication size of {type(payload)!r}")
-
-
-def freeze_payload(payload: Any) -> Any:
-    """Return ``payload`` with every NumPy array replaced by a read-only view.
-
-    Senders routinely pass live views of their own state (a slice of a
-    working buffer, a chunk of a ring segment); a receiver writing into such
-    a view in place would silently corrupt the sender.  A real network never
-    shares memory between peers, so the exchange boundary delivers arrays
-    read-only: an accidental in-place write raises immediately instead of
-    corrupting remote state.  Lists and tuples are frozen recursively; other
-    payload objects (sparse gradients, packed buffers) are immutable by
-    contract and pass through unchanged.
-    """
-    if isinstance(payload, np.ndarray):
-        view = payload.view()
-        view.flags.writeable = False
-        return view
-    if isinstance(payload, tuple):
-        return tuple(freeze_payload(item) for item in payload)
-    if isinstance(payload, list):
-        return [freeze_payload(item) for item in payload]
-    return payload
-
-
-@dataclass
-class Message:
-    """A point-to-point message between two workers.
-
-    ``size`` may be given explicitly (for example to exclude routing
-    metadata from the accounting); otherwise it is derived from the payload
-    via :func:`payload_size`.  ``size_final=True`` declares the explicit
-    size authoritative: an installed wire pricer (see
-    :meth:`SimulatedCluster.install_pricer`) must not re-derive it — the
-    sender already accounted for compression or control-channel semantics
-    that the payload structure alone cannot express.
-
-    ``lossy=True`` declares that the *sender* can account for this message
-    never arriving: past the retry budget of an installed
-    :class:`~repro.comm.faults.FaultPlan` the message is declared lost and
-    handed back via :meth:`SimulatedCluster.drain_lost` so its mass can be
-    folded into the sender's residual path.  Non-lossy messages model a
-    reliable transport: they are force-delivered (honestly billed) after
-    the budget, because the algorithms sending them cannot degrade
-    gracefully without diverging across workers.
-    """
-
-    src: int
-    dst: int
-    payload: Any = None
-    size: Optional[float] = None
-    tag: str = ""
-    size_final: bool = False
-    lossy: bool = False
-
-    def __post_init__(self) -> None:
-        if self.size is None:
-            self.size = payload_size(self.payload)
-        if self.size < 0:
-            raise ValueError("message size must be non-negative")
-
-
-class SimulatedCluster:
+class SimulatedCluster(Transport):
     """``P`` workers connected by a fully-switched, step-synchronous network."""
 
+    spec_name = "sim"
+    capabilities = TransportCapabilities(
+        fault_injection=True,
+        wire_pricing=True,
+        worker_compute=True,
+        parallel_workers=False,
+        real_processes=False,
+    )
+
     def __init__(self, num_workers: int) -> None:
-        if num_workers <= 0:
-            raise ValueError("a cluster needs at least one worker")
-        self._num_workers = int(num_workers)
-        self._stats = CommStats(num_workers=self._num_workers)
-        self._pricer: Optional[Any] = None
+        super().__init__(num_workers)
         self._fault_plan: Optional[Any] = None
         #: Monotonic round counter over the cluster's lifetime (never reset
         #: with the statistics) — the deterministic key of fault sampling.
         self._round_counter = 0
         self._lost: List[Message] = []
-
-    # ------------------------------------------------------------------
-    # wire pricing
-    # ------------------------------------------------------------------
-    def install_pricer(self, pricer: Optional[Any]) -> Optional[Any]:
-        """Install a wire pricer for subsequent :meth:`exchange` rounds.
-
-        ``pricer(message) -> float`` re-derives the billed size of every
-        message whose size came from its payload (messages constructed with
-        ``size_final=True`` keep their sender-computed size).  Synchronisers
-        with a compression stage install their compressor's pricer for the
-        duration of one step; returns the previously installed pricer so
-        nested drivers (e.g. bucketed sessions on a shared cluster) can
-        restore it.
-        """
-        previous = self._pricer
-        self._pricer = pricer
-        return previous
 
     # ------------------------------------------------------------------
     # fault injection and elastic membership
@@ -188,35 +101,11 @@ class SimulatedCluster:
         Must be called between steps: undrained lost messages indicate the
         previous step's loss accounting was skipped.
         """
-        if num_workers <= 0:
-            raise ValueError("a cluster needs at least one worker")
         if self._lost:
             raise RuntimeError(
                 "cannot resize the cluster with undrained lost messages; "
                 "fold their mass into the residual path first (drain_lost)")
-        self._num_workers = int(num_workers)
-        self._stats = CommStats(num_workers=self._num_workers)
-
-    # ------------------------------------------------------------------
-    # basic properties
-    # ------------------------------------------------------------------
-    @property
-    def num_workers(self) -> int:
-        return self._num_workers
-
-    @property
-    def ranks(self) -> range:
-        return range(self._num_workers)
-
-    @property
-    def stats(self) -> CommStats:
-        return self._stats
-
-    def reset_stats(self) -> CommStats:
-        """Reset accounting and return the statistics accumulated so far."""
-        old = self._stats
-        self._stats = CommStats(num_workers=self._num_workers)
-        return old
+        super().resize(num_workers)
 
     # ------------------------------------------------------------------
     # message passing
@@ -230,9 +119,9 @@ class SimulatedCluster:
         free and must not be modelled as communication).
 
         NumPy array payloads are delivered as read-only views (see
-        :func:`freeze_payload`): peers never share writable memory, so a
-        receiver mutating a received array raises instead of silently
-        corrupting the sender's state.
+        :func:`~repro.comm.transport.freeze_payload`): peers never share
+        writable memory, so a receiver mutating a received array raises
+        instead of silently corrupting the sender's state.
 
         With a message-faulting :class:`~repro.comm.faults.FaultPlan`
         installed, delivery attempts can drop or arrive late; undelivered
@@ -255,23 +144,6 @@ class SimulatedCluster:
         self._stats.record_round(transfers)
         self._round_counter += 1
         return inboxes
-
-    def _admit(self, message: Message) -> None:
-        """Validate, price and freeze one outgoing message (both exchange
-        paths share this, so a faulted exchange admits bit-identical
-        messages)."""
-        self._check_rank(message.src)
-        self._check_rank(message.dst)
-        if message.src == message.dst:
-            raise ValueError("workers must not send messages to themselves")
-        if self._pricer is not None and not message.size_final:
-            priced = float(self._pricer(message))
-            if not math.isfinite(priced) or priced < 0.0:
-                raise ValueError(
-                    f"pricer returned invalid message size {priced!r} for "
-                    f"{message.src}->{message.dst} (tag {message.tag!r})")
-            message.size = priced
-        message.payload = freeze_payload(message.payload)
 
     def _exchange_with_faults(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
         """One logical round under the installed fault plan.
@@ -357,30 +229,6 @@ class SimulatedCluster:
             if index in delivered:
                 inboxes.setdefault(message.dst, []).append(message)
         return inboxes
-
-    def sendrecv(self, sends: Dict[int, tuple[int, Any]]) -> Dict[int, Dict[int, Any]]:
-        """Convenience wrapper for one round of pairwise sends.
-
-        ``sends`` maps source rank to ``(dst, payload)``; the return value
-        maps each destination rank to its inbox, keyed by source rank:
-        ``{dst: {src: payload}}``.  Keying by source keeps a single received
-        payload distinguishable from a payload that *is* a list — returning
-        the bare payload for one sender and a list for several (the previous
-        behaviour) made the two cases ambiguous.
-        """
-        messages = [Message(src=s, dst=d, payload=p) for s, (d, p) in sends.items()]
-        inboxes = self.exchange(messages)
-        return {
-            dst: {message.src: message.payload for message in inbox}
-            for dst, inbox in inboxes.items()
-        }
-
-    # ------------------------------------------------------------------
-    def _check_rank(self, rank: int) -> None:
-        if not 0 <= rank < self._num_workers:
-            raise ValueError(
-                f"worker rank {rank} out of range [0, {self._num_workers})"
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedCluster(num_workers={self._num_workers})"

@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..sparse.vector import SparseGradient
-from .cluster import Message, SimulatedCluster, payload_size
+from .transport import Message, Transport, payload_size
 from .packed import PackedBags
 
 __all__ = [
@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-def _validate_group(group: Sequence[int], cluster: SimulatedCluster) -> None:
+def _validate_group(group: Sequence[int], cluster: Transport) -> None:
     if len(set(group)) != len(group):
         raise ValueError("group contains duplicate ranks")
     for rank in group:
@@ -57,7 +57,7 @@ def _validate_group(group: Sequence[int], cluster: SimulatedCluster) -> None:
 # Bruck All-Gather
 # ---------------------------------------------------------------------------
 def allgather_bruck_grouped(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     groups: Sequence[Sequence[int]],
     items: Dict[int, Any],
 ) -> Dict[int, List[Any]]:
@@ -131,7 +131,7 @@ def allgather_bruck_grouped(
 
 
 def allgather_bruck(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     items: Dict[int, Any],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, List[Any]]:
@@ -145,7 +145,7 @@ def allgather_bruck(
 # Recursive doubling All-Gather
 # ---------------------------------------------------------------------------
 def allgather_recursive_doubling_grouped(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     groups: Sequence[Sequence[int]],
     items: Dict[int, Any],
 ) -> Dict[int, List[Any]]:
@@ -198,7 +198,7 @@ def allgather_recursive_doubling_grouped(
 
 
 def allgather_recursive_doubling(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     items: Dict[int, Any],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, List[Any]]:
@@ -211,7 +211,7 @@ def allgather_recursive_doubling(
 # Reduce-Scatter (direct sends)
 # ---------------------------------------------------------------------------
 def reduce_scatter_direct(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     vectors: Dict[int, np.ndarray],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, np.ndarray]:
@@ -250,7 +250,7 @@ def reduce_scatter_direct(
 # Dense All-Reduce
 # ---------------------------------------------------------------------------
 def allreduce_ring(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     vectors: Dict[int, np.ndarray],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, np.ndarray]:
@@ -303,7 +303,7 @@ def allreduce_ring(
 
 
 def allreduce_rabenseifner(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     vectors: Dict[int, np.ndarray],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, np.ndarray]:
@@ -376,7 +376,7 @@ def allreduce_rabenseifner(
 
 
 def allreduce_dense(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     vectors: Dict[int, np.ndarray],
     group: Optional[Sequence[int]] = None,
 ) -> Dict[int, np.ndarray]:

@@ -1,0 +1,416 @@
+"""Multiprocess execution backend: workers as real OS processes.
+
+:class:`MultiprocessCluster` implements the
+:class:`~repro.comm.transport.Transport` protocol with ``P`` persistent
+worker processes connected by a full mesh of OS pipes.  An
+:meth:`~MultiprocessCluster.exchange` round physically moves every payload
+out of the calling process: the driver ships each message to its *source*
+worker, the source worker sends it to the *destination* worker over their
+peer pipe (the actual inter-process hop, serialised by pickle exactly as a
+socket transport would frame it), and the destination worker hands its
+inbox back to the driver.  Payloads therefore round-trip through real IPC
+— :class:`~repro.comm.packed.PackedBags`, sparse gradients and nested
+array payloads included — and arrive as read-only arrays, the same
+discipline :func:`~repro.comm.transport.freeze_payload` enforces on the
+simulated backend.
+
+Identical accounting by construction
+------------------------------------
+Message admission (rank validation, wire pricing, size derivation) and
+:class:`~repro.comm.stats.CommStats` recording run in the driver through
+the shared :class:`~repro.comm.transport.Transport` base-class code path
+*before* any physical transit, so a round is billed bit-identically to
+:class:`~repro.comm.cluster.SimulatedCluster` no matter which backend
+carries it.  Inboxes are reassembled in submission order (each message
+carries its sequence number across the wire), so downstream merge order —
+and therefore every floating-point result — matches the simulated
+reference exactly.  The cross-backend equivalence gate in
+``tests/test_backends.py`` asserts this end to end for SparDL and all five
+baselines.
+
+What this backend does *not* model
+----------------------------------
+Fault injection (message drops/delays, stragglers, membership events) and
+heterogeneous network timing are simulation-only: they require the
+deterministic, seed-keyed delivery loop of the reference backend.
+Installing a fault plan here raises
+:class:`~repro.comm.transport.UnsupportedTransportFeature`.  Wire pricers
+*are* supported (pricing happens at admission, before transit).
+
+Deadlock containment
+--------------------
+Every driver-side wait carries a hard timeout (default 120 s).  A worker
+that stops replying — a deadlocked exchange, a crashed process — fails the
+step with a :class:`RuntimeError` naming the worker instead of hanging the
+caller, and the whole cluster is torn down so CI jobs fail fast.
+
+Kernel-path propagation
+-----------------------
+Workers must exercise the same sparse-kernel path as the parent: the
+bootstrap forwards ``REPRO_DISABLE_CKERNELS`` into every worker's
+environment *before* it touches :mod:`repro.sparse`, each worker reports
+whether the compiled C kernels actually loaded, and a mismatch with the
+parent (e.g. a worker that cannot compile what the parent could) aborts
+construction loudly rather than letting half the cluster fall back to the
+NumPy kernels unnoticed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import traceback
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .transport import (
+    Message,
+    Transport,
+    TransportCapabilities,
+    freeze_payload,
+    make_worker_context,
+)
+
+__all__ = ["MultiprocessCluster"]
+
+#: Environment variable controlling the compiled-kernel path; forwarded
+#: verbatim into every worker process.
+_CKERNELS_ENV = "REPRO_DISABLE_CKERNELS"
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+def _worker_main(rank: int, seed: int, command: Connection,
+                 peers: Dict[int, Connection], bootstrap: Dict[str, Any]) -> None:
+    """Entry point of one worker process.
+
+    The worker serves commands from the driver until ``stop``:
+
+    ``("exchange", outgoing, expect)``
+        ``outgoing`` is this rank's share of the round, ``[(dst, seq,
+        payload), ...]``; ``expect`` is how many messages this rank will
+        receive.  Outgoing messages are pushed to the peer pipes by a
+        background sender thread (so a full pipe buffer can never deadlock
+        the receive loop), incoming ones are drained from whichever peer
+        pipe is ready, and the collected ``[(seq, payload), ...]`` inbox is
+        returned to the driver.
+    ``("run", fn, args)``
+        Executes ``fn(context, rank, *args)`` against this worker's
+        persistent context (see
+        :meth:`~repro.comm.transport.Transport.run_workers`).
+
+    Any exception is reported back as ``("error", ...)`` with the full
+    traceback; the driver raises it and tears the cluster down.
+    """
+    # Kernel-path propagation: align the environment BEFORE repro.sparse is
+    # (re-)imported, so a spawn-started worker probes the same kernel path
+    # as the parent.  (A fork-started worker inherits the parent's already
+    # probed module state; setting the variable is then a no-op.)
+    disable = bootstrap.get("disable_ckernels", "")
+    if disable:
+        os.environ[_CKERNELS_ENV] = disable
+    else:
+        os.environ.pop(_CKERNELS_ENV, None)
+    from ..sparse.vector import compiled_kernels_available
+
+    send_queue: "queue.Queue[Optional[Tuple[int, Any]]]" = queue.Queue()
+
+    def _sender() -> None:
+        while True:
+            item = send_queue.get()
+            if item is None:
+                return
+            dst, frame = item
+            peers[dst].send(frame)
+
+    sender = threading.Thread(target=_sender, daemon=True)
+    sender.start()
+
+    context = make_worker_context(rank, seed)
+    command.send(("ready", compiled_kernels_available(), os.getpid()))
+    try:
+        while True:
+            request = command.recv()
+            op = request[0]
+            try:
+                if op == "stop":
+                    break
+                elif op == "exchange":
+                    _, outgoing, expect = request
+                    for dst, seq, payload in outgoing:
+                        send_queue.put((dst, (seq, payload)))
+                    inbox: List[Tuple[int, Any]] = []
+                    pending = list(peers.values())
+                    while len(inbox) < expect:
+                        for conn in connection_wait(pending):
+                            inbox.append(conn.recv())
+                            if len(inbox) == expect:
+                                break
+                    command.send(("exchanged", inbox))
+                elif op == "run":
+                    _, fn, args = request
+                    command.send(("ran", fn(context, rank, *args)))
+                else:  # pragma: no cover - protocol violation
+                    raise RuntimeError(f"unknown worker command {op!r}")
+            except Exception:  # noqa: BLE001 - forwarded to the driver
+                command.send(("error", rank, traceback.format_exc()))
+    except (EOFError, OSError):  # pragma: no cover - driver went away
+        pass
+    finally:
+        send_queue.put(None)
+        sender.join(timeout=1.0)
+
+
+class MultiprocessCluster(Transport):
+    """``P`` workers as real OS processes, full-mesh pipe interconnect.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (ranks ``0..P-1``).
+    seed:
+        Root of the per-rank ``seed_sequence`` streams handed to
+        :meth:`~repro.comm.transport.Transport.run_workers` tasks
+        (identical spawns on every backend).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap, inherits the parent's kernel state) and ``spawn``
+        elsewhere.  Both propagate the kernel path (see module docstring).
+    timeout:
+        Hard per-wait timeout in seconds for every driver-side receive; a
+        worker missing the deadline fails the step and tears the cluster
+        down instead of hanging the caller.
+    """
+
+    spec_name = "mp"
+    capabilities = TransportCapabilities(
+        fault_injection=False,
+        wire_pricing=True,
+        worker_compute=True,
+        parallel_workers=True,
+        real_processes=True,
+    )
+
+    def __init__(self, num_workers: int, *, seed: int = 0,
+                 start_method: Optional[str] = None,
+                 timeout: float = 120.0) -> None:
+        super().__init__(num_workers, seed=seed)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._timeout = float(timeout)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._mp_context = multiprocessing.get_context(start_method)
+        self._processes: List[multiprocessing.Process] = []
+        self._commands: List[Connection] = []
+        self._closed = False
+        self._start_workers()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start_workers(self) -> None:
+        ctx = self._mp_context
+        P = self._num_workers
+        # Full mesh of peer pipes: link (i, j) gives end_i to rank i and
+        # end_j to rank j.  P is a worker-process count (<= a few dozen),
+        # so P*(P-1)/2 pipes is cheap.
+        peer_ends: List[Dict[int, Connection]] = [{} for _ in range(P)]
+        for i in range(P):
+            for j in range(i + 1, P):
+                end_i, end_j = ctx.Pipe(duplex=True)
+                peer_ends[i][j] = end_i
+                peer_ends[j][i] = end_j
+        bootstrap = {"disable_ckernels": os.environ.get(_CKERNELS_ENV, "")}
+        self._processes = []
+        self._commands = []
+        for rank in range(P):
+            parent_end, worker_end = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(rank, self._seed, worker_end, peer_ends[rank], bootstrap),
+                name=f"repro-mp-worker-{rank}",
+                daemon=True,
+            )
+            process.start()
+            worker_end.close()
+            for peer in peer_ends[rank].values():
+                peer.close()
+            self._processes.append(process)
+            self._commands.append(parent_end)
+        self._closed = False
+        # Bootstrap handshake: every worker reports its kernel path; a
+        # mismatch with the parent would silently split the cluster across
+        # kernel implementations, so it aborts construction instead.
+        from ..sparse.vector import compiled_kernels_available
+        parent_kernels = compiled_kernels_available()
+        for rank in range(P):
+            reply = self._receive(rank, "ready")
+            worker_kernels = reply[1]
+            if worker_kernels != parent_kernels:
+                self.close()
+                raise RuntimeError(
+                    f"worker {rank} loaded "
+                    f"{'compiled' if worker_kernels else 'NumPy-fallback'} "
+                    f"sparse kernels but the parent runs "
+                    f"{'compiled' if parent_kernels else 'NumPy-fallback'} "
+                    f"ones; the {_CKERNELS_ENV} environment and compiler "
+                    "availability must agree between parent and workers")
+
+    def close(self) -> None:
+        """Stop the worker processes and close every pipe (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._commands:
+            try:
+                connection.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - unresponsive worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._commands:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._commands = []
+        self._processes = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def resize(self, num_workers: int) -> None:
+        """Adopt a new worker count by restarting the worker pool.
+
+        The processes are respawned for the new membership (per-rank
+        contexts restart, exactly like the per-rank contexts of the
+        simulated backend) and the statistics window resets to the new
+        worker count.
+        """
+        self.close()
+        super().resize(num_workers)
+        self._start_workers()
+
+    # ------------------------------------------------------------------
+    # message passing
+    # ------------------------------------------------------------------
+    def exchange(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
+        """Deliver one synchronous round through the worker processes.
+
+        Admission and accounting are the shared
+        :class:`~repro.comm.transport.Transport` code path (bit-identical
+        billing to the simulated backend); the payloads then physically
+        transit driver → source worker → destination worker → driver.  The
+        returned inboxes hold the *round-tripped* payloads, frozen
+        read-only, in submission order.
+        """
+        self._ensure_open()
+        admitted = [self._admit(message) for message in messages]
+        if not admitted:
+            return {}
+        self._stats.record_round(
+            [(m.src, m.dst, float(m.size)) for m in admitted])
+        outgoing: Dict[int, List[Tuple[int, int, Any]]] = {}
+        expected: Dict[int, int] = {}
+        for seq, message in enumerate(admitted):
+            outgoing.setdefault(message.src, []).append(
+                (message.dst, seq, message.payload))
+            expected[message.dst] = expected.get(message.dst, 0) + 1
+        involved = sorted(set(outgoing) | set(expected))
+        for rank in involved:
+            self._commands[rank].send(
+                ("exchange", outgoing.get(rank, []), expected.get(rank, 0)))
+        transited: Dict[int, Any] = {}
+        for rank in involved:
+            for seq, payload in self._receive(rank, "exchanged")[1]:
+                transited[seq] = payload
+        inboxes: Dict[int, List[Message]] = {}
+        for seq, message in enumerate(admitted):
+            delivered = Message(
+                src=message.src, dst=message.dst,
+                payload=freeze_payload(transited[seq]),
+                size=message.size, tag=message.tag,
+                size_final=message.size_final, lossy=message.lossy)
+            inboxes.setdefault(message.dst, []).append(delivered)
+        return inboxes
+
+    # ------------------------------------------------------------------
+    # per-rank task execution
+    # ------------------------------------------------------------------
+    def run_workers(self, fn: Callable[..., Any],
+                    args_by_rank: Optional[Mapping[int, tuple]] = None
+                    ) -> Dict[int, Any]:
+        """Execute ``fn(context, rank, *args)`` concurrently, one call per
+        worker process.
+
+        Semantics match the in-process reference implementation
+        (:meth:`Transport.run_workers <repro.comm.transport.Transport.run_workers>`):
+        persistent per-rank context with the same ``seed_sequence`` spawns,
+        results keyed by rank.  ``fn`` and its arguments cross a process
+        boundary, so they must be picklable (``fn`` a module-level
+        function) and, because ranks genuinely run in parallel here, tasks
+        must be rank-order independent.
+        """
+        self._ensure_open()
+        if args_by_rank is None:
+            targets = [(rank, ()) for rank in self.ranks]
+        else:
+            targets = [(rank, tuple(args_by_rank[rank]))
+                       for rank in sorted(args_by_rank)]
+        for rank, args in targets:
+            self._check_rank(rank)
+            self._commands[rank].send(("run", fn, args))
+        return {rank: self._receive(rank, "ran")[1] for rank, _ in targets}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "MultiprocessCluster is closed; its worker processes have "
+                "been stopped")
+
+    def _receive(self, rank: int, expected_op: str) -> tuple:
+        """One driver-side receive with deadlock containment: a worker that
+        misses the timeout (or died, or reported an error) fails the call
+        and tears the whole cluster down so nothing upstream hangs."""
+        connection = self._commands[rank]
+        try:
+            if not connection.poll(self._timeout):
+                self.close()
+                raise RuntimeError(
+                    f"worker {rank} did not reply within {self._timeout:.0f}s "
+                    "(suspected deadlock or dead worker); cluster terminated")
+            reply = connection.recv()
+        except (EOFError, OSError) as error:
+            self.close()
+            raise RuntimeError(
+                f"worker {rank} terminated unexpectedly: {error!r}") from error
+        if reply[0] == "error":
+            self.close()
+            raise RuntimeError(
+                f"worker {reply[1]} raised:\n{reply[2]}")
+        if reply[0] != expected_op:  # pragma: no cover - protocol violation
+            self.close()
+            raise RuntimeError(
+                f"worker {rank} replied {reply[0]!r} to a {expected_op!r} "
+                "request")
+        return reply
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "live"
+        return (f"MultiprocessCluster(num_workers={self._num_workers}, "
+                f"{state})")

@@ -1,0 +1,522 @@
+"""The transport protocol: what every execution backend must provide.
+
+The staged pipeline funnels *all* communication of a synchronisation step
+through one boundary — the ``exchange`` stage — and the read-only-view
+message discipline guarantees that nothing outside that boundary shares
+writable memory between workers.  This module names that boundary
+explicitly: :class:`Transport` is the protocol every execution backend
+implements, and everything above it (the pipeline driver, the
+synchronisers, the trainer, the ``repro.api`` facade) programs against the
+protocol instead of a concrete cluster class.
+
+Two backends ship:
+
+* :class:`~repro.comm.cluster.SimulatedCluster` — the deterministic,
+  bit-exact in-process reference.  Supports every capability, including
+  the simulation-only ones (fault plans, elastic membership events).
+* :class:`~repro.comm.mp_backend.MultiprocessCluster` — ``P`` workers as
+  real OS processes exchanging the same :class:`Message` wire format over
+  pipes, with identical accounting.
+
+Capabilities
+------------
+Backends differ in what they can model.  Rather than letting callers probe
+``isinstance`` (which would re-couple the layers this module decouples),
+every transport advertises a :class:`TransportCapabilities` record, and
+simulation-only features raise :class:`UnsupportedTransportFeature` with a
+pointer to the reference backend instead of degrading silently.
+
+Worker compute
+--------------
+Beyond message passing, a transport can *execute* per-rank work where the
+rank lives: :meth:`Transport.run_workers` runs one task per rank against a
+persistent per-rank context.  The base implementation executes tasks
+in-process in ascending rank order (the deterministic reference);
+process-backed transports dispatch them to the worker processes and run
+them concurrently.  Tasks must therefore be rank-order independent: any
+randomness must come from the per-rank ``seed_sequence`` the context
+provides (one :class:`numpy.random.SeedSequence` spawn per rank, identical
+across backends), never from shared mutable state.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .stats import CommStats
+
+__all__ = [
+    "Message",
+    "Transport",
+    "TransportCapabilities",
+    "UnsupportedTransportFeature",
+    "payload_size",
+    "freeze_payload",
+    "parse_backend_spec",
+    "make_transport",
+    "transport_spec",
+]
+
+
+def payload_size(payload: Any) -> float:
+    """Number of transmitted elements for ``payload``.
+
+    * ``None`` has size 0 (control message).
+    * NumPy arrays: one element per entry.
+    * Objects with a ``comm_size`` attribute (e.g. sparse gradients in COO
+      form) report their own size.
+    * Lists / tuples: sum of their items.
+    * Scalars: 1.
+    """
+    if payload is None:
+        return 0.0
+    if isinstance(payload, np.ndarray):
+        return float(payload.size)
+    comm_size = getattr(payload, "comm_size", None)
+    if comm_size is not None:
+        return float(comm_size)
+    if isinstance(payload, (list, tuple)):
+        return float(sum(payload_size(item) for item in payload))
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 1.0
+    raise TypeError(f"cannot determine communication size of {type(payload)!r}")
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Return ``payload`` with every NumPy array replaced by a read-only view.
+
+    Senders routinely pass live views of their own state (a slice of a
+    working buffer, a chunk of a ring segment); a receiver writing into such
+    a view in place would silently corrupt the sender.  A real network never
+    shares memory between peers, so the exchange boundary delivers arrays
+    read-only: an accidental in-place write raises immediately instead of
+    corrupting remote state.  Lists and tuples are frozen recursively; other
+    payload objects (sparse gradients, packed buffers) are immutable by
+    contract and pass through unchanged.
+
+    Process-backed transports apply the same freeze to payloads arriving
+    from a worker process, so the discipline is identical on every backend
+    even though a deserialised array no longer aliases any sender memory.
+    """
+    if isinstance(payload, np.ndarray):
+        view = payload.view()
+        view.flags.writeable = False
+        return view
+    if isinstance(payload, tuple):
+        return tuple(freeze_payload(item) for item in payload)
+    if isinstance(payload, list):
+        return [freeze_payload(item) for item in payload]
+    return payload
+
+
+@dataclass
+class Message:
+    """A point-to-point message between two workers.
+
+    ``size`` may be given explicitly (for example to exclude routing
+    metadata from the accounting); otherwise it is derived from the payload
+    via :func:`payload_size`.  ``size_final=True`` declares the explicit
+    size authoritative: an installed wire pricer (see
+    :meth:`Transport.install_pricer`) must not re-derive it — the
+    sender already accounted for compression or control-channel semantics
+    that the payload structure alone cannot express.
+
+    ``lossy=True`` declares that the *sender* can account for this message
+    never arriving: past the retry budget of an installed
+    :class:`~repro.comm.faults.FaultPlan` the message is declared lost and
+    handed back via :meth:`Transport.drain_lost` so its mass can be
+    folded into the sender's residual path.  Non-lossy messages model a
+    reliable transport: they are force-delivered (honestly billed) after
+    the budget, because the algorithms sending them cannot degrade
+    gracefully without diverging across workers.
+    """
+
+    src: int
+    dst: int
+    payload: Any = None
+    size: Optional[float] = None
+    tag: str = ""
+    size_final: bool = False
+    lossy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            self.size = payload_size(self.payload)
+        if self.size < 0:
+            raise ValueError("message size must be non-negative")
+
+
+class UnsupportedTransportFeature(RuntimeError):
+    """A capability was requested from a transport that does not provide it.
+
+    Raised instead of degrading silently: a fault plan installed on a
+    process-backed transport would otherwise simply never fire, turning a
+    robustness experiment into a reliable run without any signal.
+    """
+
+
+@dataclass(frozen=True)
+class TransportCapabilities:
+    """What an execution backend can model.
+
+    ``fault_injection``
+        :meth:`Transport.install_fault_plan` accepts a
+        :class:`~repro.comm.faults.FaultPlan` (message drops/delays,
+        stragglers, membership events).  Simulation-only.
+    ``wire_pricing``
+        :meth:`Transport.install_pricer` accepts a wire pricer (quantized
+        accounting).  Pricing happens at admission, before any physical
+        transit, so both backends support it.
+    ``worker_compute``
+        :meth:`Transport.run_workers` executes per-rank tasks.
+    ``parallel_workers``
+        ``run_workers`` tasks execute concurrently (one per worker
+        process) rather than serially in the calling process.
+    ``real_processes``
+        Workers are real OS processes and payloads physically leave the
+        calling process; wall-clock timings of this backend are measured,
+        not simulated.
+    """
+
+    fault_injection: bool
+    wire_pricing: bool
+    worker_compute: bool
+    parallel_workers: bool
+    real_processes: bool
+
+
+class Transport(ABC):
+    """Protocol of an execution backend: ``P`` ranked workers, synchronous
+    message rounds, communication accounting and per-rank task execution.
+
+    Concrete backends implement :meth:`exchange` (and whatever capabilities
+    they advertise); the base class owns everything that must behave
+    identically on every backend so the accounting can never diverge:
+    message admission (validation, wire pricing, read-only freezing),
+    :class:`~repro.comm.stats.CommStats` ownership, the pairwise
+    :meth:`sendrecv` convenience wrapper and the per-rank context of
+    :meth:`run_workers`.
+    """
+
+    #: Token naming this backend in ``backend=`` spec strings ("sim", "mp").
+    spec_name: str = ""
+    #: What this backend can model; see :class:`TransportCapabilities`.
+    capabilities: TransportCapabilities
+
+    def __init__(self, num_workers: int, *, seed: int = 0) -> None:
+        if num_workers <= 0:
+            raise ValueError("a cluster needs at least one worker")
+        self._num_workers = int(num_workers)
+        self._stats = CommStats(num_workers=self._num_workers)
+        self._pricer: Optional[Any] = None
+        self._seed = int(seed)
+        self._worker_ctx: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def ranks(self) -> range:
+        return range(self._num_workers)
+
+    @property
+    def stats(self) -> CommStats:
+        return self._stats
+
+    def reset_stats(self) -> CommStats:
+        """Reset accounting and return the statistics accumulated so far."""
+        old = self._stats
+        self._stats = CommStats(num_workers=self._num_workers)
+        return old
+
+    # ------------------------------------------------------------------
+    # wire pricing
+    # ------------------------------------------------------------------
+    def install_pricer(self, pricer: Optional[Any]) -> Optional[Any]:
+        """Install a wire pricer for subsequent :meth:`exchange` rounds.
+
+        ``pricer(message) -> float`` re-derives the billed size of every
+        message whose size came from its payload (messages constructed with
+        ``size_final=True`` keep their sender-computed size).  Synchronisers
+        with a compression stage install their compressor's pricer for the
+        duration of one step; returns the previously installed pricer so
+        nested drivers (e.g. bucketed sessions on a shared cluster) can
+        restore it.  Pricing happens at message admission — before any
+        physical transit — so every backend whose capabilities advertise
+        ``wire_pricing`` bills identically to the simulated reference.
+        """
+        if pricer is not None and not self.capabilities.wire_pricing:
+            raise UnsupportedTransportFeature(
+                f"{type(self).__name__} does not support wire pricers; run "
+                "quantized accounting on a backend with the wire_pricing "
+                "capability (SimulatedCluster, MultiprocessCluster)")
+        previous = self._pricer
+        self._pricer = pricer
+        return previous
+
+    # ------------------------------------------------------------------
+    # fault injection (simulation-only by default)
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: Optional[Any]) -> Optional[Any]:
+        """Install a :class:`~repro.comm.faults.FaultPlan` for subsequent
+        :meth:`exchange` rounds; returns the previously installed plan.
+
+        Fault injection is a simulation capability: deterministic message
+        fates require the single-process, seed-keyed delivery loop of the
+        reference backend.  Transports without the ``fault_injection``
+        capability accept only ``None`` (a no-op, so capability-agnostic
+        callers can always *clear* a plan) and raise
+        :class:`UnsupportedTransportFeature` for anything else.
+        """
+        if plan is None:
+            return None
+        raise UnsupportedTransportFeature(
+            f"{type(self).__name__} does not support fault plans; fault "
+            "injection (drops, delays, stragglers, membership events) is "
+            "simulation-only — run it on SimulatedCluster, the deterministic "
+            "reference backend")
+
+    @property
+    def fault_plan(self) -> Optional[Any]:
+        """The installed :class:`~repro.comm.faults.FaultPlan` (``None`` on
+        backends without the ``fault_injection`` capability)."""
+        return None
+
+    def drain_lost(self) -> List[Message]:
+        """Return (and clear) the messages lost past the retry budget since
+        the last drain.  Always empty on backends without fault injection."""
+        return []
+
+    # ------------------------------------------------------------------
+    # message passing
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def exchange(self, messages: Sequence[Message]) -> Dict[int, List[Message]]:
+        """Deliver one synchronous round of messages.
+
+        Returns the inbox of every worker that received something:
+        ``{dst_rank: [messages in submission order]}``.  Raises if any rank
+        is out of range or a worker messages itself (local data movement is
+        free and must not be modelled as communication).  NumPy array
+        payloads are delivered as read-only views (see
+        :func:`freeze_payload`) on every backend.
+        """
+
+    def sendrecv(self, sends: Dict[int, Tuple[int, Any]],
+                 tag: str = "sendrecv") -> Dict[int, Dict[int, Any]]:
+        """Convenience wrapper for one round of pairwise sends.
+
+        ``sends`` maps source rank to ``(dst, payload)``; the return value
+        maps each destination rank to its inbox, keyed by source rank:
+        ``{dst: {src: payload}}``.  Keying by source keeps a single received
+        payload distinguishable from a payload that *is* a list — returning
+        the bare payload for one sender and a list for several (the previous
+        behaviour) made the two cases ambiguous.
+
+        Every message carries ``tag`` (default ``"sendrecv"``) so pairwise
+        sends are distinguishable from collective traffic.  This matters
+        under fault injection: :class:`~repro.comm.faults.FaultPlan` samples
+        each message's fate from ``(round, attempt, src, dst, tag)``, so an
+        untagged pairwise send between the same pair in the same round as a
+        collective message would share the collective's fault fate — and be
+        indistinguishable from it in fault traces.  Callers interleaving
+        several pairwise patterns per round should pass distinct tags.
+        """
+        messages = [Message(src=s, dst=d, payload=p, tag=tag)
+                    for s, (d, p) in sends.items()]
+        inboxes = self.exchange(messages)
+        return {
+            dst: {message.src: message.payload for message in inbox}
+            for dst, inbox in inboxes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # per-rank task execution
+    # ------------------------------------------------------------------
+    def run_workers(self, fn: Callable[..., Any],
+                    args_by_rank: Optional[Mapping[int, tuple]] = None
+                    ) -> Dict[int, Any]:
+        """Execute ``fn(context, rank, *args)`` once per rank.
+
+        ``args_by_rank`` maps rank to the extra positional arguments of that
+        rank's call (``None`` runs every rank with no extra arguments; a
+        partial mapping runs only the listed ranks).  ``context`` is a
+        per-rank ``dict`` that persists across calls — tasks park state
+        (model replicas, RNG streams) there; it always contains ``"rank"``
+        and ``"seed_sequence"`` (this rank's
+        :class:`numpy.random.SeedSequence` spawn, identical on every
+        backend, so randomised tasks are rank-order independent by
+        construction).
+
+        The base implementation executes tasks in-process, serially, in
+        ascending rank order — the deterministic reference.  Backends with
+        the ``parallel_workers`` capability run them concurrently in the
+        worker processes; tasks and their arguments must then be picklable
+        (``fn`` a module-level function) and rank-order independent.
+        Results are returned as ``{rank: return_value}``.
+        """
+        if args_by_rank is None:
+            targets = [(rank, ()) for rank in self.ranks]
+        else:
+            targets = [(rank, tuple(args_by_rank[rank]))
+                       for rank in sorted(args_by_rank)]
+        results: Dict[int, Any] = {}
+        for rank, args in targets:
+            self._check_rank(rank)
+            results[rank] = fn(self._context(rank), rank, *args)
+        return results
+
+    def _context(self, rank: int) -> Dict[str, Any]:
+        """The persistent per-rank context of the in-process reference
+        implementation of :meth:`run_workers`."""
+        context = self._worker_ctx.get(rank)
+        if context is None:
+            context = self._worker_ctx[rank] = make_worker_context(
+                rank, self._seed)
+        return context
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def resize(self, num_workers: int) -> None:
+        """Adopt a new worker count (elastic membership transition).
+
+        Ranks are contiguous ``0..num_workers-1`` after the call; the
+        synchroniser applying the membership event remaps its own per-rank
+        state (see :meth:`~repro.core.base.GradientSynchronizer.poll_membership`).
+        Statistics and per-rank contexts restart from the new membership.
+        """
+        if num_workers <= 0:
+            raise ValueError("a cluster needs at least one worker")
+        self._num_workers = int(num_workers)
+        self._stats = CommStats(num_workers=self._num_workers)
+        self._worker_ctx = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker processes, pipes).  The
+        in-process reference backend holds none; always safe to call twice."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # shared internals
+    # ------------------------------------------------------------------
+    def _admit(self, message: Message) -> Message:
+        """Validate, price and freeze one outgoing message.
+
+        Every backend admits through this one code path, so a message is
+        billed identically no matter which transport carries it.
+        """
+        self._check_rank(message.src)
+        self._check_rank(message.dst)
+        if message.src == message.dst:
+            raise ValueError("workers must not send messages to themselves")
+        if self._pricer is not None and not message.size_final:
+            priced = float(self._pricer(message))
+            if not math.isfinite(priced) or priced < 0.0:
+                raise ValueError(
+                    f"pricer returned invalid message size {priced!r} for "
+                    f"{message.src}->{message.dst} (tag {message.tag!r})")
+            message.size = priced
+        message.payload = freeze_payload(message.payload)
+        return message
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._num_workers:
+            raise ValueError(
+                f"worker rank {rank} out of range [0, {self._num_workers})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_workers={self._num_workers})"
+
+
+def make_worker_context(rank: int, seed: int) -> Dict[str, Any]:
+    """The initial per-rank context of :meth:`Transport.run_workers`.
+
+    One function shared by every backend (the in-process reference builds
+    it lazily, process backends build it inside the worker), so the
+    ``seed_sequence`` streams — ``SeedSequence(seed, spawn_key=(rank,))``,
+    exactly what ``SeedSequence(seed).spawn(P)[rank]`` yields — are
+    identical everywhere and results never depend on which backend ran the
+    task or in which order ranks executed.
+    """
+    return {
+        "rank": rank,
+        "seed_sequence": np.random.SeedSequence(seed, spawn_key=(rank,)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# backend spec strings
+# ---------------------------------------------------------------------------
+def parse_backend_spec(spec: str) -> Tuple[str, Optional[int]]:
+    """Parse a ``backend=`` spec value into ``(kind, num_workers)``.
+
+    ``"sim"`` / ``"mp"`` leave the worker count to the caller (``None``);
+    ``"sim:8"`` / ``"mp:4"`` pin it.
+    """
+    text = str(spec).strip().lower()
+    kind, separator, count = text.partition(":")
+    if kind not in ("sim", "mp"):
+        raise ValueError(
+            f"unknown backend {spec!r}; expected sim[:P] or mp[:P]")
+    if not separator:
+        return kind, None
+    if not count:
+        raise ValueError(f"malformed backend worker count in {spec!r}")
+    try:
+        workers = int(count)
+    except ValueError:
+        raise ValueError(f"malformed backend worker count in {spec!r}") from None
+    if workers <= 0:
+        raise ValueError(f"backend worker count must be positive, got {spec!r}")
+    return kind, workers
+
+
+def make_transport(spec: str, num_workers: Optional[int] = None) -> Transport:
+    """Build a transport from a backend spec string.
+
+    ``spec`` is ``sim[:P]`` or ``mp[:P]``; ``num_workers`` supplies (or must
+    agree with) the worker count.
+    """
+    kind, workers = parse_backend_spec(spec)
+    if workers is None:
+        workers = num_workers
+    elif num_workers is not None and int(num_workers) != workers:
+        raise ValueError(
+            f"backend spec {spec!r} pins {workers} workers but num_workers="
+            f"{num_workers} was requested")
+    if workers is None:
+        raise ValueError(
+            f"backend spec {spec!r} does not carry a worker count; pass "
+            "num_workers=... or use the backend:P form")
+    if kind == "mp":
+        from .mp_backend import MultiprocessCluster
+        return MultiprocessCluster(workers)
+    from .cluster import SimulatedCluster
+    return SimulatedCluster(workers)
+
+
+def transport_spec(transport: Transport) -> str:
+    """The canonical ``backend=`` value of a transport: ``"sim:P"`` / ``"mp:P"``."""
+    if not transport.spec_name:
+        raise ValueError(
+            f"{type(transport).__name__} does not name a backend spec token")
+    return f"{transport.spec_name}:{transport.num_workers}"

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster, payload_size
+from ..comm.transport import Transport, payload_size
 from ..comm.faults import membership_transition
 from ..comm.stats import CommStats
 from .pipeline import PIPELINE_STAGES, StepContext, SyncStage, fold_lost_messages
@@ -76,7 +76,7 @@ class GradientSynchronizer(ABC):
     #: Short human-readable name used in reports and figures.
     name: str = "synchronizer"
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int,
+    def __init__(self, cluster: Transport, num_elements: int,
                  schedule: Optional[KSchedule] = None) -> None:
         if num_elements <= 0:
             raise ValueError("num_elements must be positive")

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
+from ..comm.transport import Transport
 from ..comm.stats import CommStats
 from .base import GradientSynchronizer, SyncResult
 from .pipeline import SyncSession
@@ -41,7 +41,7 @@ from .pipeline import SyncSession
 __all__ = ["BucketedSynchronizer", "layer_buckets", "fuse_buckets"]
 
 #: Builds one bucket's synchroniser: ``factory(cluster, bucket_elements)``.
-BucketFactory = Callable[[SimulatedCluster, int], GradientSynchronizer]
+BucketFactory = Callable[[Transport, int], GradientSynchronizer]
 
 
 def layer_buckets(module) -> List[Tuple[str, int]]:
@@ -108,7 +108,7 @@ class BucketedSynchronizer(GradientSynchronizer):
 
     name = "Bucketed"
 
-    def __init__(self, cluster: SimulatedCluster, bucket_sizes: Sequence[int],
+    def __init__(self, cluster: Transport, bucket_sizes: Sequence[int],
                  factory: BucketFactory,
                  bucket_names: Optional[Sequence[str]] = None) -> None:
         sizes = [int(size) for size in bucket_sizes]

@@ -48,7 +48,7 @@ from ..sparse.vector import SparseGradient
 from .schedules import KSchedule, coerce_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..comm.cluster import Message
+    from ..comm.transport import Message
     from .base import GradientSynchronizer, SyncResult
     from .residuals import ResidualManager
 

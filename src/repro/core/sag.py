@@ -41,7 +41,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..comm.cluster import Message, SimulatedCluster
+from ..comm.transport import Message, Transport
 from ..comm.collectives import allgather_bruck_grouped
 from ..comm.packed import PackedBags
 from ..sparse.vector import SparseGradient
@@ -168,7 +168,7 @@ class CompressionRatioController:
 # R-SAG: recursive doubling between teams (d a power of two)
 # ---------------------------------------------------------------------------
 def r_sag(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     teams: Sequence[Sequence[int]],
     blocks: Dict[int, SparseGradient],
     keep: int,
@@ -247,7 +247,7 @@ def r_sag(
 # B-SAG: Bruck All-Gather between teams with adaptive top-h (any d)
 # ---------------------------------------------------------------------------
 def b_sag(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     teams: Sequence[Sequence[int]],
     blocks: Dict[int, SparseGradient],
     keep: int,

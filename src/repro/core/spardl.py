@@ -34,7 +34,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
+from ..comm.transport import Transport
 from ..comm.collectives import allgather_bruck_grouped, allreduce_dense
 from ..compression.quantization import QuantizedCompressor
 from ..sparse.blocks import BlockLayout
@@ -65,7 +65,7 @@ class SparDLSynchronizer(GradientSynchronizer):
     Parameters
     ----------
     cluster:
-        The :class:`~repro.comm.cluster.SimulatedCluster` to communicate
+        The :class:`~repro.comm.transport.Transport` to communicate
         on; its worker count must be divisible by ``config.num_teams``.
     num_elements:
         Length of the dense gradient vector every worker contributes.
@@ -84,7 +84,7 @@ class SparDLSynchronizer(GradientSynchronizer):
 
     name = "SparDL"
 
-    def __init__(self, cluster: SimulatedCluster, num_elements: int,
+    def __init__(self, cluster: Transport, num_elements: int,
                  config: SparDLConfig) -> None:
         super().__init__(cluster, num_elements, schedule=config.resolve_schedule())
         config.validate_for_cluster(cluster.num_workers)

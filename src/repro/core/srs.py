@@ -45,7 +45,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm.cluster import Message, SimulatedCluster
+from ..comm.transport import Message, Transport
 from ..comm.packed import PackedBags
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
@@ -80,7 +80,7 @@ class SRSOutput:
 
 
 def spar_reduce_scatter(
-    cluster: SimulatedCluster,
+    cluster: Transport,
     teams: Sequence[Sequence[int]],
     gradients: Dict[int, np.ndarray],
     layout: BlockLayout,
@@ -258,7 +258,7 @@ def spar_reduce_scatter(
 
 
 # ---------------------------------------------------------------------------
-def _validate_teams(cluster: SimulatedCluster, teams: Sequence[Sequence[int]],
+def _validate_teams(cluster: Transport, teams: Sequence[Sequence[int]],
                     layout: BlockLayout) -> int:
     if not teams:
         raise ValueError("at least one team is required")

@@ -21,10 +21,16 @@ exported for the perf-regression harness under ``benchmarks/perf/``.
 
 from .blocks import BlockLayout, block_bounds
 from .topk import kth_largest_magnitude, threshold_indices, top_k_indices, top_k_mask
-from .vector import SparseGradient, merge_add_coo, merge_many_coo
+from .vector import (
+    SparseGradient,
+    compiled_kernels_available,
+    merge_add_coo,
+    merge_many_coo,
+)
 
 __all__ = [
     "SparseGradient",
+    "compiled_kernels_available",
     "BlockLayout",
     "block_bounds",
     "top_k_indices",

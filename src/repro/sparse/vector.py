@@ -51,7 +51,21 @@ def _get_c_kernels():
         _C_KERNELS = load_merge_kernels()
     return _C_KERNELS
 
-__all__ = ["SparseGradient", "merge_add_coo", "merge_many_coo"]
+
+def compiled_kernels_available() -> bool:
+    """Whether the compiled C merge kernels are active in this process.
+
+    Probes (and caches) the lazy loader, honouring ``REPRO_DISABLE_CKERNELS``.
+    Process-backed transports use this to verify that spawned workers run
+    the same kernel path as the parent — a worker silently falling back to
+    the NumPy kernels while the parent runs compiled ones (or vice versa)
+    would make the two CI matrix legs meaningless inside workers.
+    """
+    return _get_c_kernels() is not None
+
+
+__all__ = ["SparseGradient", "compiled_kernels_available",
+           "merge_add_coo", "merge_many_coo"]
 
 
 def _stable_merge_sorted(index_streams: Sequence[np.ndarray],

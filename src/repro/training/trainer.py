@@ -17,17 +17,35 @@ gradient layout from the model instead of the caller pre-computing
 :class:`~repro.core.pipeline.SyncSession`, whose cumulative
 :class:`~repro.comm.stats.CommStats` and resolved-``k`` history are exposed
 as :attr:`DistributedTrainer.session`.
+
+Compute modes
+-------------
+Where the per-worker forward/backward runs is a property of the transport,
+not of the algorithm.  In ``inline`` mode (the historical behaviour, and
+the default on the simulated backend) the trainer iterates the replicas in
+the calling process.  In ``offload`` mode (the default on transports whose
+workers run in parallel, e.g. the process-backed
+:class:`~repro.comm.mp_backend.MultiprocessCluster`) each replica, its
+optimizer and its data shard live on the transport's worker for that rank
+— shipped once via :meth:`~repro.comm.transport.Transport.run_workers` —
+and every iteration computes gradients and applies updates worker-side,
+concurrently.  Only the synchronisation itself runs in the parent, through
+the exact same staged pipeline, so the two modes produce bit-identical
+models: the per-worker batches are a pure function of ``(seed, epoch,
+worker)`` and the arithmetic is the same either way.
 """
 
 from __future__ import annotations
 
+import copy
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from ..comm.cluster import SimulatedCluster
 from ..comm.network import ETHERNET, NetworkProfile
+from ..comm.transport import Transport, UnsupportedTransportFeature
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import SyncSession
 from ..data.datasets import DataLoader, Dataset, TaskType, shard_dataset
@@ -70,6 +88,19 @@ class TrainerConfig:
     #: Verify after every iteration that all replicas hold identical
     #: parameters (slow; used by the integration tests).
     check_consistency: bool = False
+    #: Where the per-worker forward/backward runs: ``"inline"`` (calling
+    #: process, the deterministic reference), ``"offload"`` (on the
+    #: transport's workers via ``run_workers``) or ``"auto"`` (offload
+    #: exactly when the transport's workers run in parallel, so the
+    #: simulated backend keeps its historical inline path).
+    compute_mode: str = "auto"
+    #: Emulated accelerator time per training sample, in seconds.  Each
+    #: worker blocks for ``device_seconds_per_sample * batch`` of real time
+    #: after its backward pass, modelling the paper's GPU compute phase.
+    #: On a process-backed transport these phases genuinely overlap, which
+    #: is what the backend benchmark measures; 0 (the default) disables the
+    #: emulation.
+    device_seconds_per_sample: float = 0.0
 
     def schedule(self):
         if self.lr_step_epochs is None:
@@ -79,15 +110,81 @@ class TrainerConfig:
 
 #: A ready synchroniser, or ``factory(cluster, model)`` building one.
 SynchronizerLike = Union[GradientSynchronizer,
-                         Callable[[SimulatedCluster, Module], GradientSynchronizer]]
+                         Callable[[Transport, Module], GradientSynchronizer]]
+
+
+# ---------------------------------------------------------------------------
+# offload-mode worker tasks
+# ---------------------------------------------------------------------------
+# Module-level functions so process-backed transports can pickle them; each
+# runs as ``fn(context, rank, *args)`` under Transport.run_workers against
+# the persistent per-rank context.
+
+def _worker_install(context: Dict[str, Any], rank: int,
+                    state: Dict[str, Any]) -> int:
+    """Adopt this rank's training state (replica, optimizer, loss, shard).
+
+    One deepcopy makes the in-process reference backend behave exactly like
+    a process boundary: the worker's replica and optimizer never alias the
+    parent's objects (on a real process backend the pickle round-trip
+    already guarantees that, and the copy of a just-unpickled state is
+    cheap).  The optimizer's parameter references survive either copy
+    because replica and optimizer travel in one object graph.
+    """
+    context["trainer"] = copy.deepcopy(state)
+    return int(context["trainer"]["replica"].num_parameters())
+
+
+def _worker_epoch_start(context: Dict[str, Any], rank: int, batch_size: int,
+                        seed: int) -> int:
+    """Open this epoch's shard iterator; returns the number of batches."""
+    state = context["trainer"]
+    loader = DataLoader(state["shard"], batch_size, shuffle=True, seed=seed)
+    state["iterator"] = iter(loader)
+    return len(loader)
+
+
+def _worker_compute_gradient(context: Dict[str, Any], rank: int,
+                             device_seconds_per_sample: float):
+    """One local step: next batch, forward, backward; returns
+    ``(flat_gradient, loss)``."""
+    state = context["trainer"]
+    replica = state["replica"]
+    inputs, targets = next(state["iterator"])
+    replica.train()
+    replica.zero_grad()
+    outputs = replica.forward(inputs)
+    loss_value, grad_output = state["loss"](outputs, targets)
+    replica.backward(grad_output)
+    if device_seconds_per_sample > 0.0:
+        time.sleep(device_seconds_per_sample * inputs.shape[0])
+    return flatten_gradients(replica.parameters()), float(loss_value)
+
+
+def _worker_apply_update(context: Dict[str, Any], rank: int,
+                         averaged: np.ndarray, learning_rate: float) -> None:
+    """Apply the synchronised averaged gradient to this rank's replica."""
+    state = context["trainer"]
+    state["optimizer"].step(flat_gradient=np.asarray(averaged, dtype=np.float64),
+                            learning_rate=learning_rate)
+
+
+def _worker_fetch_params(context: Dict[str, Any], rank: int) -> np.ndarray:
+    """This rank's flattened parameter vector (consistency checks)."""
+    return flatten_values(context["trainer"]["replica"].parameters())
+
+
+def _worker_fetch_replica(context: Dict[str, Any], rank: int) -> Module:
+    """A detached copy of this rank's live replica (evaluation)."""
+    return copy.deepcopy(context["trainer"]["replica"])
 
 
 class DistributedTrainer:
-    """Synchronous data-parallel trainer over a simulated cluster."""
+    """Synchronous data-parallel trainer over any transport backend."""
 
     def __init__(
         self,
-        cluster: SimulatedCluster,
+        cluster: Transport,
         synchronizer: SynchronizerLike,
         model_factory: Callable[[int], Module],
         train_dataset: Dataset,
@@ -147,6 +244,41 @@ class DistributedTrainer:
         self.history = TrainingHistory(method=synchronizer.name, case=self.case_name)
         self._iteration = 0
 
+        mode = self.config.compute_mode
+        if mode not in ("auto", "inline", "offload"):
+            raise ValueError(
+                f"unknown compute_mode {mode!r}; expected auto, inline or offload")
+        if mode == "auto":
+            mode = "offload" if cluster.capabilities.parallel_workers else "inline"
+        if mode == "offload" and not cluster.capabilities.worker_compute:
+            raise UnsupportedTransportFeature(
+                f"{type(cluster).__name__} cannot run worker compute; "
+                "use compute_mode='inline'")
+        #: Resolved compute mode ("inline" or "offload").
+        self.compute_mode = mode
+        if mode == "offload":
+            self._install_worker_state()
+
+    def _install_worker_state(self) -> None:
+        """Ship every rank's replica, optimizer, loss and shard to its
+        worker.  After this the parent-side ``replicas`` are construction
+        artefacts only — the live models advance on the workers, and
+        :meth:`evaluate` / :attr:`global_model` fetch from there."""
+        shipped = self.cluster.run_workers(_worker_install, {
+            worker: ({
+                "replica": self.replicas[worker],
+                "optimizer": self.optimizers[worker],
+                "loss": self.loss,
+                "shard": self.shards[worker],
+            },)
+            for worker in range(self.cluster.num_workers)
+        })
+        for worker, reported in shipped.items():
+            if reported != self.num_elements:
+                raise RuntimeError(
+                    f"worker {worker} installed a replica with {reported} "
+                    f"parameters, expected {self.num_elements}")
+
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
@@ -162,13 +294,24 @@ class DistributedTrainer:
     def train_epoch(self, epoch: int, evaluate: bool = True) -> EpochRecord:
         """One pass over every worker's shard."""
         learning_rate = self._schedule.at_epoch(epoch)
-        loaders = [
-            DataLoader(shard, self.config.batch_size, shuffle=True,
-                       seed=self.config.seed + 1000 * epoch + worker)
-            for worker, shard in enumerate(self.shards)
-        ]
-        iterators = [iter(loader) for loader in loaders]
-        steps = min(len(loader) for loader in loaders)
+        # The per-worker batch stream is a pure function of (seed, epoch,
+        # worker) — constructed parent-side or worker-side, same batches.
+        if self.compute_mode == "offload":
+            lengths = self.cluster.run_workers(_worker_epoch_start, {
+                worker: (self.config.batch_size,
+                         self.config.seed + 1000 * epoch + worker)
+                for worker in range(self.cluster.num_workers)
+            })
+            iterators = None
+            steps = min(lengths.values())
+        else:
+            loaders = [
+                DataLoader(shard, self.config.batch_size, shuffle=True,
+                           seed=self.config.seed + 1000 * epoch + worker)
+                for worker, shard in enumerate(self.shards)
+            ]
+            iterators = [iter(loader) for loader in loaders]
+            steps = min(len(loader) for loader in loaders)
 
         epoch_losses: List[float] = []
         epoch_comm = 0.0
@@ -203,29 +346,54 @@ class DistributedTrainer:
     def _train_step(self, epoch: int, iterators, learning_rate: float) -> IterationRecord:
         gradients: Dict[int, np.ndarray] = {}
         losses: List[float] = []
-        for worker, replica in enumerate(self.replicas):
-            inputs, targets = next(iterators[worker])
-            replica.train()
-            replica.zero_grad()
-            outputs = replica.forward(inputs)
-            loss_value, grad_output = self.loss(outputs, targets)
-            replica.backward(grad_output)
-            gradients[worker] = flatten_gradients(replica.parameters())
-            losses.append(loss_value)
+        if self.compute_mode == "offload":
+            computed = self.cluster.run_workers(_worker_compute_gradient, {
+                worker: (self.config.device_seconds_per_sample,)
+                for worker in range(self.cluster.num_workers)
+            })
+            for worker in sorted(computed):
+                gradients[worker], loss_value = computed[worker]
+                losses.append(loss_value)
+        else:
+            device = self.config.device_seconds_per_sample
+            for worker, replica in enumerate(self.replicas):
+                inputs, targets = next(iterators[worker])
+                replica.train()
+                replica.zero_grad()
+                outputs = replica.forward(inputs)
+                loss_value, grad_output = self.loss(outputs, targets)
+                replica.backward(grad_output)
+                if device > 0.0:
+                    time.sleep(device * inputs.shape[0])
+                gradients[worker] = flatten_gradients(replica.parameters())
+                losses.append(loss_value)
 
         result = self.session.step(gradients)
         timing = iteration_time(result.stats, self.network, self.compute_profile,
                                 model_parameters=self.num_elements)
 
-        for worker, optimizer in enumerate(self.optimizers):
-            averaged = result.gradient(worker) / self.cluster.num_workers
-            optimizer.step(flat_gradient=averaged, learning_rate=learning_rate)
+        num_workers = self.cluster.num_workers
+        if self.compute_mode == "offload":
+            self.cluster.run_workers(_worker_apply_update, {
+                worker: (result.gradient(worker) / num_workers, learning_rate)
+                for worker in range(num_workers)
+            })
+        else:
+            for worker, optimizer in enumerate(self.optimizers):
+                averaged = result.gradient(worker) / num_workers
+                optimizer.step(flat_gradient=averaged, learning_rate=learning_rate)
 
         if self.config.check_consistency:
-            reference = flatten_values(self.replicas[0].parameters())
-            for replica in self.replicas[1:]:
-                if not np.allclose(flatten_values(replica.parameters()), reference,
-                                   rtol=1e-9, atol=1e-12):
+            if self.compute_mode == "offload":
+                params = self.cluster.run_workers(_worker_fetch_params)
+                reference = params[0]
+                others = [params[w] for w in sorted(params) if w != 0]
+            else:
+                reference = flatten_values(self.replicas[0].parameters())
+                others = [flatten_values(replica.parameters())
+                          for replica in self.replicas[1:]]
+            for values in others:
+                if not np.allclose(values, reference, rtol=1e-9, atol=1e-12):
                     raise RuntimeError("model replicas diverged after a synchronised update")
 
         record = IterationRecord(
@@ -246,7 +414,7 @@ class DistributedTrainer:
                  ) -> tuple[float, float]:
         """``(loss, metric)`` of replica 0 on ``dataset`` (default: eval set)."""
         dataset = dataset or self.eval_dataset
-        model = self.replicas[0]
+        model = self.global_model
         model.eval()
         losses: List[float] = []
         metrics: List[float] = []
@@ -275,5 +443,10 @@ class DistributedTrainer:
 
     @property
     def global_model(self) -> Module:
-        """Replica 0 (all replicas are identical after every update)."""
+        """The live replica of rank 0 (all replicas are identical after
+        every update).  In offload mode the live models advance on the
+        transport's workers, so rank 0's replica is fetched from there —
+        including any stateful layer buffers the parent never sees."""
+        if self.compute_mode == "offload":
+            return self.cluster.run_workers(_worker_fetch_replica, {0: ()})[0]
         return self.replicas[0]

@@ -1,0 +1,414 @@
+"""Cross-backend equivalence gate and transport-protocol tests.
+
+The multiprocess backend must be indistinguishable from the simulated
+reference everywhere the algorithms can observe: synchronised gradients,
+residual stores and communication accounting, bit for bit, for SparDL and
+every baseline — including quantized wire formats.  These tests are the
+gate; ``benchmarks/perf/bench_backends.py`` re-asserts a subset before
+timing anything.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import describe, make, parse_spec
+from repro.comm import (
+    Message,
+    MultiprocessCluster,
+    SimulatedCluster,
+    Transport,
+    UnsupportedTransportFeature,
+    make_transport,
+    parse_backend_spec,
+    transport_spec,
+)
+from repro.comm.faults import FaultPlan
+from repro.comm.mp_backend import _CKERNELS_ENV
+from repro.data.synthetic import synthetic_image_classification
+from repro.data.datasets import train_test_split
+from repro.nn.models import build_mlp
+from repro.training.trainer import DistributedTrainer, TrainerConfig
+
+from tests.helpers import random_gradients
+
+NUM_ELEMENTS = 300
+ITERATIONS = 3
+
+#: The equivalence matrix: SparDL variants (teams, quantized, deferred,
+#: per-block wire) and all five baselines.
+EQUIVALENCE_SPECS = [
+    "spardl?density=0.02",
+    "spardl?density=0.02&teams=2",
+    "spardl?density=0.02&bits=8",
+    "spardl?density=0.02&deferred=true",
+    "spardl?density=0.02&wire=per-block",
+    "ok-topk?density=0.02",
+    "topka?density=0.02",
+    "topkdsa?density=0.02",
+    "gtopk?density=0.02",
+    "dense",
+    "dense?bits=4",
+]
+
+
+def _run_trace(spec: str, cluster: Transport):
+    """Synchronise ITERATIONS steps and record everything observable."""
+    sync = make(spec, cluster, num_elements=NUM_ELEMENTS)
+    trace = []
+    for iteration in range(ITERATIONS):
+        gradients = random_gradients(cluster.num_workers, NUM_ELEMENTS,
+                                     seed=17 * iteration + 1)
+        result = sync.synchronize(gradients)
+        residuals = getattr(sync, "residuals", None)
+        trace.append({
+            "gradients": {worker: np.asarray(result.gradient(worker))
+                          for worker in cluster.ranks},
+            "residuals": {
+                worker: residuals.store(worker).peek()
+                for worker in cluster.ranks
+            } if residuals is not None else None,
+            "rounds": result.stats.rounds,
+            "messages": result.stats.total_messages,
+            "volume": result.stats.total_volume,
+            "sent": list(result.stats.sent_per_worker),
+            "received": list(result.stats.received_per_worker),
+        })
+    return trace
+
+
+@pytest.mark.parametrize("num_workers", [2, 4])
+@pytest.mark.parametrize("spec", EQUIVALENCE_SPECS)
+def test_mp_backend_is_bit_identical_to_sim(spec, num_workers):
+    with SimulatedCluster(num_workers) as sim:
+        reference = _run_trace(spec, sim)
+    with MultiprocessCluster(num_workers) as mp:
+        measured = _run_trace(spec, mp)
+    for step, (want, got) in enumerate(zip(reference, measured)):
+        for worker in range(num_workers):
+            assert np.array_equal(want["gradients"][worker],
+                                  got["gradients"][worker]), \
+                f"step {step}, worker {worker}: global gradients diverged"
+        if want["residuals"] is not None:
+            for worker in range(num_workers):
+                assert np.array_equal(want["residuals"][worker],
+                                      got["residuals"][worker]), \
+                    f"step {step}, worker {worker}: residual stores diverged"
+        for key in ("rounds", "messages", "volume", "sent", "received"):
+            assert want[key] == got[key], f"step {step}: stats[{key}] diverged"
+
+
+# ---------------------------------------------------------------------------
+# read-only payload discipline across the process boundary (satellite)
+# ---------------------------------------------------------------------------
+def _assert_all_readonly(payload):
+    if isinstance(payload, np.ndarray):
+        assert not payload.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            payload[...] = 0.0
+    elif isinstance(payload, (list, tuple)):
+        for item in payload:
+            _assert_all_readonly(item)
+
+
+@pytest.mark.parametrize("backend", ["sim", "mp"])
+def test_payloads_arrive_readonly_including_nested(backend):
+    nested = [np.arange(4.0), (np.ones(3), [np.zeros(2), np.full(2, 7.0)])]
+    with make_transport(backend, num_workers=2) as cluster:
+        inboxes = cluster.exchange([
+            Message(src=0, dst=1, payload=np.arange(5.0)),
+            Message(src=1, dst=0, payload=nested),
+        ])
+        _assert_all_readonly(inboxes[1][0].payload)
+        _assert_all_readonly(inboxes[0][0].payload)
+        # The nested structure survives the trip intact.
+        received = inboxes[0][0].payload
+        assert np.array_equal(received[0], np.arange(4.0))
+        assert np.array_equal(received[1][1][1], np.full(2, 7.0))
+    # The sender's own arrays stay writable: freezing delivers views
+    # (sim) or copies (mp), never mutates the source.
+    nested[0][0] = 99.0
+
+
+def test_mp_payload_is_a_copy_not_a_view():
+    source = np.arange(6.0)
+    with MultiprocessCluster(2) as mp:
+        inboxes = mp.exchange([Message(src=0, dst=1, payload=source)])
+        received = inboxes[1][0].payload
+        assert np.array_equal(received, source)
+        assert not np.shares_memory(received, source)
+
+
+# ---------------------------------------------------------------------------
+# sendrecv tagging (satellite)
+# ---------------------------------------------------------------------------
+def test_sendrecv_default_tag_and_shape():
+    with SimulatedCluster(3) as cluster:
+        captured = []
+        original = cluster.exchange
+
+        def spy(messages):
+            captured.extend(messages)
+            return original(messages)
+
+        cluster.exchange = spy
+        result = cluster.sendrecv({0: (1, 1.0), 2: (1, 2.0)})
+        assert all(message.tag == "sendrecv" for message in captured)
+        assert result == {1: {0: 1.0, 2: 2.0}}
+
+
+def test_sendrecv_custom_tag_separates_fault_fates():
+    # FaultPlan keys each message fate by (round, attempt, src, dst, tag):
+    # the same pair in the same round draws independent fates per tag.
+    plan = FaultPlan(seed=5, drop_rate=0.5)
+    fates = {
+        tag: plan.message_fate(0, 1, 0, 1, tag)
+        for tag in ("sendrecv", "a", "b", "c", "d", "e", "f", "g")
+    }
+    assert len(set(fates.values())) > 1
+
+
+def test_sendrecv_works_on_mp_backend():
+    with MultiprocessCluster(2) as mp:
+        result = mp.sendrecv({0: (1, np.arange(3.0)), 1: (0, np.arange(2.0))},
+                             tag="pairwise")
+        assert np.array_equal(result[1][0], np.arange(3.0))
+        assert np.array_equal(result[0][1], np.arange(2.0))
+
+
+# ---------------------------------------------------------------------------
+# capabilities
+# ---------------------------------------------------------------------------
+def test_capability_flags():
+    with SimulatedCluster(2) as sim, MultiprocessCluster(2) as mp:
+        assert sim.capabilities.fault_injection
+        assert not sim.capabilities.parallel_workers
+        assert not sim.capabilities.real_processes
+        assert not mp.capabilities.fault_injection
+        assert mp.capabilities.wire_pricing
+        assert mp.capabilities.worker_compute
+        assert mp.capabilities.parallel_workers
+        assert mp.capabilities.real_processes
+
+
+def test_mp_rejects_fault_plans_but_clears_them():
+    with MultiprocessCluster(2) as mp:
+        assert mp.install_fault_plan(None) is None  # clearing is universal
+        with pytest.raises(UnsupportedTransportFeature):
+            mp.install_fault_plan(FaultPlan(seed=0, drop_rate=0.1))
+        assert mp.fault_plan is None
+        assert mp.drain_lost() == []
+
+
+def _seed_draw_task(context, rank):
+    return float(np.random.default_rng(context["seed_sequence"]).normal())
+
+
+def test_worker_seed_streams_match_across_backends():
+    with SimulatedCluster(3) as sim, MultiprocessCluster(3) as mp:
+        reference = sim.run_workers(_seed_draw_task)
+        measured = mp.run_workers(_seed_draw_task)
+    assert reference == measured
+
+
+def _pid_task(context, rank):
+    return os.getpid()
+
+
+def test_mp_workers_are_real_processes():
+    with MultiprocessCluster(2) as mp:
+        pids = mp.run_workers(_pid_task)
+    assert os.getpid() not in pids.values()
+    assert pids[0] != pids[1]
+
+
+def _env_task(context, rank):
+    return os.environ.get(_CKERNELS_ENV, "")
+
+
+def test_kernel_env_propagates_into_workers(monkeypatch):
+    monkeypatch.setenv(_CKERNELS_ENV, "1")
+    with MultiprocessCluster(2) as mp:
+        values = mp.run_workers(_env_task)
+    assert values == {0: "1", 1: "1"}
+
+
+def _kernel_probe_task(context, rank):
+    from repro.sparse import compiled_kernels_available
+    return compiled_kernels_available()
+
+
+def test_kernel_handshake_reports_worker_state():
+    # Construction already performs the parent/worker kernel handshake;
+    # reaching here with live workers means it agreed.
+    from repro.sparse import compiled_kernels_available
+
+    with MultiprocessCluster(2) as mp:
+        states = mp.run_workers(_kernel_probe_task)
+    assert set(states.values()) == {compiled_kernels_available()}
+
+
+# ---------------------------------------------------------------------------
+# lifecycle and deadlock containment
+# ---------------------------------------------------------------------------
+def test_mp_close_is_idempotent_and_use_after_close_raises():
+    mp = MultiprocessCluster(2)
+    mp.close()
+    mp.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        mp.exchange([Message(src=0, dst=1, payload=1.0)])
+
+
+def _failing_task(context, rank):
+    raise ValueError(f"boom on rank {rank}")
+
+
+def test_worker_exception_propagates_and_tears_down():
+    mp = MultiprocessCluster(2)
+    with pytest.raises(RuntimeError, match="boom on rank"):
+        mp.run_workers(_failing_task)
+    with pytest.raises(RuntimeError, match="closed"):
+        mp.run_workers(_pid_task)
+
+
+def test_mp_resize_restarts_worker_pool():
+    with MultiprocessCluster(2) as mp:
+        before = mp.run_workers(_pid_task)
+        mp.resize(3)
+        after = mp.run_workers(_pid_task)
+        assert mp.num_workers == 3
+        assert len(after) == 3
+        assert set(before.values()).isdisjoint(after.values())
+
+
+# ---------------------------------------------------------------------------
+# backend spec strings
+# ---------------------------------------------------------------------------
+def test_parse_backend_spec():
+    assert parse_backend_spec("sim") == ("sim", None)
+    assert parse_backend_spec("mp:4") == ("mp", 4)
+    assert parse_backend_spec("SIM:2") == ("sim", 2)
+    for bad in ("tcp", "mp:", "mp:zero", "mp:0", "mp:-1"):
+        with pytest.raises(ValueError):
+            parse_backend_spec(bad)
+
+
+def test_make_transport_round_trips():
+    with make_transport("mp:2") as mp:
+        assert isinstance(mp, MultiprocessCluster)
+        assert transport_spec(mp) == "mp:2"
+    sim = make_transport("sim", num_workers=5)
+    assert isinstance(sim, SimulatedCluster)
+    assert transport_spec(sim) == "sim:5"
+    with pytest.raises(ValueError):
+        make_transport("mp")  # no worker count anywhere
+    with pytest.raises(ValueError):
+        make_transport("mp:2", num_workers=3)  # contradictory counts
+
+
+def test_api_backend_key_builds_the_transport():
+    sync = make("spardl?density=0.05&backend=mp:2", num_elements=NUM_ELEMENTS)
+    try:
+        assert isinstance(sync.cluster, MultiprocessCluster)
+        assert sync.cluster.num_workers == 2
+        assert describe(sync) == "spardl?density=0.05&backend=mp:2"
+        result = sync.synchronize(random_gradients(2, NUM_ELEMENTS, seed=3))
+        assert result.is_consistent
+    finally:
+        sync.cluster.close()
+
+
+def test_api_backend_key_round_trips_through_describe():
+    spec = "spardl?density=0.01&backend=mp:4"
+    assert parse_spec(spec).canonical() == spec
+    assert describe(spec) == spec
+    assert parse_spec(describe(spec)) == parse_spec(spec)
+
+
+def test_api_backend_without_worker_count_needs_a_cluster():
+    with pytest.raises(ValueError, match="worker count"):
+        make("dense?backend=mp", num_elements=NUM_ELEMENTS)
+    with SimulatedCluster(3) as sim:
+        sync = make("dense?backend=sim", sim, num_elements=NUM_ELEMENTS)
+        assert sync.cluster is sim
+        # describe() records the *effective* backend, with its worker count.
+        assert describe(sync) == "dense?backend=sim:3"
+
+
+def test_api_backend_key_must_agree_with_passed_cluster():
+    with SimulatedCluster(2) as sim:
+        with pytest.raises(ValueError, match="backend"):
+            make("dense?backend=mp:2", sim, num_elements=NUM_ELEMENTS)
+        with pytest.raises(ValueError, match="backend"):
+            make("dense?backend=sim:4", sim, num_elements=NUM_ELEMENTS)
+
+
+def test_api_without_backend_or_cluster_fails_loudly():
+    with pytest.raises(ValueError, match="cluster"):
+        make("dense", num_elements=NUM_ELEMENTS)
+
+
+def test_describe_keeps_sim_specs_unchanged():
+    with SimulatedCluster(2) as sim:
+        sync = make("spardl?density=0.05", sim, num_elements=NUM_ELEMENTS)
+        assert describe(sync) == "spardl?density=0.05"
+
+
+# ---------------------------------------------------------------------------
+# trainer compute modes
+# ---------------------------------------------------------------------------
+def _trainer(cluster, **config_overrides):
+    dataset = synthetic_image_classification(num_samples=48, num_classes=4,
+                                             image_size=4, channels=1,
+                                             seed=11)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=11)
+
+    def model_factory(seed):
+        from repro.nn.layers import Flatten
+        from repro.nn.module import Sequential
+        return Sequential(Flatten(),
+                          *build_mlp(input_dim=16, hidden_dims=[8],
+                                     num_outputs=4, seed=seed).layers)
+
+    from repro.api import make_factory
+    config = TrainerConfig(batch_size=8, learning_rate=0.05, seed=7,
+                           **config_overrides)
+    return DistributedTrainer(cluster, make_factory("spardl?density=0.1"),
+                              model_factory, train, test, config=config)
+
+
+def _final_params(trainer):
+    from repro.nn.parameter import flatten_values
+    return flatten_values(trainer.global_model.parameters())
+
+
+def test_trainer_offload_matches_inline_on_sim():
+    with SimulatedCluster(2) as sim:
+        inline = _trainer(sim, compute_mode="inline")
+        inline.train(num_epochs=2)
+    with SimulatedCluster(2) as sim:
+        offload = _trainer(sim, compute_mode="offload")
+        offload.train(num_epochs=2)
+    assert np.array_equal(_final_params(inline), _final_params(offload))
+    assert inline.compute_mode == "inline"
+    assert offload.compute_mode == "offload"
+
+
+def test_trainer_on_mp_backend_matches_sim_bit_for_bit():
+    with SimulatedCluster(2) as sim:
+        reference = _trainer(sim)
+        assert reference.compute_mode == "inline"  # auto on sim
+        history_sim = reference.train(num_epochs=2)
+    with MultiprocessCluster(2) as mp:
+        measured = _trainer(mp, check_consistency=True)
+        assert measured.compute_mode == "offload"  # auto on mp
+        history_mp = measured.train(num_epochs=2)
+        measured_params = _final_params(measured)
+    assert np.array_equal(_final_params(reference), measured_params)
+    losses_sim = [record.loss for record in history_sim.iterations]
+    losses_mp = [record.loss for record in history_mp.iterations]
+    assert losses_sim == losses_mp
+    assert history_sim.epochs[-1].eval_loss == history_mp.epochs[-1].eval_loss

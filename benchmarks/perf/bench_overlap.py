@@ -1,0 +1,216 @@
+"""Compute/comm overlap + bucket fusion trajectory point (PR 8).
+
+The payoff the per-layer bucketing of PR 4 has been waiting for: with the
+overlap-aware iteration timing (``training/timing.py``) and the
+MGWFBP/ASC fusion planners (``core/fusion.py``), bucketed SparDL finally
+*hides* communication behind the backward pass instead of paying ~9x
+latency rounds for nothing.  This bench trains the same scaled-down case
+as BENCH_PR4 under four layouts — flat, naive per-layer buckets, and the
+two ``buckets=auto`` fusion planners — and records, per layout, the
+simulated wall-clock with overlap, the hidden-communication total, and
+the fusion plan's bucket counts and predicted critical-path breakdown.
+Emitted as ``BENCH_PR8.json``, uploaded by CI next to the earlier
+trajectory points.
+
+Deterministic gates (wall time is recorded but never gated):
+
+* **fused beats flat**: ``buckets=auto`` (MGWFBP) simulated wall-clock is
+  *strictly below* flat SparDL — the first configuration in this repo
+  where bucketing wins end-to-end;
+* **no-overlap bit-exactness**: the same auto-fused run with
+  ``TrainerConfig(overlap_comm=False)`` reproduces the historical
+  sequential ``compute + comm`` sum bit for bit (per iteration); its
+  compute times are bit-identical to the overlapped run's and its
+  communication identical up to float association (per-bucket vs merged
+  summation order) — overlap only re-schedules, it never changes what is
+  measured;
+* **overlap accounting**: every overlapped bucketed run reports
+  ``0 <= hidden_comm <= comm`` and ``total == compute + comm - hidden``;
+* **plans partition the model**: each planner's bucket sizes sum to the
+  model's parameter count.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_overlap.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import make_factory
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.network import ETHERNET
+from repro.training.cases import get_case
+from repro.training.trainer import DistributedTrainer, TrainerConfig
+
+NUM_WORKERS = 4
+CASE_ID = 5
+SAMPLES = 160  # 5 iterations per epoch at batch 8 over 4 workers
+EPOCHS = 2
+DENSITY = 0.02
+
+
+def build_configs():
+    """label -> facade spec for the four benchmarked layouts."""
+    return {
+        "flat": f"spardl?density={DENSITY:g}",
+        "bucketed-layer": f"spardl?density={DENSITY:g}&buckets=layer",
+        "auto-mgwfbp": f"spardl?density={DENSITY:g}&buckets=auto:mgwfbp",
+        "auto-asc": f"spardl?density={DENSITY:g}&buckets=auto:asc",
+    }
+
+
+def run_config(spec: str, epochs: int, samples: int,
+               overlap: bool = True) -> dict:
+    case = get_case(CASE_ID)
+    train_set, test_set = case.build_datasets(num_samples=samples, seed=0)
+    trainer = DistributedTrainer(
+        SimulatedCluster(NUM_WORKERS), make_factory(spec), case.build_model,
+        train_set, test_set,
+        config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0,
+                             check_consistency=True, overlap_comm=overlap),
+        network=ETHERNET, compute_profile=case.compute_profile,
+        case_name=case.name,
+    )
+    start = time.perf_counter()
+    history = trainer.train(epochs)
+    wall = time.perf_counter() - start
+    plan = getattr(trainer.synchronizer, "fusion_plan", None)
+    num_buckets = getattr(trainer.synchronizer, "num_buckets", 1)
+    row = {
+        "spec": spec,
+        "overlap": overlap,
+        "num_buckets": num_buckets,
+        "iterations": len(history.iterations),
+        "wall_s": wall,
+        "sim_total_time_s": history.total_time,
+        "sim_comm_time_s": history.total_communication_time,
+        "sim_compute_time_s": history.total_compute_time,
+        "sim_hidden_comm_s": history.total_hidden_comm_time,
+        "rounds": trainer.session.cumulative_stats.rounds,
+        "final_train_loss": history.epochs[-1].train_loss,
+        "iteration_times_s": [r.total_time for r in history.iterations],
+        "iteration_decomposition": [
+            {"compute_s": r.compute_time, "comm_s": r.communication_time,
+             "hidden_s": r.hidden_comm_time}
+            for r in history.iterations
+        ],
+    }
+    if plan is not None:
+        # Per-plan bucket counts + predicted critical-path breakdown.
+        row["fusion_plan"] = plan.breakdown()
+        row["model_parameters"] = plan.total_elements
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR8.json",
+                        help="path of the JSON trajectory point to write")
+    parser.add_argument("--quick", action="store_true",
+                        help="one epoch (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record results without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    epochs = 1 if args.quick else EPOCHS
+    results = {label: run_config(spec, epochs, SAMPLES)
+               for label, spec in build_configs().items()}
+    # The bit-exactness reference: identical auto-fused run, overlap off.
+    sequential = run_config(build_configs()["auto-mgwfbp"], epochs, SAMPLES,
+                            overlap=False)
+
+    report = {
+        "bench": "PR8 compute/comm overlap + MGWFBP/ASC bucket fusion",
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "case": get_case(CASE_ID).name,
+            "samples": SAMPLES,
+            "epochs": epochs,
+            "density": DENSITY,
+            "network": ETHERNET.name,
+        },
+        "results": results,
+        "sequential_reference": sequential,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, row in results.items():
+        hidden_share = (row["sim_hidden_comm_s"] / row["sim_comm_time_s"]
+                        if row["sim_comm_time_s"] else 0.0)
+        print(f"{label:15s} buckets {row['num_buckets']:3d} | "
+              f"sim total {row['sim_total_time_s']:7.3f} s "
+              f"(comm {row['sim_comm_time_s']:7.3f} s, "
+              f"hidden {row['sim_hidden_comm_s']:7.3f} s = {hidden_share:5.1%}) | "
+              f"rounds {row['rounds']:5d} | loss {row['final_train_loss']:.4f}")
+    print(f"wrote {args.output}")
+
+    if args.no_gate:
+        return 0
+    failures = []
+    flat = results["flat"]
+    fused = results["auto-mgwfbp"]
+    # THE gate of this PR: fused bucketed strictly beats flat wall-clock.
+    if not fused["sim_total_time_s"] < flat["sim_total_time_s"]:
+        failures.append(
+            f"auto-fused bucketed SparDL must beat flat on simulated "
+            f"wall-clock ({fused['sim_total_time_s']:.4f} s vs "
+            f"{flat['sim_total_time_s']:.4f} s)")
+    # Overlap accounting invariants on every overlapped layout.
+    for label, row in results.items():
+        if not 0.0 <= row["sim_hidden_comm_s"] <= row["sim_comm_time_s"] + 1e-9:
+            failures.append(f"{label}: hidden comm must stay within [0, comm]")
+        expected = (row["sim_compute_time_s"] + row["sim_comm_time_s"]
+                    - row["sim_hidden_comm_s"])
+        if abs(row["sim_total_time_s"] - expected) > 1e-9:
+            failures.append(f"{label}: total must be compute + comm - hidden")
+    if flat["sim_hidden_comm_s"] != 0.0:
+        failures.append("flat runs cannot hide communication")
+    # Bit-exactness: overlap off == the historical sequential sum, and the
+    # decomposition matches the overlapped run exactly.
+    for fast, slow in zip(results["auto-mgwfbp"]["iteration_decomposition"],
+                          sequential["iteration_decomposition"]):
+        if slow["hidden_s"] != 0.0:
+            failures.append("overlap_comm=False must hide nothing")
+            break
+        if fast["compute_s"] != slow["compute_s"]:
+            failures.append("overlap must not change the measured "
+                            "compute time (bit-exact)")
+            break
+        # comm is the same measured quantity summed per bucket vs merged;
+        # only float association may differ.
+        if abs(fast["comm_s"] - slow["comm_s"]) > 1e-9 * max(1.0, slow["comm_s"]):
+            failures.append("overlap must not change the measured "
+                            "communication time")
+            break
+    seq_totals = sequential["iteration_times_s"]
+    seq_expected = [d["compute_s"] + d["comm_s"]
+                    for d in sequential["iteration_decomposition"]]
+    if seq_totals != seq_expected:
+        failures.append("no-overlap totals must equal compute + comm bit-exactly")
+    # Plans must partition the model.
+    for label in ("auto-mgwfbp", "auto-asc"):
+        row = results[label]
+        plan = row["fusion_plan"]
+        if sum(plan["bucket_sizes"]) != row["model_parameters"]:
+            failures.append(f"{label}: plan bucket sizes must sum to the "
+                            "model's parameter count")
+        if plan["num_buckets"] != row["num_buckets"]:
+            failures.append(f"{label}: synchroniser must use the planned layout")
+    if failures:
+        print("OVERLAP BENCH GATE FAILED: " + "; ".join(failures),
+              file=sys.stderr)
+        return 1
+    print("gates passed: fused < flat wall-clock, overlap accounting, "
+          "no-overlap bit-exactness, plans partition the model")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

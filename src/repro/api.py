@@ -25,8 +25,14 @@ alias (case-insensitive, as in the paper's figures) and the keys are:
 ``sag``     SparDL Spar-All-Gather mode: ``auto`` / ``rsag`` / ``bsag``
 ``residuals`` SparDL residual policy: ``global`` / ``partial`` / ``local`` / ``none``
 ``buckets`` ``flat`` (default), ``layer`` (one bucket per parameter tensor),
-            or ``size:N`` (SSFusion-style fusion of consecutive tensors up
-            to ``N`` elements); non-flat specs need a ``model``
+            ``size:N`` (SSFusion-style fusion of consecutive tensors up to
+            ``N`` elements), or ``auto`` / ``auto:mgwfbp`` / ``auto:asc``
+            (plan the fused layout with :mod:`repro.core.fusion`: MG-WFBP
+            merge-if-it-keeps-the-critical-path, or ASC alpha-saturation
+            coalescing, over an alpha-beta model calibrated from the
+            transport — ``auto`` is MG-WFBP); non-flat specs need a
+            ``model``, and ``auto`` planning reads the optional
+            ``network=`` / ``compute_profile=`` arguments of :func:`make`
 ``wire``    SparDL SRS wire format: ``packed`` (default) / ``per-block``
 ``deferred`` SparDL deferred residual accumulation: ``true`` / ``false``
 ``bits``    wire value quantization (all methods): bits per value in
@@ -66,6 +72,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .comm.transport import Transport, make_transport, parse_backend_spec, transport_spec
 from .core.base import GradientSynchronizer
 from .core.bucketed import BucketedSynchronizer, fuse_buckets, layer_buckets
+from .core.fusion import FUSION_PLANNERS, plan_buckets
 from .core.config import SAGMode, SparDLConfig
 from .core.residuals import ResidualPolicy
 from .core.schedules import parse_schedule
@@ -158,6 +165,12 @@ class SyncSpec:
         if self.backend is not None:
             kind, workers = parse_backend_spec(self.backend)
             self.backend = kind if workers is None else f"{kind}:{workers}"
+        if self.buckets.startswith("auto"):
+            planner = _bucket_planner(self.buckets)
+            if planner not in FUSION_PLANNERS:
+                raise ValueError(
+                    f"unknown fusion planner in buckets={self.buckets!r}; expected "
+                    f"auto, {', '.join('auto:' + p for p in FUSION_PLANNERS)}")
         # A sparse method without k/density is allowed at parse time (the
         # keyword arguments of make()/make_synchronizer may still supply
         # the target); the builders fail loudly when it is truly missing.
@@ -194,6 +207,13 @@ class SyncSpec:
     @property
     def is_bucketed(self) -> bool:
         return self.buckets != "flat"
+
+
+def _bucket_planner(buckets: str) -> str:
+    """The planner name behind a ``buckets=auto[:PLANNER]`` value."""
+    if buckets == "auto":
+        return "mgwfbp"
+    return buckets.partition(":")[2]
 
 
 def _parse_bool(key: str, value: str) -> bool:
@@ -303,13 +323,16 @@ def _bucket_layout(spec: SyncSpec, model) -> List[tuple]:
             f"buckets={spec.buckets} needs the model: pass model=... (anything with "
             "parameters()) so the bucket layout can be derived from its tensor shapes")
     buckets = layer_buckets(model)
-    if spec.buckets == "layer":
+    if spec.buckets == "layer" or spec.buckets.startswith("auto"):
+        # auto planning starts from the per-layer layout; the fusion plan
+        # itself is computed in make(), which has the transport in hand.
         return buckets
     if spec.buckets.startswith("size:"):
         max_elements = int(spec.buckets.split(":", 1)[1])
         return fuse_buckets(buckets, max_elements)
     raise ValueError(
-        f"unknown buckets mode {spec.buckets!r}; expected flat, layer or size:N")
+        f"unknown buckets mode {spec.buckets!r}; expected flat, layer, size:N "
+        "or auto[:mgwfbp|:asc]")
 
 
 def _resolve_backend(parsed: SyncSpec,
@@ -345,14 +368,26 @@ def _resolve_backend(parsed: SyncSpec,
 
 def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
          num_elements: Optional[int] = None, model=None,
+         network=None, compute_profile=None,
          **overrides) -> GradientSynchronizer:
     """Build a synchroniser from a spec string.
 
     ``num_elements`` gives the flat gradient length directly; ``model``
     (anything exposing ``parameters()``, e.g. a :class:`repro.nn.Module`)
-    derives it — and is required for ``buckets=layer`` / ``buckets=size:N``.
+    derives it — and is required for any non-flat ``buckets`` mode.
     Keyword ``overrides`` replace individual spec keys (same names as the
     grammar).
+
+    ``buckets=auto`` specs plan the fused layout here (see
+    :mod:`repro.core.fusion`): the alpha-beta model is calibrated by a
+    startup micro-benchmark on the transport — priced by ``network``
+    (a :class:`~repro.comm.network.NetworkProfile`, default
+    :data:`~repro.comm.network.ETHERNET`) on simulated backends, measured
+    wall-clock on real-process ones — and ``compute_profile`` (a
+    :class:`~repro.training.timing.ComputeProfile`) supplies the
+    per-bucket backward times the planner overlaps communication against.
+    Both are ignored by non-``auto`` specs.  The resulting plan is kept on
+    the synchroniser as ``fusion_plan``.
 
     ``cluster`` may be any :class:`~repro.comm.transport.Transport`; with a
     ``backend=KIND:P`` spec key it may be omitted and the transport is
@@ -386,10 +421,29 @@ def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
             flat_spec = dataclasses.replace(
                 flat_spec, k=None,
                 density=min(1.0, flat_spec.k / float(sum(sizes))))
+        plan = None
+        if parsed.buckets.startswith("auto"):
+            from .comm.network import ETHERNET
+            plan = plan_buckets(
+                layout,
+                planner=_bucket_planner(parsed.buckets),
+                method=parsed.method,
+                num_workers=cluster.num_workers,
+                density=flat_spec.density,
+                teams=parsed.teams,
+                num_bits=parsed.bits,
+                transport=cluster,
+                network=network if network is not None else ETHERNET,
+                compute_profile=compute_profile,
+            )
+            layout = plan.bucket_layout()
+            names = [name for name, _ in layout]
+            sizes = [size for _, size in layout]
         synchronizer: GradientSynchronizer = BucketedSynchronizer(
             cluster, sizes,
             factory=lambda c, n: _build_flat(flat_spec, c, n),
             bucket_names=names,
+            plan=plan,
         )
     else:
         if num_elements is None:
@@ -413,12 +467,16 @@ def make_factory(spec: "str | SyncSpec",
 
     This is the construction interface of
     :class:`~repro.training.trainer.DistributedTrainer`, which calls the
-    factory with its cluster and reference replica.
+    factory with its cluster and reference replica — plus, for factories
+    like this one that accept them, the trainer's ``network`` and
+    ``compute_profile``, so ``buckets=auto`` specs plan their fusion
+    against the very setting the run is timed with.  Keywords given here
+    win over that trainer-supplied context.
     """
     parsed = parse_spec(spec)  # fail fast on malformed specs
 
-    def factory(cluster: Transport, model) -> GradientSynchronizer:
-        return make(parsed, cluster, model=model, **overrides)
+    def factory(cluster: Transport, model, **context) -> GradientSynchronizer:
+        return make(parsed, cluster, model=model, **{**context, **overrides})
 
     factory.spec = parsed.canonical()
     return factory

@@ -104,13 +104,21 @@ class BucketedSynchronizer(GradientSynchronizer):
         its own residual state and schedule position.
     bucket_names:
         Optional display names (defaults to ``bucket0..``).
+    plan:
+        Optional :class:`~repro.core.fusion.FusionPlan` this layout was
+        derived from (set by ``api.make`` for ``buckets=auto`` specs).
+        Stored as :attr:`fusion_plan` purely for introspection — the
+        planner's predicted timeline and bucket counts surface in
+        benchmark reports; the synchroniser itself only consumes the
+        fused ``bucket_sizes``.
     """
 
     name = "Bucketed"
 
     def __init__(self, cluster: Transport, bucket_sizes: Sequence[int],
                  factory: BucketFactory,
-                 bucket_names: Optional[Sequence[str]] = None) -> None:
+                 bucket_names: Optional[Sequence[str]] = None,
+                 plan=None) -> None:
         sizes = [int(size) for size in bucket_sizes]
         if not sizes:
             raise ValueError("at least one bucket is required")
@@ -132,6 +140,8 @@ class BucketedSynchronizer(GradientSynchronizer):
         self.sessions: List[SyncSession] = [
             SyncSession(factory(cluster, size)) for size in sizes
         ]
+        #: The fusion plan behind this layout, when one was used.
+        self.fusion_plan = plan
         inner = self.sessions[0].synchronizer.name
         self.name = f"Bucketed[{len(sizes)}]({inner})"
 
@@ -180,6 +190,10 @@ class BucketedSynchronizer(GradientSynchronizer):
             "k": self._total_or_none("k", results),
             "final_nnz": self._total_or_none("final_nnz", results),
             "per_bucket_info": [outcome.info for outcome in results],
+            # Per-bucket statistics, forward order: the overlap-aware
+            # iteration timing schedules these against the per-bucket
+            # backward slices instead of pricing the merged aggregate.
+            "bucket_stats": [outcome.stats for outcome in results],
         }
         result = SyncResult(global_gradients=global_gradients, stats=stats, info=info)
         self.iteration += 1

@@ -10,17 +10,24 @@ __all__ = ["IterationRecord", "EpochRecord", "TrainingHistory"]
 
 @dataclass
 class IterationRecord:
-    """One synchronised training iteration."""
+    """One synchronised training iteration.
+
+    ``compute_time`` and ``communication_time`` stay the full quantities;
+    ``hidden_comm_time`` is the communication an overlapped bucketed
+    execution hid behind the backward pass (zero for flat runs), so
+    :attr:`total_time` reports the overlapped wall-clock.
+    """
 
     iteration: int
     epoch: int
     loss: float
     compute_time: float
     communication_time: float
+    hidden_comm_time: float = 0.0
 
     @property
     def total_time(self) -> float:
-        return self.compute_time + self.communication_time
+        return self.compute_time + self.communication_time - self.hidden_comm_time
 
 
 @dataclass
@@ -36,6 +43,9 @@ class EpochRecord:
     cumulative_time: float
     communication_time: float
     compute_time: float
+    #: Communication hidden behind backward compute this epoch (already
+    #: subtracted from ``epoch_time``).
+    hidden_comm_time: float = 0.0
 
 
 @dataclass
@@ -69,6 +79,11 @@ class TrainingHistory:
     @property
     def total_compute_time(self) -> float:
         return sum(record.compute_time for record in self.iterations)
+
+    @property
+    def total_hidden_comm_time(self) -> float:
+        """Communication hidden behind compute across the whole run."""
+        return sum(record.hidden_comm_time for record in self.iterations)
 
     @property
     def final_metric(self) -> float:

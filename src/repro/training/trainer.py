@@ -38,6 +38,7 @@ worker)`` and the arithmetic is the same either way.
 from __future__ import annotations
 
 import copy
+import inspect
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -101,6 +102,12 @@ class TrainerConfig:
     #: is what the backend benchmark measures; 0 (the default) disables the
     #: emulation.
     device_seconds_per_sample: float = 0.0
+    #: Use the overlap-aware iteration timing when the synchroniser reports
+    #: per-bucket statistics (bucketed layouts): each bucket's exchange is
+    #: scheduled against the per-bucket backward slices, and the hidden
+    #: communication is subtracted from the iteration time.  ``False``
+    #: restores the sequential ``compute + comm`` sum bit for bit.
+    overlap_comm: bool = True
 
     def schedule(self):
         if self.lr_step_epochs is None:
@@ -111,6 +118,23 @@ class TrainerConfig:
 #: A ready synchroniser, or ``factory(cluster, model)`` building one.
 SynchronizerLike = Union[GradientSynchronizer,
                          Callable[[Transport, Module], GradientSynchronizer]]
+
+
+def _accepted_kwargs(factory: Callable, candidates: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``candidates`` that ``factory``'s signature accepts
+    (by name or through ``**kwargs``); empty when the signature cannot be
+    inspected.  Lets the trainer pass optional context to factories that
+    take it without breaking plain ``lambda cluster, model`` factories."""
+    try:
+        parameters = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):
+        return {}
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+        return dict(candidates)
+    names = {p.name for p in parameters
+             if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                           inspect.Parameter.KEYWORD_ONLY)}
+    return {key: value for key, value in candidates.items() if key in names}
 
 
 # ---------------------------------------------------------------------------
@@ -211,11 +235,20 @@ class DistributedTrainer:
         self.replicas: List[Module] = [model_factory(self.config.seed)
                                        for _ in range(num_workers)]
         self.num_elements = self.replicas[0].num_parameters()
+        self.compute_profile = compute_profile or ComputeProfile(
+            compute_time_per_update=0.0, paper_parameters=self.num_elements
+        )
         if not isinstance(synchronizer, GradientSynchronizer):
             # A factory builds the synchroniser *from* the model, so flat and
             # bucketed layouts alike can never disagree with the parameter
             # count (the historical failure mode of pre-built synchronisers).
-            synchronizer = synchronizer(cluster, self.replicas[0])
+            # Factories that take them (e.g. api.make_factory) also receive
+            # the trainer's network and compute profile, so buckets=auto
+            # plans its fusion against the setting the run is timed with.
+            context = {"network": self.network,
+                       "compute_profile": self.compute_profile}
+            synchronizer = synchronizer(cluster, self.replicas[0],
+                                        **_accepted_kwargs(synchronizer, context))
         if self.num_elements != synchronizer.num_elements:
             raise ValueError(
                 f"synchroniser was built for {synchronizer.num_elements} gradients but the "
@@ -230,9 +263,6 @@ class DistributedTrainer:
             if not np.array_equal(flatten_values(replica.parameters()), reference):
                 raise RuntimeError("model_factory must produce identical replicas for a fixed seed")
 
-        self.compute_profile = compute_profile or ComputeProfile(
-            compute_time_per_update=0.0, paper_parameters=self.num_elements
-        )
         self._schedule = self.config.schedule()
         self.optimizers: List[SGD] = [
             SGD(replica.parameters(), learning_rate=self.config.learning_rate,
@@ -316,14 +346,16 @@ class DistributedTrainer:
         epoch_losses: List[float] = []
         epoch_comm = 0.0
         epoch_compute = 0.0
+        epoch_hidden = 0.0
         for _ in range(steps):
             record = self._train_step(epoch, iterators, learning_rate)
             epoch_losses.append(record.loss)
             epoch_comm += record.communication_time
             epoch_compute += record.compute_time
+            epoch_hidden += record.hidden_comm_time
 
         train_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
-        epoch_time = epoch_comm + epoch_compute
+        epoch_time = epoch_comm + epoch_compute - epoch_hidden
 
         if evaluate:
             eval_loss, eval_metric = self.evaluate()
@@ -339,6 +371,7 @@ class DistributedTrainer:
             cumulative_time=self.total_time,
             communication_time=epoch_comm,
             compute_time=epoch_compute,
+            hidden_comm_time=epoch_hidden,
         )
         self.history.add_epoch(record)
         return record
@@ -369,8 +402,17 @@ class DistributedTrainer:
                 losses.append(loss_value)
 
         result = self.session.step(gradients)
+        bucket_stats = bucket_sizes = None
+        if self.config.overlap_comm:
+            # Bucketed synchronisers report per-bucket statistics; schedule
+            # them against the backward slices so communication overlaps.
+            bucket_stats = result.info.get("bucket_stats")
+            if bucket_stats is not None:
+                bucket_sizes = result.info.get("bucket_sizes")
         timing = iteration_time(result.stats, self.network, self.compute_profile,
-                                model_parameters=self.num_elements)
+                                model_parameters=self.num_elements,
+                                bucket_stats=bucket_stats,
+                                bucket_sizes=bucket_sizes)
 
         num_workers = self.cluster.num_workers
         if self.compute_mode == "offload":
@@ -402,6 +444,7 @@ class DistributedTrainer:
             loss=float(np.mean(losses)),
             compute_time=timing.compute_time,
             communication_time=timing.communication_time,
+            hidden_comm_time=timing.hidden_comm_time,
         )
         self.history.add_iteration(record)
         self._iteration += 1

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp_st
 
 from repro.api import make, make_factory
 from repro.comm.cluster import SimulatedCluster
@@ -185,3 +187,74 @@ class TestTrainerWiring:
         with pytest.raises(ValueError, match="parameters"):
             DistributedTrainer(cluster, sync, case.build_model, train, test,
                                config=TrainerConfig(batch_size=8))
+
+
+class TestBucketLayoutProperties:
+    """Property backfill for fuse_buckets / layer_buckets (previously only
+    exercised through hand-picked examples)."""
+
+    buckets_strategy = hyp_st.lists(
+        hyp_st.tuples(hyp_st.text("abcdef", min_size=1, max_size=3),
+                      hyp_st.integers(1, 10_000)),
+        min_size=1, max_size=12)
+
+    @given(buckets=buckets_strategy, cap=hyp_st.integers(1, 20_000))
+    @settings(max_examples=60, deadline=None)
+    def test_fusion_preserves_total_size_and_ordering(self, buckets, cap):
+        fused = fuse_buckets(buckets, cap)
+        assert sum(size for _, size in fused) == sum(size for _, size in buckets)
+        # Ordering: the fused names, joined, reproduce the original order.
+        assert ("+".join(name for name, _ in fused)
+                == "+".join(name for name, _ in buckets))
+        # Never more groups than inputs; a huge cap fuses everything.
+        assert 1 <= len(fused) <= len(buckets)
+
+    @given(buckets=buckets_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_unbounded_cap_fuses_everything(self, buckets):
+        total = sum(size for _, size in buckets)
+        assert len(fuse_buckets(buckets, total)) == 1
+
+    @given(buckets=buckets_strategy, cap=hyp_st.integers(1, 20_000))
+    @settings(max_examples=60, deadline=None)
+    def test_groups_respect_cap_except_oversized_singletons(self, buckets, cap):
+        for name, size in fuse_buckets(buckets, cap):
+            assert size <= cap or "+" not in name
+
+    @given(cap=hyp_st.integers(-5, 0))
+    @settings(max_examples=10, deadline=None)
+    def test_rejects_non_positive_cap(self, cap):
+        with pytest.raises(ValueError):
+            fuse_buckets([("a", 10)], cap)
+
+    def test_single_parameter_model_produces_one_bucket(self):
+        class _OneParam:
+            name = "w"
+            size = 7
+
+        class _Module:
+            def parameters(self):
+                return [_OneParam()]
+
+        buckets = layer_buckets(_Module())
+        assert buckets == [("w", 7)]
+        # And fusion at any cap keeps the single bucket intact.
+        assert fuse_buckets(buckets, 1) == [("w", 7)]
+        assert fuse_buckets(buckets, 10_000) == [("w", 7)]
+
+    def test_empty_and_invalid_modules_rejected(self):
+        class _Empty:
+            def parameters(self):
+                return []
+
+        class _ZeroParam:
+            def parameters(self):
+                class P:
+                    name = "z"
+                    size = 0
+                return [P()]
+
+        with pytest.raises(ValueError):
+            layer_buckets(_Empty())
+        with pytest.raises(ValueError):
+            layer_buckets(_ZeroParam())

@@ -39,7 +39,8 @@ def test_doc_examples_run(relpath):
 def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
     for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
-                     "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json"):
+                     "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json",
+                     "BENCH_PR7.json", "BENCH_PR8.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -64,7 +65,8 @@ def test_api_doc_covers_every_spec_key_and_schedule_kind():
         assert f"`{key}`" in doc, f"docs/api.md does not document spec key {key!r}"
     for kind in SCHEDULE_KINDS:
         assert kind in doc, f"docs/api.md does not document schedule kind {kind!r}"
-    for buckets_mode in ("flat", "layer", "size:N"):
+    for buckets_mode in ("flat", "layer", "size:N", "auto",
+                         "auto:mgwfbp", "auto:asc"):
         assert buckets_mode in doc, (
             f"docs/api.md does not document buckets mode {buckets_mode!r}")
 
@@ -110,3 +112,28 @@ def test_api_doc_covers_fault_layer():
                   "poll_membership", "HeterogeneousNetwork",
                   "fault_extra_rounds", "BENCH_PR6.json"):
         assert token in doc, f"docs/api.md does not mention {token!r}"
+
+
+def test_api_doc_covers_overlap_and_fusion():
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for token in ("MGWFBP", "ASC", "fusion_plan", "AlphaBetaFit",
+                  "hidden_comm_time", "overlap_comm", "compute_profile",
+                  "BENCH_PR8.json"):
+        assert token in doc, f"docs/api.md does not mention {token!r}"
+
+
+def test_architecture_doc_covers_overlap_and_fusion():
+    doc = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    for token in ("Overlap & bucket fusion", "overlap_timeline",
+                  "ComputeProfile", "AlphaBetaFit", "benchmark_transport",
+                  "MGWFBP", "ASC", "FusionPlan", "hidden_comm",
+                  "BENCH_PR8.json"):
+        assert token in doc, f"docs/architecture.md does not mention {token!r}"
+
+
+def test_configuration_doc_covers_overlap_and_fusion():
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for token in ("buckets=auto", "overlap_comm", "ComputeProfile",
+                  "hidden_comm_time", "BENCH_PR8.json"):
+        assert token in doc, (
+            f"docs/configuration.md does not mention {token!r}")

@@ -1,0 +1,340 @@
+"""Property tests for the MGWFBP/ASC bucket-fusion planners, the alpha-beta
+fit, the transport micro-benchmark, and the spec-grammar wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import make, parse_spec
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.network import ETHERNET, RDMA, NetworkProfile
+from repro.core.fusion import (
+    AlphaBetaFit,
+    FusionPlan,
+    benchmark_transport,
+    bucket_comm_model,
+    fit_alpha_beta,
+    plan_asc,
+    plan_buckets,
+    plan_mgwfbp,
+)
+from repro.nn.models import build_mlp
+from repro.training.timing import ComputeProfile
+
+PLANNERS = {"mgwfbp": plan_mgwfbp, "asc": plan_asc}
+
+
+def _linear_estimator(rounds: float = 1.0):
+    """A purely additive comm model: one round, volume == elements."""
+    return lambda elements: (rounds, float(elements))
+
+
+def _layers(sizes):
+    return [(f"l{i}", size) for i, size in enumerate(sizes)]
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+layer_sizes = st.lists(st.integers(1, 50_000), min_size=1, max_size=8)
+alpha_values = st.floats(0.0, 1.0)
+beta_values = st.floats(0.0, 1e-4)
+
+
+@st.composite
+def layout_and_computes(draw):
+    sizes = draw(layer_sizes)
+    computes = draw(st.lists(st.floats(0.0, 0.5), min_size=len(sizes),
+                             max_size=len(sizes)))
+    return sizes, computes
+
+
+class TestPlanIsValidPartition:
+    @given(data=layout_and_computes(), planner=st.sampled_from(["mgwfbp", "asc"]),
+           alpha=alpha_values, beta=beta_values)
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_sum_and_order_preserved(self, data, planner, alpha, beta):
+        sizes, computes = data
+        fit = AlphaBetaFit(alpha=alpha, beta=beta)
+        plan = PLANNERS[planner](_layers(sizes), computes,
+                                 _linear_estimator(), fit)
+        # Sizes sum to the model's parameter count.
+        assert sum(plan.sizes) == sum(sizes)
+        # Order preserved: joining the fused names reproduces the layer
+        # names in their original order.
+        assert "+".join(plan.names) == "+".join(name for name, _ in _layers(sizes))
+        # Groups are a contiguous ordered cover (FusionPlan validates too).
+        assert plan.groups[0][0] == 0
+        assert plan.groups[-1][1] == len(sizes)
+        for (_, stop), (start, _) in zip(plan.groups, plan.groups[1:]):
+            assert stop == start
+
+    @given(data=layout_and_computes(), planner=st.sampled_from(["mgwfbp", "asc"]),
+           method=st.sampled_from(["SparDL", "Dense", "TopkA", "gTopk"]),
+           workers=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_holds_under_table_one_models(self, data, planner,
+                                                   method, workers):
+        sizes, computes = data
+        profile = ComputeProfile(0.1, 1e6,
+                                 bucket_backward_times=tuple(computes))
+        plan = plan_buckets(_layers(sizes), planner=planner, method=method,
+                            num_workers=workers, density=0.05,
+                            network=ETHERNET, compute_profile=profile)
+        assert sum(plan.sizes) == sum(sizes)
+        assert plan.num_buckets <= len(sizes)
+
+
+class TestPlanNeverExceedsSequential:
+    @given(data=layout_and_computes(), planner=st.sampled_from(["mgwfbp", "asc"]),
+           alpha=alpha_values, beta=beta_values)
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_bounded_by_sequential(self, data, planner, alpha, beta):
+        sizes, computes = data
+        fit = AlphaBetaFit(alpha=alpha, beta=beta)
+        plan = PLANNERS[planner](_layers(sizes), computes,
+                                 _linear_estimator(), fit)
+        assert (plan.predicted.critical_path
+                <= plan.predicted_sequential * (1 + 1e-9) + 1e-12)
+
+    @given(data=layout_and_computes(), planner=st.sampled_from(["mgwfbp", "asc"]),
+           alpha=alpha_values)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_even_under_superadditive_volumes(self, data, planner, alpha):
+        """Per-bucket k-rounding can make a merged bucket's estimated volume
+        exceed the sum of its parts; the plans must still never predict
+        worse than the sequential per-layer baseline (ASC's fallback guard
+        exists for exactly this)."""
+        sizes, computes = data
+        fit = AlphaBetaFit(alpha=alpha, beta=1e-6)
+        superadditive = lambda n: (1.0, float(n) ** 1.5)
+        plan = PLANNERS[planner](_layers(sizes), computes, superadditive, fit)
+        assert (plan.predicted.critical_path
+                <= plan.predicted_sequential * (1 + 1e-9) + 1e-12)
+
+
+class TestDegenerateRegimes:
+    @given(data=layout_and_computes(), planner=st.sampled_from(["mgwfbp", "asc"]))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_dominant_fuses_to_a_single_bucket(self, data, planner):
+        """With a latency-only network every extra bucket costs a full
+        round and saves nothing: both planners must fuse everything."""
+        sizes, computes = data
+        fit = AlphaBetaFit(alpha=1.0, beta=0.0)
+        plan = PLANNERS[planner](_layers(sizes), computes,
+                                 _linear_estimator(), fit)
+        assert plan.num_buckets == 1
+
+    @given(sizes=layer_sizes, planner=st.sampled_from(["mgwfbp", "asc"]),
+           computes=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_beta_dominant_keeps_per_layer_buckets(self, sizes, planner,
+                                                   computes):
+        """With zero latency, fusing only delays gradients that could have
+        been on the wire (the merged exchange cannot start before the whole
+        group's backward finishes), so per-layer buckets are optimal."""
+        times = computes.draw(st.lists(st.floats(1e-3, 0.5),
+                                       min_size=len(sizes),
+                                       max_size=len(sizes)))
+        fit = AlphaBetaFit(alpha=0.0, beta=1e-3)
+        plan = PLANNERS[planner](_layers(sizes), times,
+                                 _linear_estimator(), fit)
+        assert plan.num_buckets == len(sizes)
+
+    def test_asc_bucket_count_tracks_saturation_size(self):
+        """ASC closes a bucket once beta * volume >= alpha * rounds, so a
+        larger alpha/beta ratio yields fewer, larger buckets."""
+        sizes = [1000] * 8
+        computes = [0.01] * 8
+        counts = []
+        for alpha in (0.0, 1e-3, 1.0):
+            fit = AlphaBetaFit(alpha=alpha, beta=1e-6)
+            plan = plan_asc(_layers(sizes), computes, _linear_estimator(), fit)
+            counts.append(plan.num_buckets)
+        assert counts[0] == 8  # free latency: per-layer
+        assert counts[-1] == 1  # latency-dominated: one flat bucket
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_single_layer_is_always_one_bucket(self):
+        for planner in PLANNERS.values():
+            plan = planner(_layers([123]), [0.1], _linear_estimator(),
+                           AlphaBetaFit(alpha=0.1, beta=1e-6))
+            assert plan.num_buckets == 1
+            assert plan.sizes == [123]
+
+
+class TestPlanInputValidation:
+    def test_rejects_empty_and_mismatched_inputs(self):
+        fit = AlphaBetaFit(alpha=0.1, beta=1e-6)
+        with pytest.raises(ValueError):
+            plan_mgwfbp([], [], _linear_estimator(), fit)
+        with pytest.raises(ValueError):
+            plan_mgwfbp(_layers([10, 20]), [0.1], _linear_estimator(), fit)
+        with pytest.raises(ValueError):
+            plan_mgwfbp(_layers([10]), [-0.1], _linear_estimator(), fit)
+        with pytest.raises(ValueError):
+            plan_mgwfbp([("a", 0)], [0.1], _linear_estimator(), fit)
+
+    def test_unknown_planner_rejected(self):
+        with pytest.raises(ValueError, match="planner"):
+            plan_buckets(_layers([10]), planner="bogus", num_workers=4,
+                         density=0.1, network=ETHERNET)
+
+    def test_sparse_method_needs_density(self):
+        with pytest.raises(ValueError, match="density"):
+            plan_buckets(_layers([10]), num_workers=4, network=ETHERNET)
+
+    def test_needs_a_cost_model_source(self):
+        with pytest.raises(ValueError, match="alpha-beta"):
+            plan_buckets(_layers([10]), num_workers=4, density=0.1)
+
+    def test_fusion_plan_rejects_invalid_groups(self):
+        fit = AlphaBetaFit(alpha=0.1, beta=1e-6)
+        good = plan_mgwfbp(_layers([10, 20]), [0.1, 0.1],
+                           _linear_estimator(), fit)
+        with pytest.raises(ValueError):
+            FusionPlan(planner="mgwfbp", layers=good.layers,
+                       groups=((0, 1),), fit=fit, volume_scale=1.0,
+                       predicted=good.predicted,
+                       predicted_sequential=good.predicted_sequential)
+        with pytest.raises(ValueError):
+            FusionPlan(planner="mgwfbp", layers=good.layers,
+                       groups=((0, 1), (0, 2)), fit=fit, volume_scale=1.0,
+                       predicted=good.predicted,
+                       predicted_sequential=good.predicted_sequential)
+
+
+class TestAlphaBetaFit:
+    @given(alpha=st.floats(0.0, 1.0), beta=st.floats(0.0, 1e-4))
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_exact_linear_model(self, alpha, beta):
+        sizes = [256.0, 2048.0, 16384.0, 131072.0]
+        times = [alpha + beta * s for s in sizes]
+        fit = fit_alpha_beta(sizes, times)
+        assert fit.alpha == pytest.approx(alpha, abs=1e-9)
+        assert fit.beta == pytest.approx(beta, rel=1e-6, abs=1e-15)
+
+    def test_clamps_negative_coefficients(self):
+        # Decreasing times would fit beta < 0: clamped to a valid model.
+        fit = fit_alpha_beta([100.0, 200.0, 300.0], [3.0, 2.0, 1.0])
+        assert fit.beta == 0.0
+        assert fit.alpha >= 0.0
+
+    def test_rejects_degenerate_samples(self):
+        with pytest.raises(ValueError):
+            fit_alpha_beta([100.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_alpha_beta([100.0, 100.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            AlphaBetaFit(alpha=-1.0, beta=0.0)
+
+    def test_saturation_size(self):
+        assert AlphaBetaFit(alpha=2.0, beta=0.5).saturation_size == 4.0
+        assert AlphaBetaFit(alpha=1.0, beta=0.0).saturation_size == float("inf")
+
+
+class TestBenchmarkTransport:
+    def test_recovers_network_profile_on_simulated_backend(self):
+        cluster = SimulatedCluster(4)
+        for profile in (ETHERNET, RDMA):
+            fit = benchmark_transport(cluster, network=profile)
+            assert fit.source == "benchmark:simulated"
+            assert fit.alpha == pytest.approx(profile.alpha, rel=1e-6)
+            assert fit.beta == pytest.approx(profile.beta, rel=1e-6)
+
+    def test_probes_do_not_pollute_training_stats(self):
+        cluster = SimulatedCluster(4)
+        cluster.stats.record_round([(0, 1, 500.0)])
+        before_rounds = cluster.stats.rounds
+        before_received = list(cluster.stats.received_per_worker)
+        benchmark_transport(cluster, network=ETHERNET)
+        assert cluster.stats.rounds == before_rounds
+        assert cluster.stats.received_per_worker == before_received
+
+    def test_single_worker_falls_back_to_profile(self):
+        fit = benchmark_transport(SimulatedCluster(1), network=ETHERNET)
+        assert fit.source == "profile"
+        assert fit.alpha == ETHERNET.alpha
+        with pytest.raises(ValueError):
+            benchmark_transport(SimulatedCluster(1))
+
+    def test_simulated_backend_requires_network(self):
+        with pytest.raises(ValueError, match="NetworkProfile"):
+            benchmark_transport(SimulatedCluster(4))
+
+
+class TestCommModels:
+    def test_dense_needs_no_density_and_sparse_does(self):
+        dense = bucket_comm_model("Dense", num_workers=4)
+        rounds, volume = dense(1000)
+        assert rounds > 0 and volume > 0
+        with pytest.raises(ValueError, match="density"):
+            bucket_comm_model("SparDL", num_workers=4)
+
+    def test_sparse_bucket_keeps_at_least_one_entry(self):
+        model = bucket_comm_model("SparDL", num_workers=4, density=0.001)
+        _, tiny_volume = model(10)  # k would round to 0 without the clamp
+        assert tiny_volume > 0
+
+    def test_quantization_shrinks_the_volume(self):
+        full = bucket_comm_model("SparDL", num_workers=4, density=0.05)
+        quant = bucket_comm_model("SparDL", num_workers=4, density=0.05,
+                                  num_bits=4)
+        assert quant(10_000)[1] < full(10_000)[1]
+        assert quant(10_000)[0] == full(10_000)[0]  # rounds unchanged
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bucket_comm_model("SparDL", num_workers=0, density=0.1)
+        with pytest.raises(ValueError):
+            bucket_comm_model("SparDL", num_workers=4, density=1.5)
+        with pytest.raises(ValueError):
+            bucket_comm_model("NoSuchMethod", num_workers=4, density=0.1)(100)
+        with pytest.raises(ValueError):
+            bucket_comm_model("Dense", num_workers=4)(0)
+
+
+class TestSpecGrammar:
+    def test_auto_specs_round_trip(self):
+        for buckets in ("auto", "auto:mgwfbp", "auto:asc"):
+            spec = parse_spec(f"spardl?density=0.05&buckets={buckets}")
+            assert spec.buckets == buckets
+            assert parse_spec(spec.canonical()).buckets == buckets
+
+    def test_unknown_planner_suffix_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="planner"):
+            parse_spec("spardl?density=0.05&buckets=auto:bogus")
+
+    def test_make_attaches_the_plan_and_honours_the_planner(self):
+        model = build_mlp(20, [32, 16], 4, seed=0)
+        profile = ComputeProfile(0.13, 35.2e6)
+        for buckets, planner in (("auto", "mgwfbp"),
+                                 ("auto:mgwfbp", "mgwfbp"),
+                                 ("auto:asc", "asc")):
+            sync = make(f"spardl?density=0.05&buckets={buckets}",
+                        SimulatedCluster(4), model=model,
+                        network=ETHERNET, compute_profile=profile)
+            assert sync.fusion_plan is not None
+            assert sync.fusion_plan.planner == planner
+            assert sync.bucket_sizes == sync.fusion_plan.sizes
+            assert sum(sync.bucket_sizes) == model.num_parameters()
+
+    def test_non_auto_buckets_have_no_plan(self):
+        model = build_mlp(20, [32, 16], 4, seed=0)
+        sync = make("spardl?density=0.05&buckets=layer",
+                    SimulatedCluster(4), model=model)
+        assert sync.fusion_plan is None
+
+    def test_breakdown_is_json_serialisable(self):
+        import json
+
+        plan = plan_buckets(_layers([100, 200, 300]), num_workers=4,
+                            density=0.05, network=ETHERNET,
+                            compute_profile=ComputeProfile(0.1, 1e6))
+        payload = json.loads(json.dumps(plan.breakdown()))
+        assert payload["num_buckets"] == plan.num_buckets
+        assert payload["predicted"]["critical_path_s"] == pytest.approx(
+            plan.predicted.critical_path)

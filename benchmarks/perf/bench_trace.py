@@ -1,0 +1,277 @@
+"""Observability trajectory point (PR 9): tracing overhead + trace validity.
+
+Three legs, recorded as ``BENCH_PR9.json`` (plus the exported Chrome
+trace ``BENCH_PR9_trace.json``, uploaded by CI next to it):
+
+1. **Overhead** — the same simulated training run untraced and with
+   ``trace=comm`` (the most expensive level: a span per stage and an
+   instant per wire message).  Gates: the traced run is *bit-identical*
+   to the untraced one (final parameters, per-iteration losses, rounds
+   and messages — tracing observes, it never participates), the tracer's
+   ``messages_total`` equals the cumulative ``CommStats.total_messages``,
+   and the min-of-repeats wall-clock overhead stays below **5%**.
+2. **Content** — a bucketed SparDL run under a lossy ``FaultPlan`` with
+   the overlap-aware trainer, exported to Chrome trace-event JSON.
+   Gates: the file re-validates (``validate_chrome_trace``: well-formed,
+   monotone, properly nested spans) and covers the five event categories
+   ``stage``, ``message``, ``retry``, ``iteration`` and ``overlap``.
+3. **Per-rank streams** — a short ``backend=mp:2`` run; the two worker
+   processes record their own spans, drained into the merged trace at
+   close.  Gate: the export carries both worker pids (1000 and 1001).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_trace.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import make, make_factory
+from repro.comm.cluster import SimulatedCluster
+from repro.comm.faults import FaultPlan
+from repro.comm.network import ETHERNET
+from repro.core.pipeline import SyncSession
+from repro.nn.parameter import flatten_values
+from repro.obs import validate_chrome_trace, worker_pid
+from repro.training.cases import get_case
+from repro.training.trainer import DistributedTrainer, TrainerConfig
+
+NUM_WORKERS = 4
+CASE_ID = 5
+SAMPLES = 160  # 5 iterations per epoch at batch 8 over 4 workers
+EPOCHS = 2
+DENSITY = 0.02
+REPEATS = 5
+REQUIRED_CATEGORIES = ("stage", "message", "retry", "iteration", "overlap")
+
+
+def run_training(trace: str, epochs: int) -> dict:
+    """One deterministic simulated training run; returns its fingerprint."""
+    case = get_case(CASE_ID)
+    train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
+    trainer = DistributedTrainer(
+        SimulatedCluster(NUM_WORKERS),
+        make_factory(f"spardl?density={DENSITY:g}"),
+        case.build_model, train_set, test_set,
+        config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0, trace=trace),
+        network=ETHERNET, compute_profile=case.compute_profile,
+        case_name=case.name,
+    )
+    start = time.perf_counter()
+    history = trainer.train(epochs)
+    wall = time.perf_counter() - start
+    stats = trainer.session.cumulative_stats
+    fingerprint = {
+        "wall_s": wall,
+        "final_params": flatten_values(trainer.replicas[0].parameters()),
+        "iteration_losses": [record.loss for record in history.iterations],
+        "rounds": stats.rounds,
+        "total_messages": stats.total_messages,
+        "total_volume": stats.total_volume,
+    }
+    if trainer.tracer is not None:
+        snapshot = trainer.tracer.snapshot()
+        fingerprint["traced_messages"] = sum(
+            value for key, value in snapshot.items()
+            if key.startswith("messages_total{"))
+        fingerprint["events"] = len(trainer.tracer.events)
+    return fingerprint
+
+
+def leg_overhead(epochs: int, repeats: int) -> tuple[dict, list[str]]:
+    """Traced-vs-untraced repeats; min-of-repeats overhead + bit-equality."""
+    failures: list[str] = []
+    # One unrecorded warm-up per mode, then interleaved repeats: allocator
+    # and cache warm-up land outside the timings, and slow drift (CPU
+    # frequency, co-tenants) hits both modes evenly instead of whichever
+    # batch ran second.  min-of-repeats then prices the quiet iterations.
+    run_training("off", epochs)
+    run_training("comm", epochs)
+    untraced, traced = [], []
+    for _ in range(repeats):
+        untraced.append(run_training("off", epochs))
+        traced.append(run_training("comm", epochs))
+
+    reference = untraced[0]
+    for label, runs in (("untraced", untraced[1:]), ("traced", traced)):
+        for run in runs:
+            if not np.array_equal(run["final_params"], reference["final_params"]):
+                failures.append(f"{label} run diverged: final parameters differ")
+            if run["iteration_losses"] != reference["iteration_losses"]:
+                failures.append(f"{label} run diverged: per-iteration losses differ")
+            if (run["rounds"], run["total_messages"], run["total_volume"]) != (
+                    reference["rounds"], reference["total_messages"],
+                    reference["total_volume"]):
+                failures.append(f"{label} run diverged: CommStats differ")
+    for run in traced:
+        if run["traced_messages"] != run["total_messages"]:
+            failures.append(
+                f"tracer counted {run['traced_messages']} messages but "
+                f"CommStats recorded {run['total_messages']}")
+
+    untraced_wall = min(run["wall_s"] for run in untraced)
+    traced_wall = min(run["wall_s"] for run in traced)
+    overhead = traced_wall / untraced_wall - 1.0
+    report = {
+        "repeats": repeats,
+        "untraced_wall_s": [run["wall_s"] for run in untraced],
+        "traced_wall_s": [run["wall_s"] for run in traced],
+        "untraced_min_s": untraced_wall,
+        "traced_min_s": traced_wall,
+        "overhead": overhead,
+        "events_per_run": traced[0]["events"],
+        "messages_per_run": reference["total_messages"],
+        "bit_identical": not failures,
+    }
+    return report, failures
+
+
+def leg_content(epochs: int, trace_path: Path) -> tuple[dict, list[str]]:
+    """Bucketed + faulty + overlapped run, exported and re-validated."""
+    failures: list[str] = []
+    case = get_case(CASE_ID)
+    train_set, test_set = case.build_datasets(num_samples=SAMPLES, seed=0)
+    cluster = SimulatedCluster(NUM_WORKERS)
+    cluster.install_fault_plan(FaultPlan(seed=9, drop_rate=0.25))
+    trainer = DistributedTrainer(
+        cluster, make_factory(f"spardl?density={DENSITY:g}&buckets=layer"),
+        case.build_model, train_set, test_set,
+        config=TrainerConfig(batch_size=8, learning_rate=case.learning_rate,
+                             momentum=case.momentum, seed=0, trace="comm",
+                             overlap_comm=True),
+        network=ETHERNET, compute_profile=case.compute_profile,
+        case_name=case.name,
+    )
+    trainer.train(epochs)
+    trainer.tracer.export_chrome(trace_path)
+    try:
+        info = validate_chrome_trace(trace_path)
+    except ValueError as error:
+        return {"trace_file": str(trace_path)}, [f"exported trace invalid: {error}"]
+    missing = [cat for cat in REQUIRED_CATEGORIES if cat not in info["categories"]]
+    if missing:
+        failures.append(f"trace is missing event categories {missing}")
+    if info["spans"] <= 0 or info["instants"] <= 0:
+        failures.append("trace must contain both spans and instant markers")
+    report = {
+        "trace_file": str(trace_path),
+        "validated": dict(info),
+        "fault_events": {
+            key: value for key, value in trainer.tracer.snapshot().items()
+            if key.startswith("fault_events_total{")},
+    }
+    return report, failures
+
+
+def leg_mp_streams(iterations: int) -> tuple[dict, list[str]]:
+    """backend=mp:2 run: both worker processes stream into one trace."""
+    failures: list[str] = []
+    sync = make(f"spardl?density=0.05&backend=mp:2&trace=comm",
+                num_elements=2_000)
+    try:
+        session = SyncSession(sync)
+        for index in range(iterations):
+            grads = {rank: np.random.default_rng(100 * index + rank)
+                     .normal(size=2_000) for rank in sync.cluster.ranks}
+            session.step(grads)
+    finally:
+        sync.cluster.close()
+    document = sync.tracer.export_chrome()
+    info = validate_chrome_trace(document)
+    expected_pids = {worker_pid(0), worker_pid(1)}
+    present = expected_pids & set(info["pids"])
+    if present != expected_pids:
+        failures.append(
+            f"merged trace must carry both worker streams; found pids "
+            f"{sorted(info['pids'])}")
+    worker_spans = [event for event in document["traceEvents"]
+                    if event.get("pid") in expected_pids
+                    and event.get("ph") == "X"]
+    if not worker_spans:
+        failures.append("worker streams must contain exchange spans")
+    report = {
+        "iterations": iterations,
+        "validated": dict(info),
+        "worker_pids": sorted(present),
+        "worker_spans": len(worker_spans),
+    }
+    return report, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_PR9.json",
+                        help="path of the JSON trajectory point to write")
+    parser.add_argument("--trace-output", default="BENCH_PR9_trace.json",
+                        help="path of the exported Chrome trace")
+    parser.add_argument("--quick", action="store_true",
+                        help="one epoch, two repeats (CI smoke mode)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record results without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    epochs = 1 if args.quick else EPOCHS
+    repeats = 2 if args.quick else REPEATS
+
+    overhead_report, failures = leg_overhead(epochs, repeats)
+    content_report, content_failures = leg_content(epochs,
+                                                   Path(args.trace_output))
+    mp_report, mp_failures = leg_mp_streams(iterations=2 if args.quick else 3)
+    failures += content_failures + mp_failures
+
+    report = {
+        "bench": "PR9 observability: tracing overhead + Chrome-trace validity",
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "case": get_case(CASE_ID).name,
+            "samples": SAMPLES,
+            "epochs": epochs,
+            "density": DENSITY,
+            "trace_level": "comm",
+        },
+        "overhead": overhead_report,
+        "content": content_report,
+        "mp_streams": mp_report,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"overhead: traced {overhead_report['traced_min_s']:.3f} s vs "
+          f"untraced {overhead_report['untraced_min_s']:.3f} s "
+          f"({overhead_report['overhead']:+.2%}), "
+          f"{overhead_report['events_per_run']} events per run, "
+          f"bit-identical: {overhead_report['bit_identical']}")
+    print(f"content: {content_report.get('validated', {})}")
+    print(f"mp: pids {mp_report['worker_pids']}, "
+          f"{mp_report['worker_spans']} worker spans")
+    print(f"wrote {args.output} and {args.trace_output}")
+
+    if args.no_gate:
+        return 0
+    # The wall-clock gate is the only noise-sensitive one; everything else
+    # above is deterministic.
+    if overhead_report["overhead"] >= 0.05:
+        failures.append(
+            f"tracing overhead {overhead_report['overhead']:.2%} exceeds the "
+            "5% end-to-end budget")
+    if failures:
+        print("TRACE BENCH GATE FAILED: " + "; ".join(failures),
+              file=sys.stderr)
+        return 1
+    print("gates passed: bit-identical traced runs, <5% overhead, valid "
+          "nested Chrome trace covering "
+          + "/".join(REQUIRED_CATEGORIES)
+          + ", per-rank mp streams merged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

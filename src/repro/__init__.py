@@ -22,6 +22,9 @@ contribution:
   cluster, per-iteration simulated timing and the seven evaluation cases.
 * :mod:`repro.analysis` — the closed-form complexity of Table I and report
   formatting helpers.
+* :mod:`repro.obs` — the observability subsystem: structured trace spans
+  and instant markers (:class:`~repro.obs.Tracer`), a labelled metrics
+  registry, and Chrome trace-event export for every seam above.
 
 Quickstart
 ----------
@@ -70,9 +73,10 @@ from .core import (
     SyncStage,
     WarmupSchedule,
 )
+from .obs import MetricsRegistry, TraceLevel, Tracer
 from .sparse import BlockLayout, SparseGradient
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -108,4 +112,7 @@ __all__ = [
     "SAGMode",
     "SparDLConfig",
     "SparDLSynchronizer",
+    "Tracer",
+    "TraceLevel",
+    "MetricsRegistry",
 ]

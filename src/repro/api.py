@@ -48,6 +48,14 @@ alias (case-insensitive, as in the paper's figures) and the keys are:
             ``cluster`` may be omitted.  ``sim`` / ``mp`` without ``:P``
             are accepted when an explicit ``cluster`` supplies the worker
             count.  Absent = use the ``cluster`` argument as-is.
+``trace``   observability level: ``off`` (default; no tracer is constructed
+            and every method stays bit-identical to the untraced pipeline),
+            ``steps`` (step/stage/epoch spans, membership markers, the
+            replayed overlap timeline) or ``comm`` (everything plus
+            per-message admission events and per-fault markers).  The
+            :class:`~repro.obs.trace.Tracer` is attached to the built
+            synchroniser (``sync.tracer``) and installed on its transport;
+            see ``docs/observability.md``.
 ========== ===================================================================
 
 :func:`make` builds a ready synchroniser (a
@@ -77,6 +85,7 @@ from .core.config import SAGMode, SparDLConfig
 from .core.residuals import ResidualPolicy
 from .core.schedules import parse_schedule
 from .core.spardl import SparDLSynchronizer
+from .obs import TraceLevel, Tracer, attach_tracer
 
 __all__ = [
     "SYNCHRONIZER_NAMES",
@@ -121,7 +130,7 @@ _SPEC_NAMES: Dict[str, str] = {
 
 #: Recognised spec keys, in canonical serialisation order.
 _SPEC_KEYS = ("k", "density", "teams", "sag", "residuals", "schedule",
-              "buckets", "wire", "deferred", "bits", "backend")
+              "buckets", "wire", "deferred", "bits", "backend", "trace")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -144,6 +153,7 @@ class SyncSpec:
     deferred: bool = False
     bits: Optional[int] = None
     backend: Optional[str] = None
+    trace: str = "off"
     #: Extra builder options that are not part of the spec grammar
     #: (e.g. ``sparsify_all_blocks`` for the ablation benchmark).
     extras: Dict[str, Any] = field(default_factory=dict)
@@ -165,6 +175,7 @@ class SyncSpec:
         if self.backend is not None:
             kind, workers = parse_backend_spec(self.backend)
             self.backend = kind if workers is None else f"{kind}:{workers}"
+        self.trace = TraceLevel.coerce(self.trace).name.lower()
         if self.buckets.startswith("auto"):
             planner = _bucket_planner(self.buckets)
             if planner not in FUSION_PLANNERS:
@@ -201,6 +212,8 @@ class SyncSpec:
             params.append(f"bits={self.bits}")
         if self.backend is not None:
             params.append(f"backend={self.backend}")
+        if self.trace != "off":
+            params.append(f"trace={self.trace}")
         name = _SPEC_NAMES[self.method]
         return f"{name}?{'&'.join(params)}" if params else name
 
@@ -456,6 +469,10 @@ def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
         # describe() round-trips e.g. "spardl?density=0.01&backend=mp:4".
         parsed = dataclasses.replace(parsed, backend=transport_spec(cluster),
                                      extras=dict(parsed.extras))
+    if parsed.trace != "off":
+        # One tracer per built synchroniser, spanning the inner bucketed
+        # sessions and the transport; trace=off constructs nothing.
+        attach_tracer(synchronizer, Tracer(parsed.trace))
     synchronizer._spec = parsed.canonical()
     return synchronizer
 

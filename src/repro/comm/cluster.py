@@ -184,11 +184,16 @@ class SimulatedCluster(Transport):
 
         attempt = 1
         max_attempts = 1 + retry.max_retries
+        tracer = self._tracer
         while pending and attempt <= max_attempts:
             if attempt > 1:
                 for _ in range(retry.idle_rounds(attempt)):
                     record(())
                 self._stats.retried_messages += len(pending)
+                if tracer is not None:
+                    tracer.record_fault("retry", attempt=attempt,
+                                        pending=len(pending),
+                                        idle_rounds=retry.idle_rounds(attempt))
             on_time: List[int] = []
             late: Dict[int, List[int]] = {}
             still: List[int] = []
@@ -199,11 +204,19 @@ class SimulatedCluster(Transport):
                 if fate == "drop":
                     self._stats.dropped_messages += 1
                     still.append(index)
+                    if tracer is not None:
+                        tracer.record_fault("drop", src=message.src,
+                                            dst=message.dst, tag=message.tag,
+                                            attempt=attempt)
                 elif lateness == 0:
                     on_time.append(index)
                 else:
                     self._stats.delayed_messages += 1
                     late.setdefault(lateness, []).append(index)
+                    if tracer is not None:
+                        tracer.record_fault("late", src=message.src,
+                                            dst=message.dst, tag=message.tag,
+                                            attempt=attempt, lateness=lateness)
             record(on_time)
             delivered.update(on_time)
             if late:
@@ -218,10 +231,17 @@ class SimulatedCluster(Transport):
             forced = [i for i in pending if not admitted[i].lossy]
             self._lost.extend(admitted[i] for i in lost)
             self._stats.lost_messages += len(lost)
+            if tracer is not None:
+                for i in lost:
+                    tracer.record_fault("lost", src=admitted[i].src,
+                                        dst=admitted[i].dst,
+                                        tag=admitted[i].tag)
             if forced:
                 record(forced)
                 delivered.update(forced)
                 self._stats.forced_deliveries += len(forced)
+                if tracer is not None:
+                    tracer.record_fault("forced", count=len(forced))
         self._stats.fault_extra_rounds += rounds_recorded - 1
         self._round_counter += rounds_recorded
         inboxes: Dict[int, List[Message]] = {}

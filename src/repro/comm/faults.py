@@ -78,6 +78,11 @@ class MembershipEvent:
         if self.worker is not None and self.worker < 0:
             raise ValueError("event worker must be a non-negative rank")
 
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly event description (trace-marker / report args)."""
+        return {"iteration": self.iteration, "kind": self.kind,
+                "worker": self.worker}
+
 
 def membership_transition(num_workers: int,
                           event: MembershipEvent) -> Tuple[int, Dict[int, int]]:

@@ -61,10 +61,12 @@ import multiprocessing
 import os
 import queue
 import threading
+import time
 import traceback
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.trace import worker_pid
 from .transport import (
     Message,
     Transport,
@@ -101,6 +103,14 @@ def _worker_main(rank: int, seed: int, command: Connection,
         Executes ``fn(context, rank, *args)`` against this worker's
         persistent context (see
         :meth:`~repro.comm.transport.Transport.run_workers`).
+    ``("trace", enabled)``
+        Toggles worker-side span recording.  While enabled, every
+        ``exchange`` and ``run`` is timed on the worker's own
+        ``perf_counter`` clock into a local buffer; the reply carries the
+        worker's current clock reading so the driver can shift the stream
+        onto the tracer's clock.
+    ``("trace_drain",)``
+        Returns (and clears) the buffered span stream.
 
     Any exception is reported back as ``("error", ...)`` with the full
     traceback; the driver raises it and tears the cluster down.
@@ -130,6 +140,8 @@ def _worker_main(rank: int, seed: int, command: Connection,
     sender.start()
 
     context = make_worker_context(rank, seed)
+    tracing = False
+    trace_events: List[Dict[str, Any]] = []
     command.send(("ready", compiled_kernels_available(), os.getpid()))
     try:
         while True:
@@ -140,6 +152,7 @@ def _worker_main(rank: int, seed: int, command: Connection,
                     break
                 elif op == "exchange":
                     _, outgoing, expect = request
+                    start = time.perf_counter()
                     for dst, seq, payload in outgoing:
                         send_queue.put((dst, (seq, payload)))
                     inbox: List[Tuple[int, Any]] = []
@@ -149,10 +162,30 @@ def _worker_main(rank: int, seed: int, command: Connection,
                             inbox.append(conn.recv())
                             if len(inbox) == expect:
                                 break
+                    if tracing:
+                        trace_events.append(
+                            {"name": "exchange", "cat": "worker", "ph": "X",
+                             "ts": start, "dur": time.perf_counter() - start,
+                             "args": {"sent": len(outgoing),
+                                      "received": expect}})
                     command.send(("exchanged", inbox))
                 elif op == "run":
                     _, fn, args = request
-                    command.send(("ran", fn(context, rank, *args)))
+                    start = time.perf_counter()
+                    result = fn(context, rank, *args)
+                    if tracing:
+                        trace_events.append(
+                            {"name": f"run:{getattr(fn, '__name__', 'task')}",
+                             "cat": "worker", "ph": "X", "ts": start,
+                             "dur": time.perf_counter() - start})
+                    command.send(("ran", result))
+                elif op == "trace":
+                    tracing = bool(request[1])
+                    trace_events = []
+                    command.send(("traced", time.perf_counter()))
+                elif op == "trace_drain":
+                    command.send(("trace_drained", trace_events))
+                    trace_events = []
                 else:  # pragma: no cover - protocol violation
                     raise RuntimeError(f"unknown worker command {op!r}")
             except Exception:  # noqa: BLE001 - forwarded to the driver
@@ -208,6 +241,10 @@ class MultiprocessCluster(Transport):
         self._processes: List[multiprocessing.Process] = []
         self._commands: List[Connection] = []
         self._closed = False
+        self._worker_tracing = False
+        # rank -> (driver clock µs, worker perf_counter s) at trace enable;
+        # the pair aligns each worker's span stream to the tracer's clock.
+        self._trace_anchor: Dict[int, Tuple[float, float]] = {}
         self._start_workers()
 
     # ------------------------------------------------------------------
@@ -262,9 +299,22 @@ class MultiprocessCluster(Transport):
                     "availability must agree between parent and workers")
 
     def close(self) -> None:
-        """Stop the worker processes and close every pipe (idempotent)."""
+        """Stop the worker processes and close every pipe (idempotent).
+
+        With a tracer installed, the per-rank span streams are drained and
+        merged into it first — this is where the workers' trace buffers
+        become part of the single exported timeline.
+        """
         if self._closed:
             return
+        if self._worker_tracing:
+            # Flag off first: a failing drain receive ends up back in
+            # close(), which must not recurse into another drain.
+            self._worker_tracing = False
+            try:
+                self._drain_worker_traces()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
         self._closed = True
         for connection in self._commands:
             try:
@@ -302,6 +352,84 @@ class MultiprocessCluster(Transport):
         self.close()
         super().resize(num_workers)
         self._start_workers()
+        if self._tracer is not None:
+            self._set_worker_tracing(True)
+
+    # ------------------------------------------------------------------
+    # tracing: per-rank worker streams
+    # ------------------------------------------------------------------
+    def install_tracer(self, tracer: Optional[Any]) -> Optional[Any]:
+        """Install a tracer and toggle worker-side span recording.
+
+        In addition to the base-class admission events, every worker starts
+        timing its ``exchange``/``run`` handling on its own clock; the
+        streams are pulled back (and aligned to the tracer's clock via the
+        enable-time anchor) by :meth:`collect_traces` — registered as a
+        tracer collector, so any export sees them — and finally at
+        :meth:`close`.
+        """
+        previous = super().install_tracer(tracer)
+        active = self._tracer
+        if active is previous:
+            return previous
+        if self._closed:
+            return previous
+        if self._worker_tracing and active is None:
+            self._set_worker_tracing(False)
+        if active is not None:
+            self._set_worker_tracing(True)
+            active.add_collector(self.collect_traces)
+        return previous
+
+    def collect_traces(self) -> None:
+        """Merge the workers' pending span streams into the tracer (no-op
+        when tracing is off or the cluster is closed)."""
+        if not self._closed and self._worker_tracing:
+            self._drain_worker_traces()
+
+    def _set_worker_tracing(self, enabled: bool) -> None:
+        tracer = self._tracer
+        self._trace_anchor = {}
+        for connection in self._commands:
+            connection.send(("trace", enabled))
+        for rank in range(self._num_workers):
+            reply = self._receive(rank, "traced")
+            if enabled and tracer is not None:
+                self._trace_anchor[rank] = (tracer.now_us(), float(reply[1]))
+        self._worker_tracing = enabled
+
+    def _drain_worker_traces(self) -> None:
+        """Best-effort drain of every worker's span buffer into the tracer.
+
+        Deliberately avoids :meth:`_receive`: draining runs during teardown
+        too, where a dead worker must degrade to a missing stream, not to
+        recursive cluster shutdown.  Workers clear their buffer on drain,
+        so repeated collection never duplicates events.
+        """
+        tracer = self._tracer
+        if tracer is None or not self._trace_anchor:
+            return
+        deadline = min(self._timeout, 5.0)
+        for rank in sorted(self._trace_anchor):
+            if rank >= len(self._commands):
+                break
+            driver_us, worker_t = self._trace_anchor[rank]
+            connection = self._commands[rank]
+            try:
+                connection.send(("trace_drain",))
+                if not connection.poll(deadline):
+                    continue
+                reply = connection.recv()
+            except (OSError, EOFError, BrokenPipeError, ValueError):
+                continue
+            if not reply or reply[0] != "trace_drained":
+                continue
+            shifted = [dict(event,
+                            ts=(event["ts"] - worker_t) * 1e6 + driver_us,
+                            dur=event.get("dur", 0.0) * 1e6)
+                       for event in reply[1]]
+            tracer.merge_stream(worker_pid(rank), shifted,
+                                name=f"mp worker {rank}")
 
     # ------------------------------------------------------------------
     # message passing

@@ -214,6 +214,7 @@ class Transport(ABC):
         self._num_workers = int(num_workers)
         self._stats = CommStats(num_workers=self._num_workers)
         self._pricer: Optional[Any] = None
+        self._tracer: Optional[Any] = None
         self._seed = int(seed)
         self._worker_ctx: Dict[int, Dict[str, Any]] = {}
 
@@ -262,6 +263,28 @@ class Transport(ABC):
         previous = self._pricer
         self._pricer = pricer
         return previous
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def install_tracer(self, tracer: Optional[Any]) -> Optional[Any]:
+        """Install a :class:`~repro.obs.trace.Tracer` observing admission.
+
+        Every message that passes :meth:`_admit` — the single code path both
+        backends bill through — is reported to the tracer with its final
+        wire-priced size, so the per-message timeline matches the accounting
+        exactly.  Returns the previously installed tracer; ``None``
+        uninstalls.  Supported by every backend (process backends
+        additionally stream worker-side spans back at :meth:`close`).
+        """
+        previous = self._tracer
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        return previous
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The installed tracer (``None`` when tracing is off)."""
+        return self._tracer
 
     # ------------------------------------------------------------------
     # fault injection (simulation-only by default)
@@ -434,6 +457,9 @@ class Transport(ABC):
                     f"pricer returned invalid message size {priced!r} for "
                     f"{message.src}->{message.dst} (tag {message.tag!r})")
             message.size = priced
+        if self._tracer is not None:
+            self._tracer.record_message(message.src, message.dst,
+                                        message.size, message.tag)
         message.payload = freeze_payload(message.payload)
         return message
 

@@ -42,7 +42,6 @@ the paper's accounting.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -147,25 +146,6 @@ class StochasticQuantizer:
         the same draw is also needed, use :meth:`quantize_with_error`.
         """
         return self.quantize_with_error(values, rng=rng)[0]
-
-    def quantization_error(self, values: np.ndarray,
-                           rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Deprecated: the error of a fresh draw, ``values - quantize(values)``.
-
-        A standalone error method can never describe a message produced by a
-        *previous* :meth:`quantize` call — each call consumes new randomness,
-        so the returned error corresponds only to the draw made here, not to
-        anything already sent.  Error feedback must use
-        :meth:`quantize_with_error`, which returns the message and its exact
-        error from a single draw.
-        """
-        warnings.warn(
-            "StochasticQuantizer.quantization_error draws fresh randomness and "
-            "cannot describe a previously sent message; use quantize_with_error() "
-            "to obtain (quantized, error) from a single draw",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.quantize_with_error(values, rng=rng)[1]
 
 
 def quantize_sparse(sparse: SparseGradient, quantizer: StochasticQuantizer,

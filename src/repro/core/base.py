@@ -90,6 +90,9 @@ class GradientSynchronizer(ABC):
         #: the identity compress stage and the full-precision accounting —
         #: the pre-quantization pipeline, bit for bit).
         self.compressor: Optional["QuantizedCompressor"] = None
+        #: Tracer installed by ``repro.obs.attach_tracer`` / ``trace=`` on
+        #: the facade spec (``None`` keeps the untraced code path).
+        self.tracer: Optional[Any] = None
         # Iteration up to which membership events have been applied, so
         # polling twice before the same step never applies an event twice.
         self._membership_polled = -1
@@ -209,10 +212,17 @@ class GradientSynchronizer(ABC):
             return False
         self._membership_polled = self.iteration
         changed = False
+        tracer = self.cluster.tracer
         for event in plan.events_at(self.iteration):
+            old_size = self.num_workers
             new_size, mapping = membership_transition(self.num_workers, event)
             self.apply_membership(new_size, mapping)
             changed = True
+            if tracer is not None:
+                details = event.describe()
+                tracer.record_membership(details.pop("kind"),
+                                         old_workers=old_size,
+                                         new_workers=new_size, **details)
         return changed
 
     def apply_membership(self, num_workers: int, mapping: Dict[int, int]) -> None:

@@ -36,6 +36,7 @@ construction (asserted method-by-method in ``tests/test_pipeline_equivalence.py`
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
@@ -202,6 +203,13 @@ class SyncSession:
         Optional schedule override: a :class:`KSchedule`, or a spec string
         (``"warmup:5"``) interpreted against the synchroniser's current
         ``k``.  ``None`` keeps the synchroniser's own schedule.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When set (directly, or
+        inherited from ``synchronizer.tracer`` as installed by
+        ``repro.obs.attach_tracer`` / ``trace=`` on the facade spec), every
+        step records an ``iteration``-category step span containing one
+        ``stage`` span per pipeline stage.  ``None`` (the default) keeps
+        the exact untraced code path.
 
     >>> import numpy as np
     >>> from repro import SimulatedCluster, SparDLConfig, SparDLSynchronizer
@@ -216,7 +224,8 @@ class SyncSession:
     """
 
     def __init__(self, synchronizer: "GradientSynchronizer",
-                 schedule: Optional[KSchedule | str] = None) -> None:
+                 schedule: Optional[KSchedule | str] = None,
+                 tracer: Optional[Any] = None) -> None:
         self.synchronizer = synchronizer
         if schedule is not None:
             if isinstance(schedule, KSchedule):
@@ -234,6 +243,17 @@ class SyncSession:
         self.cumulative_stats = CommStats(num_workers=synchronizer.num_workers)
         #: The most recent step's result.
         self.last_result: Optional["SyncResult"] = None
+        #: Tracer recording step/stage spans (``None`` = untraced path).
+        self.tracer = tracer if tracer is not None else getattr(
+            synchronizer, "tracer", None)
+        #: Label distinguishing this session's spans (set on the inner
+        #: sessions of a bucketed synchroniser: ``b0``, ``b1``, ...).
+        self.trace_label: Optional[str] = None
+        #: Stage hooks that raised (errors are contained, counted, and
+        #: warned about once — a misbehaving observer must not corrupt the
+        #: step's residual bookkeeping mid-pipeline).
+        self.hook_errors = 0
+        self._hook_error_warned = False
         self._stage_hooks: List[StageHook] = []
 
     # ------------------------------------------------------------------
@@ -266,8 +286,12 @@ class SyncSession:
 
     def step(self, gradients: Dict[int, np.ndarray]) -> "SyncResult":
         """Run one full pipeline step and update the session state."""
-        observer = self._notify if self._stage_hooks else None
-        result = self.synchronizer._step(gradients, observer=observer)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            result = self._traced_step(gradients, tracer)
+        else:
+            observer = self._notify if self._stage_hooks else None
+            result = self.synchronizer._step(gradients, observer=observer)
         self.iteration += 1
         self.resolved_k = getattr(self.synchronizer, "k", None)
         self.k_history.append(self.resolved_k)
@@ -283,9 +307,55 @@ class SyncSession:
         self.last_result = result
         return result
 
+    def _traced_step(self, gradients: Dict[int, np.ndarray],
+                     tracer: Any) -> "SyncResult":
+        """One step with per-stage spans: the observer that already fires at
+        every stage boundary doubles as the span clock, so tracing adds two
+        timer reads per stage and nothing to the stage bodies."""
+        label = self.trace_label
+        suffix = "" if label is None else f":{label}"
+        start = tracer.now_us()
+        cursor = [start]
+
+        def observer(stage: SyncStage, context: StepContext) -> None:
+            now = tracer.now_us()
+            tracer.complete(f"{stage.value}{suffix}", "stage", cursor[0],
+                            now - cursor[0], args={"iteration": self.iteration})
+            cursor[0] = now
+            if self._stage_hooks:
+                self._notify(stage, context)
+
+        result = self.synchronizer._step(gradients, observer=observer)
+        end = tracer.now_us()
+        k = getattr(self.synchronizer, "k", None)
+        tracer.complete(f"step{suffix}", "iteration", start, end - start,
+                        args={"iteration": self.iteration,
+                              "method": self.synchronizer.name,
+                              "k": None if k is None else int(k)})
+        tracer.metrics.counter("steps_total", method=self.synchronizer.name).inc()
+        tracer.metrics.histogram("step_wall_us").observe(end - start)
+        if k is not None:
+            tracer.metrics.gauge("resolved_k").set(int(k))
+        return result
+
     def _notify(self, stage: SyncStage, context: StepContext) -> None:
         for hook in self._stage_hooks:
-            hook(stage, context)
+            try:
+                hook(stage, context)
+            except Exception as error:
+                # A broken observer must not abort the pipeline mid-step
+                # (the residual update of this step has not run yet, so
+                # propagating here would leave error-feedback state torn).
+                self.hook_errors += 1
+                if self.tracer is not None and getattr(self.tracer, "enabled", False):
+                    self.tracer.metrics.counter("hook_errors").inc()
+                if not self._hook_error_warned:
+                    self._hook_error_warned = True
+                    warnings.warn(
+                        f"stage hook {hook!r} raised {error!r} after stage "
+                        f"{stage.value!r}; the error is contained and counted "
+                        "in SyncSession.hook_errors (warning once)",
+                        RuntimeWarning, stacklevel=3)
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
@@ -299,6 +369,7 @@ class SyncSession:
             "max_received": self.cumulative_stats.max_received,
             "k_first": ks[0] if ks else None,
             "k_last": ks[-1] if ks else None,
+            "hook_errors": self.hook_errors,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

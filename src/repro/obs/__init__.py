@@ -1,0 +1,29 @@
+"""Observability: structured tracing, metrics, Chrome trace export.
+
+See :mod:`repro.obs.trace` for the event model, :mod:`repro.obs.metrics`
+for the instrument registry, and ``docs/observability.md`` for the user
+guide.  The subsystem is strictly opt-in: with ``trace=off`` (the
+default) no tracer is constructed and every synchronisation method runs
+the exact pre-observability code path.
+"""
+
+from .instrument import attach_tracer, replay_iteration_timing
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (DRIVER_PID, SIM_PID, TraceEvent, TraceLevel, Tracer,
+                    validate_chrome_trace, worker_pid)
+
+__all__ = [
+    "DRIVER_PID",
+    "SIM_PID",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceLevel",
+    "Tracer",
+    "attach_tracer",
+    "replay_iteration_timing",
+    "validate_chrome_trace",
+    "worker_pid",
+]

@@ -1,0 +1,414 @@
+"""Structured trace events with Chrome trace-event JSON export.
+
+One :class:`Tracer` collects every event of a run — nested wall-clock
+spans from the trainer and the staged pipeline, per-message instants from
+transport admission, retry/membership markers from the fault layer,
+synthetic spans replaying the simulated overlap timeline, and (on the
+multiprocess backend) per-rank streams recorded inside the workers and
+merged at ``close()``.  The export target is the Chrome trace-event JSON
+format (``{"traceEvents": [...]}`` with ``ph="X"`` complete spans and
+``ph="i"`` instants, microsecond timestamps), loadable directly in
+``chrome://tracing`` or Perfetto.
+
+Tracks are identified by ``pid``: :data:`DRIVER_PID` carries the driver's
+wall-clock spans, :data:`SIM_PID` the replayed *simulated* timeline (so
+measured and modelled time render side by side), and
+:func:`worker_pid` the per-rank streams of the multiprocess backend.
+
+The tracer also owns a :class:`~repro.obs.metrics.MetricsRegistry`
+(``tracer.metrics``) so counters and histograms accumulate alongside the
+timeline and export through one ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "DRIVER_PID",
+    "SIM_PID",
+    "TraceEvent",
+    "TraceLevel",
+    "Tracer",
+    "validate_chrome_trace",
+    "worker_pid",
+]
+
+#: Track of the driver process' wall-clock spans.
+DRIVER_PID = 0
+#: Track of the replayed *simulated* timeline (overlap model seconds).
+SIM_PID = 1
+#: Worker tracks start here: rank ``r`` renders as pid ``1000 + r``.
+_WORKER_PID_BASE = 1000
+
+
+def worker_pid(rank: int) -> int:
+    """The trace track (Chrome pid) of multiprocess worker ``rank``."""
+    return _WORKER_PID_BASE + int(rank)
+
+
+class TraceLevel(IntEnum):
+    """How much a :class:`Tracer` records.
+
+    ``OFF``
+        Nothing; callers must not even construct a tracer on hot paths.
+    ``STEPS``
+        Iteration/epoch spans, per-stage spans, membership markers and
+        the replayed overlap timeline.
+    ``COMM``
+        Everything in ``STEPS`` plus a per-message instant for every
+        transport admission and per-attempt fault markers — the full
+        communication picture, at a per-message recording cost.
+    """
+
+    OFF = 0
+    STEPS = 1
+    COMM = 2
+
+    @classmethod
+    def coerce(cls, value: Union["TraceLevel", str]) -> "TraceLevel":
+        """Parse a level from its spec spelling (``off|steps|comm``)."""
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            names = "|".join(level.name.lower() for level in cls)
+            raise ValueError(
+                f"unknown trace level {value!r}; expected one of {names}") from None
+
+
+@dataclass
+class TraceEvent:
+    """One trace event in (nearly) Chrome trace-event shape.
+
+    ``ph`` is the Chrome phase: ``"X"`` for a complete span with a
+    duration, ``"i"`` for an instant marker.  Timestamps and durations
+    are microseconds on the tracer's clock.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    pid: int = DRIVER_PID
+    tid: int = 0
+    dur: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": round(self.ts, 3), "pid": self.pid, "tid": self.tid,
+        }
+        if self.ph == "X":
+            event["dur"] = round(self.dur, 3)
+        else:
+            event["s"] = "t"  # thread-scoped instant
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+class Tracer:
+    """Thread-safe collector of spans, instants and metrics.
+
+    >>> tracer = Tracer("steps")
+    >>> with tracer.span("epoch0", "iteration"):
+    ...     with tracer.span("step", "iteration"):
+    ...         tracer.instant("marker", "retry", args={"kind": "drop"})
+    >>> [event.name for event in tracer.events]
+    ['marker', 'step', 'epoch0']
+    >>> tracer.events[1].ts >= tracer.events[2].ts
+    True
+    """
+
+    def __init__(self, level: Union[TraceLevel, str] = TraceLevel.STEPS) -> None:
+        self.level = TraceLevel.coerce(level)
+        #: Metrics accumulated alongside the timeline.
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._events: List[TraceEvent] = []
+        self._epoch = time.perf_counter()
+        self._track_names: Dict[int, str] = {DRIVER_PID: "driver (wall clock)"}
+        self._collectors: List[Callable[[], None]] = []
+        self._closed = False
+        #: Cursor (µs) of the replayed simulated timeline on :data:`SIM_PID`.
+        self.sim_cursor_us = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.level > TraceLevel.OFF
+
+    @property
+    def wants_comm(self) -> bool:
+        """True when per-message / per-attempt events should be recorded."""
+        return self.level >= TraceLevel.COMM
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def now_us(self) -> float:
+        """Microseconds since this tracer was constructed."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _emit(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def complete(self, name: str, cat: str, ts_us: float, dur_us: float, *,
+                 pid: int = DRIVER_PID, tid: int = 0,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a complete span with explicit start and duration."""
+        self._emit(TraceEvent(name=name, cat=cat, ph="X", ts=ts_us,
+                              dur=max(0.0, dur_us), pid=pid, tid=tid,
+                              args=dict(args or {})))
+
+    def instant(self, name: str, cat: str, *, ts_us: Optional[float] = None,
+                pid: int = DRIVER_PID, tid: int = 0,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record an instant marker (``ph="i"``)."""
+        self._emit(TraceEvent(name=name, cat=cat, ph="i",
+                              ts=self.now_us() if ts_us is None else ts_us,
+                              pid=pid, tid=tid, args=dict(args or {})))
+
+    @contextmanager
+    def span(self, name: str, cat: str, *, pid: int = DRIVER_PID, tid: int = 0,
+             args: Optional[Dict[str, Any]] = None) -> Iterator[None]:
+        """Context manager recording a wall-clock span around its body."""
+        start = self.now_us()
+        try:
+            yield
+        finally:
+            self.complete(name, cat, start, self.now_us() - start,
+                          pid=pid, tid=tid, args=args)
+
+    # ------------------------------------------------------------------
+    # the seam-specific recorders (duck-typed by the wired-in layers)
+    # ------------------------------------------------------------------
+    def record_message(self, src: int, dst: int, size: float, tag: str) -> None:
+        """One admitted transport message: counters always, a per-message
+        instant only at the ``comm`` level (cat ``message``)."""
+        self.metrics.counter("messages_total", tag=tag).inc()
+        self.metrics.counter("wire_volume", tag=tag).inc(float(size))
+        if self.wants_comm:
+            self.instant(f"{tag} {src}->{dst}", "message",
+                         args={"src": src, "dst": dst, "size": float(size),
+                               "tag": tag})
+
+    def record_fault(self, kind: str, **details: Any) -> None:
+        """A delivery fault or retry decision (cat ``retry``).  Counted
+        always; the instant marker is comm-level like the messages it
+        annotates."""
+        self.metrics.counter("fault_events_total", kind=kind).inc()
+        if self.wants_comm:
+            self.instant(kind, "retry", args=details)
+
+    def record_membership(self, kind: str, **details: Any) -> None:
+        """An applied elastic-membership event (cat ``membership``)."""
+        self.metrics.counter("membership_events_total", kind=kind).inc()
+        self.instant(kind, "membership", args=details)
+
+    # ------------------------------------------------------------------
+    # multi-stream merging (mp backend)
+    # ------------------------------------------------------------------
+    def set_track_name(self, pid: int, name: str) -> None:
+        with self._lock:
+            self._track_names[pid] = name
+
+    def merge_stream(self, pid: int, events: Sequence[Dict[str, Any]],
+                     name: Optional[str] = None) -> int:
+        """Merge a foreign event stream (already shifted onto this tracer's
+        microsecond clock) under track ``pid``.  Each event dict carries
+        ``name``/``cat``/``ph``/``ts`` and optionally ``dur``/``tid``/``args``.
+        Returns the number of events merged."""
+        if name is not None:
+            self.set_track_name(pid, name)
+        merged = [TraceEvent(name=str(ev["name"]), cat=str(ev.get("cat", "worker")),
+                             ph=str(ev.get("ph", "X")), ts=float(ev["ts"]),
+                             dur=float(ev.get("dur", 0.0)), pid=pid,
+                             tid=int(ev.get("tid", 0)),
+                             args=dict(ev.get("args") or {}))
+                  for ev in events]
+        with self._lock:
+            self._events.extend(merged)
+        return len(merged)
+
+    # ------------------------------------------------------------------
+    # collection & export
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback that pulls pending remote streams into the
+        tracer (the mp backend registers its per-rank drain here).  Runs on
+        every export and once at :meth:`close`."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector (idempotent by contract)."""
+        for collector in list(self._collectors):
+            collector()
+
+    def close(self) -> None:
+        """Collect outstanding remote streams; further closes are no-ops."""
+        if self._closed:
+            return
+        self.collect()
+        self._closed = True
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """The Chrome ``traceEvents`` list: track-name metadata followed by
+        every recorded event in timestamp order."""
+        with self._lock:
+            events = sorted(self._events, key=lambda ev: (ev.ts, -ev.dur))
+            names = dict(self._track_names)
+        meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                 "args": {"name": label}}
+                for pid, label in sorted(names.items())]
+        return meta + [event.to_chrome() for event in events]
+
+    def export_chrome(self, path: Optional[Any] = None) -> Dict[str, Any]:
+        """Export the trace as Chrome trace-event JSON.
+
+        Collects pending remote streams first, then returns the document
+        (and writes it to ``path`` when given) — open the file in
+        ``chrome://tracing`` or https://ui.perfetto.dev to browse it.
+        """
+        self.collect()
+        document = {"traceEvents": self.chrome_events(),
+                    "displayTimeUnit": "ms"}
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+        return document
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat metrics snapshot (see :meth:`MetricsRegistry.snapshot`)."""
+        return self.metrics.snapshot()
+
+    def summary(self) -> str:
+        """Readable run summary: span totals by category/name + metrics."""
+        totals: Dict[tuple, List[float]] = {}
+        instants: Dict[tuple, int] = {}
+        for event in self.events:
+            key = (event.cat, event.name.split(" ")[0])
+            if event.ph == "X":
+                bucket = totals.setdefault(key, [0, 0.0])
+                bucket[0] += 1
+                bucket[1] += event.dur
+            else:
+                instants[key] = instants.get(key, 0) + 1
+        lines = ["category        span                 count     total_ms"]
+        lines.append("-" * 58)
+        for (cat, name), (count, dur) in sorted(totals.items()):
+            lines.append(f"{cat:<15} {name:<20} {count:>5} {dur / 1000.0:>12.3f}")
+        for (cat, name), count in sorted(instants.items()):
+            lines.append(f"{cat:<15} {name:<20} {count:>5} {'instant':>12}")
+        return "\n".join(lines) + "\n\n" + self.metrics.summary_table()
+
+
+# ---------------------------------------------------------------------------
+# validation (used by the bench gate, CI smoke and tests)
+# ---------------------------------------------------------------------------
+def _iter_tracks(events: List[Dict[str, Any]]) -> Dict[tuple, List[Dict[str, Any]]]:
+    tracks: Dict[tuple, List[Dict[str, Any]]] = {}
+    for event in events:
+        key = (event.get("pid", 0), event.get("tid", 0))
+        tracks.setdefault(key, []).append(event)
+    return tracks
+
+
+def validate_chrome_trace(source: Any, *, eps_us: float = 0.5) -> Dict[str, Any]:
+    """Validate a Chrome trace document and summarise it.
+
+    ``source`` is a path, a JSON string, or the already-parsed document.
+    Checks that the document parses, that every event carries the required
+    fields with non-negative monotone timestamps, and that on every
+    ``(pid, tid)`` track the complete (``"X"``) spans are **properly
+    nested** — any two spans are either disjoint or one contains the other
+    (within ``eps_us`` of timer tolerance).  Raises :class:`ValueError`
+    on any violation; returns a summary dict with ``events``, ``spans``,
+    ``instants``, ``categories`` and ``pids``.
+    """
+    if isinstance(source, dict):
+        document = source
+    elif isinstance(source, str) and source.lstrip().startswith("{"):
+        document = json.loads(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace document has no traceEvents")
+
+    spans = 0
+    instants = 0
+    categories = set()
+    pids = set()
+    payload = []
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if "name" not in event or ph not in ("X", "i"):
+            raise ValueError(f"malformed trace event: {event!r}")
+        ts = float(event.get("ts", -1.0))
+        if ts < 0:
+            raise ValueError(f"negative timestamp in {event['name']!r}")
+        if ph == "X":
+            if float(event.get("dur", -1.0)) < 0:
+                raise ValueError(f"span {event['name']!r} has no duration")
+            spans += 1
+        else:
+            instants += 1
+        categories.add(event.get("cat", ""))
+        pids.add(event.get("pid", 0))
+        payload.append(event)
+
+    for (pid, tid), track in _iter_tracks(payload).items():
+        track_spans = sorted(
+            (ev for ev in track if ev["ph"] == "X"),
+            key=lambda ev: (float(ev["ts"]), -float(ev["dur"])))
+        stack: List[float] = []  # end timestamps of open ancestor spans
+        last_ts = 0.0
+        for event in track_spans:
+            ts = float(event["ts"])
+            end = ts + float(event["dur"])
+            if ts + eps_us < last_ts:
+                raise ValueError(
+                    f"track ({pid},{tid}) spans are not time-ordered at "
+                    f"{event['name']!r}")
+            last_ts = ts
+            while stack and ts >= stack[-1] - eps_us:
+                stack.pop()
+            if stack and end > stack[-1] + eps_us:
+                raise ValueError(
+                    f"span {event['name']!r} on track ({pid},{tid}) overlaps "
+                    f"its parent without nesting ({end:.1f} > {stack[-1]:.1f})")
+            stack.append(end)
+
+    return {
+        "events": spans + instants,
+        "spans": spans,
+        "instants": instants,
+        "categories": sorted(categories),
+        "pids": sorted(pids),
+    }

@@ -245,6 +245,41 @@ class OverlapTimeline:
             "comm_finish_s": list(self.comm_finish),
         }
 
+    def spans(self) -> List[dict]:
+        """The timeline as renderable spans, for the trace replay.
+
+        Every backward slice becomes one span on the ``backward`` track;
+        every bucket's exchange is split at :attr:`backward_total` into its
+        *hidden* slice (running while backward still computes) and its
+        *exposed* slice (extending the iteration past the backward pass) on
+        the ``comm`` track.  All backward slices finish by
+        ``backward_total`` and the channel never idles afterwards, so the
+        hidden/exposed slice totals equal :attr:`hidden_comm` and
+        :attr:`exposed_comm` exactly.  Times are seconds from the start of
+        the backward pass; buckets keep backward execution order.
+        """
+        spans: List[dict] = []
+        cut = self.backward_total
+        for i in range(self.num_buckets):
+            finish = self.backward_finish[i]
+            spans.append({"track": "backward", "name": f"backward[b{i}]",
+                          "kind": "backward",
+                          "start_s": finish - self.compute_times[i],
+                          "dur_s": self.compute_times[i]})
+            start, end = self.comm_start[i], self.comm_finish[i]
+            if end <= start:
+                continue
+            boundary = min(max(start, cut), end)
+            if boundary > start:
+                spans.append({"track": "comm", "name": f"comm[b{i}]",
+                              "kind": "hidden", "start_s": start,
+                              "dur_s": boundary - start})
+            if end > boundary:
+                spans.append({"track": "comm", "name": f"comm[b{i}]",
+                              "kind": "exposed", "start_s": boundary,
+                              "dur_s": end - boundary})
+        return spans
+
 
 def overlap_timeline(compute_times: Sequence[float],
                      comm_times: Sequence[float]) -> OverlapTimeline:

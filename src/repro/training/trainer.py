@@ -40,6 +40,7 @@ from __future__ import annotations
 import copy
 import inspect
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -49,6 +50,7 @@ from ..comm.network import ETHERNET, NetworkProfile
 from ..comm.transport import Transport, UnsupportedTransportFeature
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import SyncSession
+from ..obs import Tracer, TraceLevel, attach_tracer, replay_iteration_timing
 from ..data.datasets import DataLoader, Dataset, TaskType, shard_dataset
 from ..nn.losses import CrossEntropyLoss, Loss, MSELoss, accuracy
 from ..nn.module import Module
@@ -108,6 +110,13 @@ class TrainerConfig:
     #: communication is subtracted from the iteration time.  ``False``
     #: restores the sequential ``compute + comm`` sum bit for bit.
     overlap_comm: bool = True
+    #: Trace level of the run: ``"off"`` (default; no tracer is constructed
+    #: and every code path is the exact untraced one), ``"steps"``
+    #: (epoch/iteration/stage spans, membership markers, the replayed
+    #: overlap timeline) or ``"comm"`` (everything plus per-message and
+    #: per-fault events).  See ``docs/observability.md``; the run's tracer
+    #: is exposed as :attr:`DistributedTrainer.tracer`.
+    trace: str = "off"
 
     def schedule(self):
         if self.lr_step_epochs is None:
@@ -255,6 +264,19 @@ class DistributedTrainer:
                 f"model has {self.num_elements} parameters"
             )
         self.synchronizer = synchronizer
+        # Tracing: adopt a tracer the synchroniser already carries (from a
+        # ``trace=`` facade spec) or build one from the config level; either
+        # way it is installed across the synchroniser, its inner bucketed
+        # sessions and the transport.  With trace=off and no spec tracer,
+        # ``self.tracer`` stays None and nothing below ever touches it.
+        level = TraceLevel.coerce(self.config.trace)
+        tracer = getattr(synchronizer, "tracer", None)
+        if tracer is None and level is not TraceLevel.OFF:
+            tracer = Tracer(level)
+        if tracer is not None:
+            attach_tracer(synchronizer, tracer)
+        #: The run's :class:`~repro.obs.trace.Tracer` (``None`` when off).
+        self.tracer = tracer
         #: Staged-pipeline driver: cumulative CommStats and k history across
         #: the whole training run.
         self.session = SyncSession(synchronizer)
@@ -312,6 +334,14 @@ class DistributedTrainer:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
+    def _span(self, name: str, cat: str, **args: Any):
+        """A tracer span around a trainer phase, or a no-op context when
+        tracing is off (the untraced path never touches the tracer)."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.span(name, cat, args=args)
+        return nullcontext()
+
     def train(self, num_epochs: int, eval_every: int = 1) -> TrainingHistory:
         """Run ``num_epochs`` of synchronous training."""
         if num_epochs <= 0:
@@ -323,6 +353,10 @@ class DistributedTrainer:
 
     def train_epoch(self, epoch: int, evaluate: bool = True) -> EpochRecord:
         """One pass over every worker's shard."""
+        with self._span(f"epoch {epoch}", "iteration", epoch=epoch):
+            return self._train_epoch_impl(epoch, evaluate)
+
+    def _train_epoch_impl(self, epoch: int, evaluate: bool) -> EpochRecord:
         learning_rate = self._schedule.at_epoch(epoch)
         # The per-worker batch stream is a pure function of (seed, epoch,
         # worker) — constructed parent-side or worker-side, same batches.
@@ -377,29 +411,36 @@ class DistributedTrainer:
         return record
 
     def _train_step(self, epoch: int, iterators, learning_rate: float) -> IterationRecord:
+        with self._span("iteration", "iteration", iteration=self._iteration,
+                        epoch=epoch):
+            return self._train_step_impl(epoch, iterators, learning_rate)
+
+    def _train_step_impl(self, epoch: int, iterators,
+                         learning_rate: float) -> IterationRecord:
         gradients: Dict[int, np.ndarray] = {}
         losses: List[float] = []
-        if self.compute_mode == "offload":
-            computed = self.cluster.run_workers(_worker_compute_gradient, {
-                worker: (self.config.device_seconds_per_sample,)
-                for worker in range(self.cluster.num_workers)
-            })
-            for worker in sorted(computed):
-                gradients[worker], loss_value = computed[worker]
-                losses.append(loss_value)
-        else:
-            device = self.config.device_seconds_per_sample
-            for worker, replica in enumerate(self.replicas):
-                inputs, targets = next(iterators[worker])
-                replica.train()
-                replica.zero_grad()
-                outputs = replica.forward(inputs)
-                loss_value, grad_output = self.loss(outputs, targets)
-                replica.backward(grad_output)
-                if device > 0.0:
-                    time.sleep(device * inputs.shape[0])
-                gradients[worker] = flatten_gradients(replica.parameters())
-                losses.append(loss_value)
+        with self._span("compute", "compute", iteration=self._iteration):
+            if self.compute_mode == "offload":
+                computed = self.cluster.run_workers(_worker_compute_gradient, {
+                    worker: (self.config.device_seconds_per_sample,)
+                    for worker in range(self.cluster.num_workers)
+                })
+                for worker in sorted(computed):
+                    gradients[worker], loss_value = computed[worker]
+                    losses.append(loss_value)
+            else:
+                device = self.config.device_seconds_per_sample
+                for worker, replica in enumerate(self.replicas):
+                    inputs, targets = next(iterators[worker])
+                    replica.train()
+                    replica.zero_grad()
+                    outputs = replica.forward(inputs)
+                    loss_value, grad_output = self.loss(outputs, targets)
+                    replica.backward(grad_output)
+                    if device > 0.0:
+                        time.sleep(device * inputs.shape[0])
+                    gradients[worker] = flatten_gradients(replica.parameters())
+                    losses.append(loss_value)
 
         result = self.session.step(gradients)
         bucket_stats = bucket_sizes = None
@@ -413,17 +454,24 @@ class DistributedTrainer:
                                 model_parameters=self.num_elements,
                                 bucket_stats=bucket_stats,
                                 bucket_sizes=bucket_sizes)
+        if self.tracer is not None and self.tracer.enabled:
+            # Mirror the simulated clock onto its own trace track, so the
+            # modelled backward/hidden/exposed-comm decomposition renders
+            # next to the measured wall-clock spans.
+            replay_iteration_timing(self.tracer, timing, self._iteration)
 
         num_workers = self.cluster.num_workers
-        if self.compute_mode == "offload":
-            self.cluster.run_workers(_worker_apply_update, {
-                worker: (result.gradient(worker) / num_workers, learning_rate)
-                for worker in range(num_workers)
-            })
-        else:
-            for worker, optimizer in enumerate(self.optimizers):
-                averaged = result.gradient(worker) / num_workers
-                optimizer.step(flat_gradient=averaged, learning_rate=learning_rate)
+        with self._span("apply_update", "compute", iteration=self._iteration):
+            if self.compute_mode == "offload":
+                self.cluster.run_workers(_worker_apply_update, {
+                    worker: (result.gradient(worker) / num_workers, learning_rate)
+                    for worker in range(num_workers)
+                })
+            else:
+                for worker, optimizer in enumerate(self.optimizers):
+                    averaged = result.gradient(worker) / num_workers
+                    optimizer.step(flat_gradient=averaged,
+                                   learning_rate=learning_rate)
 
         if self.config.check_consistency:
             if self.compute_mode == "offload":

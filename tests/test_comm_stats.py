@@ -94,3 +94,107 @@ class TestNetworkProfile:
         assert RDMA.alpha < ETHERNET.alpha
         assert RDMA.beta < ETHERNET.beta
         assert PERFECT.alpha == 0.0 and PERFECT.beta == 0.0
+
+
+# ---------------------------------------------------------------------------
+# property-based merge/expand round-trips (hypothesis)
+# ---------------------------------------------------------------------------
+# Integer message sizes keep every accumulation exact, so the merged-equals-
+# sum-of-parts properties can assert strict equality instead of approx.
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_P = 4  # fixed cluster size shared by every generated part
+
+
+@st.composite
+def comm_stats_parts(draw, max_parts=4, max_rounds=3, max_msgs=5):
+    """A list of independently recorded CommStats windows of size ``_P``."""
+    parts = []
+    for _ in range(draw(st.integers(1, max_parts))):
+        part = CommStats(num_workers=_P)
+        for _ in range(draw(st.integers(0, max_rounds))):
+            transfers = draw(st.lists(
+                st.tuples(st.integers(0, _P - 1), st.integers(0, _P - 1),
+                          st.integers(0, 100)),
+                min_size=0, max_size=max_msgs))
+            part.record_round([(s, d, float(size)) for s, d, size in transfers])
+        part.dropped_messages = draw(st.integers(0, 3))
+        part.retried_messages = draw(st.integers(0, 3))
+        part.lost_messages = draw(st.integers(0, 3))
+        part.fault_extra_rounds = draw(st.integers(0, 3))
+        parts.append(part)
+    return parts
+
+
+class TestCommStatsProperties:
+    @given(comm_stats_parts())
+    @settings(max_examples=80, deadline=None)
+    def test_merged_totals_equal_sum_of_parts(self, parts):
+        total = CommStats.merged(_P, (part.copy() for part in parts))
+        assert total.rounds == sum(p.rounds for p in parts)
+        assert total.total_messages == sum(p.total_messages for p in parts)
+        for w in range(_P):
+            assert total.sent_per_worker[w] == sum(p.sent_per_worker[w] for p in parts)
+            assert total.received_per_worker[w] == sum(p.received_per_worker[w]
+                                                       for p in parts)
+        assert total.dropped_messages == sum(p.dropped_messages for p in parts)
+        assert total.retried_messages == sum(p.retried_messages for p in parts)
+        assert total.lost_messages == sum(p.lost_messages for p in parts)
+        assert total.fault_extra_rounds == sum(p.fault_extra_rounds for p in parts)
+        assert total.total_volume == sum(p.total_volume for p in parts)
+
+    @given(comm_stats_parts())
+    @settings(max_examples=80, deadline=None)
+    def test_merged_preserves_per_round_rows_in_order(self, parts):
+        total = CommStats.merged(_P, (part.copy() for part in parts))
+        expected_rows = [row for part in parts for row in part.per_round_received]
+        assert total.per_round_received == expected_rows
+        assert total.per_round_max_received == [
+            value for part in parts for value in part.per_round_max_received]
+        # The per-round series stays self-consistent after the merge.
+        assert total.per_round_max_received == [
+            max(row) if row else 0.0 for row in total.per_round_received]
+
+    @given(comm_stats_parts())
+    @settings(max_examples=60, deadline=None)
+    def test_merged_rows_are_copies_not_aliases(self, parts):
+        total = CommStats.merged(_P, parts)
+        for row in total.per_round_received:
+            row[0] += 1000.0
+        for part in parts:
+            for row in part.per_round_received:
+                assert row[0] < 1000.0
+
+    @given(comm_stats_parts())
+    @settings(max_examples=60, deadline=None)
+    def test_simulated_time_of_merge_is_sum_of_parts(self, parts):
+        network = NetworkProfile("prop", alpha=3.0, beta=2.0)
+        total = CommStats.merged(_P, (part.copy() for part in parts))
+        assert total.simulated_time(network) == pytest.approx(
+            sum(part.simulated_time(network) for part in parts))
+
+    @given(comm_stats_parts(), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_expand_round_trip_preserves_accounting(self, parts, extra):
+        reference = CommStats.merged(_P, (part.copy() for part in parts))
+        grown = reference.copy()
+        grown.expand(_P + extra)
+        assert grown.num_workers == _P + extra
+        # Old slots keep their totals; new slots start empty.
+        assert grown.sent_per_worker[:_P] == reference.sent_per_worker
+        assert grown.received_per_worker[:_P] == reference.received_per_worker
+        assert grown.sent_per_worker[_P:] == [0.0] * extra
+        assert grown.received_per_worker[_P:] == [0.0] * extra
+        # Historic rows keep the membership they were recorded under, so
+        # the timing series is unchanged by the expansion.
+        assert grown.per_round_received == reference.per_round_received
+        assert grown.per_round_max_received == reference.per_round_max_received
+        assert grown.total_volume == reference.total_volume
+        # A part recorded at the new size now merges in cleanly.
+        late = CommStats(num_workers=_P + extra)
+        if extra:
+            late.record_round([(0, _P + extra - 1, 7.0)])
+        grown.merge(late)
+        assert grown.rounds == reference.rounds + late.rounds

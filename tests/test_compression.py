@@ -82,24 +82,15 @@ class TestStochasticQuantizer:
         assert np.array_equal(error, values - quantized)
         np.testing.assert_allclose(quantized + error, values, atol=1e-12)
 
-    def test_standalone_error_of_a_prior_quantize_was_the_bug(self):
-        """Calling quantize() and then the standalone error method consumes
-        two draws, so the reported error does not describe the sent message
-        — the failure mode quantize_with_error exists to prevent."""
+    def test_standalone_error_path_is_gone(self):
+        """The deprecated ``quantization_error`` re-draw path is removed:
+        a standalone error method could never describe a previously sent
+        message (each call consumed fresh randomness), so the only
+        error-feedback entry point is :meth:`quantize_with_error`."""
+        assert not hasattr(StochasticQuantizer, "quantization_error")
         quantizer = StochasticQuantizer(num_bits=2, seed=5)
-        values = np.random.default_rng(3).normal(size=200)
-        quantized = quantizer.quantize(values)
-        with pytest.warns(DeprecationWarning):
-            error = quantizer.quantization_error(values)
-        assert not np.array_equal(error, values - quantized)
-
-    def test_quantization_error_deprecated_but_exact_for_its_own_draw(self):
-        quantizer = StochasticQuantizer(num_bits=4, seed=5)
-        values = np.random.default_rng(2).normal(size=100)
-        quantized = quantizer.quantize(values, rng=np.random.default_rng(7))
-        with pytest.warns(DeprecationWarning):
-            error = quantizer.quantization_error(values, rng=np.random.default_rng(7))
-        np.testing.assert_allclose(quantized + error, values, atol=1e-12)
+        with pytest.raises(AttributeError):
+            quantizer.quantization_error  # noqa: B018 - attribute must be gone
 
     def test_quantize_matches_quantize_with_error(self):
         quantizer = StochasticQuantizer(num_bits=3, seed=0)

@@ -20,6 +20,7 @@ DOC_FILES = [
     "docs/architecture.md",
     "docs/configuration.md",
     "docs/api.md",
+    "docs/observability.md",
 ]
 
 
@@ -40,7 +41,7 @@ def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
     for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
                      "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json",
-                     "BENCH_PR7.json", "BENCH_PR8.json"):
+                     "BENCH_PR7.json", "BENCH_PR8.json", "BENCH_PR9.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -137,3 +138,20 @@ def test_configuration_doc_covers_overlap_and_fusion():
                   "hidden_comm_time", "BENCH_PR8.json"):
         assert token in doc, (
             f"docs/configuration.md does not mention {token!r}")
+
+
+def test_observability_doc_covers_tracing():
+    doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+    for token in ("TraceLevel", "Tracer", "MetricsRegistry",
+                  "export_chrome", "validate_chrome_trace", "attach_tracer",
+                  "`off`", "`steps`", "`comm`", "hook_errors",
+                  "hidden_comm_time", "BENCH_PR9.json"):
+        assert token in doc, (
+            f"docs/observability.md does not mention {token!r}")
+
+
+def test_api_doc_covers_tracing():
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for token in ("`trace`", "trace=comm", "repro.obs",
+                  "docs/observability.md"):
+        assert token in doc, f"docs/api.md does not mention {token!r}"

@@ -40,7 +40,30 @@ alias (case-insensitive, as in the paper's figures) and the keys are:
             feedback, sparse messages bill the ``(1 + bits/32)/2`` COO
             accounting plus one scale element, and dense payloads bill
             ``bits/32`` per value (absent = full precision, the
-            pre-quantization pipeline bit for bit)
+            pre-quantization pipeline bit for bit).  On non-flat ``buckets``
+            modes the value may carry per-bucket overrides:
+            ``bits=8,emb:32`` quantizes every bucket at 8 bits except those
+            whose name contains ``emb``, which stay at 32 — keeping
+            sensitive layers high precision.  Each ``pattern:bits`` item
+            matches case-insensitive substrings of the bucket names
+            (fused buckets join their tensor names with ``+``); the
+            optional leading bare integer is the default for unmatched
+            buckets (absent = full precision for them)
+``momentum`` DGC momentum correction (Lin et al., ICLR'18): a factor in
+            ``(0, 1)`` makes the residual manager accumulate velocity
+            ``u = m*u + g`` with momentum-factor masking at the final
+            global indices, so delayed coordinates keep their momentum
+            history.  Run the trainer with
+            ``TrainerConfig.momentum_correction=True`` (momentum-free
+            optimizer) so velocity is not applied twice.  Absent = plain
+            error feedback, bit for bit
+``hybrid``  per-tensor-size dense/sparse policy on bucketed layouts:
+            ``hybrid=dense<SIZE`` runs every bucket smaller than ``SIZE``
+            elements as an exact full-precision dense All-Reduce and the
+            rest with the spec's sparse method (+quantization) — the DGC
+            hybrid: small tensors are cheaper dense and are guaranteed
+            representation.  Requires a non-flat ``buckets`` mode and a
+            sparse method
 ``backend`` execution backend: ``sim:P`` (deterministic in-process
             simulator) or ``mp:P`` (``P`` real worker processes, see
             :class:`~repro.comm.mp_backend.MultiprocessCluster`); with a
@@ -130,11 +153,92 @@ _SPEC_NAMES: Dict[str, str] = {
 
 #: Recognised spec keys, in canonical serialisation order.
 _SPEC_KEYS = ("k", "density", "teams", "sag", "residuals", "schedule",
-              "buckets", "wire", "deferred", "bits", "backend", "trace")
+              "buckets", "wire", "deferred", "bits", "momentum", "hybrid",
+              "backend", "trace")
 
 
 def _is_power_of_two(value: int) -> bool:
     return value >= 1 and (value & (value - 1)) == 0
+
+
+def _validate_bits_value(text: "str | int") -> int:
+    try:
+        value = int(text)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"bits must be an integer between 1 and 32, got {text!r}") from None
+    if not 1 <= value <= 32:
+        raise ValueError("bits must be an integer between 1 and 32")
+    return value
+
+
+def _split_bits(bits: "int | str | None"):
+    """Split a ``bits`` value into ``(default, overrides)``.
+
+    ``default`` is the bit width for unmatched buckets (``None`` = full
+    precision) and ``overrides`` is an ordered ``[(pattern, bits), ...]``
+    list; a pattern applies to every bucket whose (lowercased) name contains
+    it.  Plain integers have no overrides; ``"8,emb:32"`` parses to
+    ``(8, [("emb", 32)])`` and ``"emb:32"`` to ``(None, [("emb", 32)])``.
+    """
+    if bits is None:
+        return None, []
+    if isinstance(bits, int):
+        return _validate_bits_value(bits), []
+    default: Optional[int] = None
+    overrides: List[tuple] = []
+    for item in str(bits).split(","):
+        item = item.strip()
+        if not item:
+            raise ValueError(f"empty item in bits={bits!r}")
+        if ":" in item:
+            pattern, _, width = item.rpartition(":")
+            pattern = pattern.strip().lower()
+            if not pattern:
+                raise ValueError(
+                    f"bits override {item!r} needs a bucket-name pattern "
+                    "before the colon")
+            if pattern in (existing for existing, _ in overrides):
+                raise ValueError(f"duplicate bits pattern {pattern!r}")
+            overrides.append((pattern, _validate_bits_value(width)))
+        else:
+            if default is not None:
+                raise ValueError(
+                    f"bits={bits!r} gives more than one default width")
+            if overrides:
+                raise ValueError(
+                    f"the default width in bits={bits!r} must come before "
+                    "the pattern overrides")
+            default = _validate_bits_value(item)
+    return default, overrides
+
+
+def _canonical_bits(bits: "int | str | None") -> "int | str | None":
+    """Validate a ``bits`` value and return its canonical form (an ``int``
+    when there are no per-bucket overrides, else the normalised string)."""
+    default, overrides = _split_bits(bits)
+    if not overrides:
+        return default
+    items = ([] if default is None else [str(default)])
+    items += [f"{pattern}:{width}" for pattern, width in overrides]
+    return ",".join(items)
+
+
+def _hybrid_threshold(hybrid: Optional[str]) -> Optional[int]:
+    """The dense-switch size of a ``hybrid=dense<SIZE`` value (``None``
+    when the policy is off)."""
+    if hybrid is None:
+        return None
+    text = str(hybrid).strip().lower()
+    prefix, _, size = text.partition("<")
+    if prefix != "dense" or not size:
+        raise ValueError(
+            f"hybrid={hybrid!r} is malformed; expected hybrid=dense<SIZE "
+            "(buckets smaller than SIZE elements run dense)")
+    threshold = int(size)
+    if threshold <= 0:
+        raise ValueError("the hybrid dense-switch size must be positive")
+    return threshold
 
 
 @dataclass
@@ -151,7 +255,13 @@ class SyncSpec:
     buckets: str = "flat"
     wire: str = "packed"
     deferred: bool = False
-    bits: Optional[int] = None
+    #: Wire quantization: ``None`` (full precision), an int in ``[1, 32]``,
+    #: or a per-bucket override string like ``"8,emb:32"`` (see the grammar).
+    bits: "Optional[int | str]" = None
+    #: DGC momentum-correction factor in ``(0, 1)``, or ``None`` (off).
+    momentum: Optional[float] = None
+    #: Hybrid dense/sparse policy ``"dense<SIZE"``, or ``None`` (off).
+    hybrid: Optional[str] = None
     backend: Optional[str] = None
     trace: str = "off"
     #: Extra builder options that are not part of the spec grammar
@@ -169,9 +279,21 @@ class SyncSpec:
         if self.k is not None and self.density is not None:
             raise ValueError("give only one of k and density")
         if self.bits is not None:
-            if int(self.bits) != self.bits or not 1 <= int(self.bits) <= 32:
-                raise ValueError("bits must be an integer between 1 and 32")
-            self.bits = int(self.bits)
+            if not isinstance(self.bits, (int, str)):
+                raise ValueError("bits must be an integer between 1 and 32 "
+                                 "or a per-bucket override string")
+            self.bits = _canonical_bits(self.bits)
+        if self.momentum is not None:
+            self.momentum = float(self.momentum)
+            if not 0.0 < self.momentum < 1.0:
+                raise ValueError("momentum must be in (0, 1)")
+        if self.hybrid is not None:
+            threshold = _hybrid_threshold(self.hybrid)
+            self.hybrid = f"dense<{threshold}"
+            if self.method == "Dense":
+                raise ValueError(
+                    "hybrid=dense<SIZE switches small buckets of a sparse "
+                    "method to dense; it does not apply to the dense method")
         if self.backend is not None:
             kind, workers = parse_backend_spec(self.backend)
             self.backend = kind if workers is None else f"{kind}:{workers}"
@@ -210,6 +332,10 @@ class SyncSpec:
             params.append("deferred=true")
         if self.bits is not None:
             params.append(f"bits={self.bits}")
+        if self.momentum is not None:
+            params.append(f"momentum={self.momentum:g}")
+        if self.hybrid is not None:
+            params.append(f"hybrid={self.hybrid}")
         if self.backend is not None:
             params.append(f"backend={self.backend}")
         if self.trace != "off":
@@ -266,10 +392,14 @@ def parse_spec(spec: "str | SyncSpec") -> SyncSpec:
                 raise ValueError(f"duplicate spec key {key!r}")
             if key == "k":
                 options[key] = int(value)
-            elif key == "density":
+            elif key in ("density", "momentum"):
                 options[key] = float(value)
-            elif key in ("teams", "bits"):
+            elif key == "teams":
                 options[key] = int(value)
+            elif key == "bits":
+                # Kept as written: a plain integer or a per-bucket override
+                # string; SyncSpec canonicalises either form.
+                options[key] = value.strip()
             elif key == "deferred":
                 options[key] = _parse_bool(key, value)
             else:
@@ -307,15 +437,21 @@ def _build_flat(spec: SyncSpec, cluster: Transport,
             "another method (see available_methods)."
         )
     schedule = None if spec.schedule == "constant" else spec.schedule
+    if spec.bits is not None and not isinstance(spec.bits, int):
+        raise ValueError(
+            f"per-bucket bits overrides ({spec.bits!r}) need a non-flat "
+            "buckets mode; the patterns match bucket names")
     if method == "Dense":
-        return DenseAllReduceSynchronizer(cluster, num_elements, num_bits=spec.bits)
+        return DenseAllReduceSynchronizer(cluster, num_elements,
+                                          num_bits=spec.bits,
+                                          momentum=spec.momentum)
     if method == "SparDL":
         config = SparDLConfig(
             k=spec.k, density=spec.density, num_teams=spec.teams,
             sag_mode=SAGMode.coerce(spec.sag),
             residual_policy=ResidualPolicy.coerce(spec.residuals),
             wire_format=spec.wire, deferred_residuals=spec.deferred,
-            schedule=schedule, num_bits=spec.bits,
+            schedule=schedule, num_bits=spec.bits, momentum=spec.momentum,
             **spec.extras,
         )
         return SparDLSynchronizer(cluster, num_elements, config)
@@ -326,7 +462,8 @@ def _build_flat(spec: SyncSpec, cluster: Transport,
         "gTopk": GTopkSynchronizer,
     }
     return classes[method](cluster, num_elements, k=spec.k, density=spec.density,
-                           schedule=schedule, num_bits=spec.bits)
+                           schedule=schedule, num_bits=spec.bits,
+                           momentum=spec.momentum)
 
 
 def _bucket_layout(spec: SyncSpec, model) -> List[tuple]:
@@ -419,12 +556,26 @@ def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
         parsed = SyncSpec(method=parsed.method, **values)
     _validate_schedule_spec(parsed)
     cluster = _resolve_backend(parsed, cluster)
+    default_bits, bits_overrides = _split_bits(parsed.bits)
+    dense_below = _hybrid_threshold(parsed.hybrid)
+    if not parsed.is_bucketed:
+        if bits_overrides:
+            raise ValueError(
+                f"per-bucket bits overrides ({parsed.bits!r}) need a "
+                "non-flat buckets mode (layer, size:N or auto); the "
+                "patterns match bucket names")
+        if dense_below is not None:
+            raise ValueError(
+                "hybrid=dense<SIZE is a per-bucket policy; use a non-flat "
+                "buckets mode (layer, size:N or auto) so there are bucket "
+                "sizes to switch on")
 
     if parsed.is_bucketed:
         layout = _bucket_layout(parsed, model)
         names = [name for name, _ in layout]
         sizes = [size for _, size in layout]
-        flat_spec = dataclasses.replace(parsed, buckets="flat",
+        flat_spec = dataclasses.replace(parsed, buckets="flat", hybrid=None,
+                                        bits=default_bits,
                                         extras=dict(parsed.extras))
         if flat_spec.k is not None:
             # An absolute k is a *global* budget: replicating it into every
@@ -444,7 +595,7 @@ def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
                 num_workers=cluster.num_workers,
                 density=flat_spec.density,
                 teams=parsed.teams,
-                num_bits=parsed.bits,
+                num_bits=default_bits,
                 transport=cluster,
                 network=network if network is not None else ETHERNET,
                 compute_profile=compute_profile,
@@ -452,9 +603,34 @@ def make(spec: "str | SyncSpec", cluster: Optional[Transport] = None, *,
             layout = plan.bucket_layout()
             names = [name for name, _ in layout]
             sizes = [size for _, size in layout]
+
+        def bucket_factory(bucket_cluster: Transport, bucket_elements: int,
+                           bucket_name: str) -> GradientSynchronizer:
+            # Hybrid policy: buckets below the dense switch run an exact
+            # full-precision dense All-Reduce (momentum correction, when on,
+            # carries over — dense keeps the velocity unmasked, which is
+            # exactly naive momentum).  Per-bucket bits overrides match
+            # case-insensitive substrings of the bucket name; fused buckets
+            # join their tensor names with "+", so a pattern matches the
+            # fused bucket when it matches any member tensor.
+            if dense_below is not None and bucket_elements < dense_below:
+                dense_spec = SyncSpec(method="Dense",
+                                      momentum=flat_spec.momentum)
+                return _build_flat(dense_spec, bucket_cluster, bucket_elements)
+            bits = default_bits
+            lowered = bucket_name.lower()
+            for pattern, width in bits_overrides:
+                if pattern in lowered:
+                    bits = width
+            bucket_spec = flat_spec
+            if bits != flat_spec.bits:
+                bucket_spec = dataclasses.replace(
+                    flat_spec, bits=bits, extras=dict(flat_spec.extras))
+            return _build_flat(bucket_spec, bucket_cluster, bucket_elements)
+
         synchronizer: GradientSynchronizer = BucketedSynchronizer(
             cluster, sizes,
-            factory=lambda c, n: _build_flat(flat_spec, c, n),
+            factory=bucket_factory,
             bucket_names=names,
             plan=plan,
         )
@@ -543,6 +719,7 @@ def make_synchronizer(
     sparsify_all_blocks: bool = False,
     schedule: Optional[str] = None,
     num_bits: Optional[int] = None,
+    momentum: Optional[float] = None,
 ) -> GradientSynchronizer:
     """Build a synchroniser by (case-insensitive) method name or spec string.
 
@@ -573,4 +750,6 @@ def make_synchronizer(
         overrides["schedule"] = schedule
     if num_bits is not None:
         overrides["bits"] = num_bits
+    if momentum is not None:
+        overrides["momentum"] = momentum
     return make(parsed, cluster, num_elements=num_elements, **overrides)

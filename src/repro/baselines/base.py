@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..comm.transport import Transport
-from ..compression.quantization import QuantizedCompressor
+from ..compression.stack import CompressorStack
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import StepContext
 from ..core.residuals import ResidualManager, ResidualPolicy
@@ -62,24 +62,32 @@ class SparseBaseline(GradientSynchronizer):
     num_bits:
         Optional value quantization of the wire: ``None`` (default) keeps
         full-precision values — the pre-quantization behaviour bit for bit —
-        while an integer in ``[1, 32]`` installs a
-        :class:`~repro.compression.quantization.QuantizedCompressor` whose
+        while an integer in ``[1, 32]`` installs a quantize stage on the
+        method's :class:`~repro.compression.stack.CompressorStack` whose
         ``compress`` stage quantizes every worker's selection (independent
         per-worker random streams) and folds the exact quantization error
         into the method's residual store.
+    momentum:
+        Optional DGC momentum-correction factor in ``(0, 1)``: the residual
+        manager accumulates velocity instead of raw gradient, with momentum
+        factor masking at the final global indices (``None`` keeps plain
+        error feedback, bit for bit).  Coordinate with the trainer so
+        momentum is not applied twice (``TrainerConfig.momentum_correction``).
     """
 
     def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
                  residual_policy: ResidualPolicy | str = ResidualPolicy.LOCAL,
-                 num_bits: Optional[int] = None) -> None:
+                 num_bits: Optional[int] = None,
+                 momentum: Optional[float] = None) -> None:
         super().__init__(cluster, num_elements,
                          schedule=coerce_schedule(schedule, k=k, density=density))
         self.k = self.schedule.resolve(0, num_elements)
         self.residuals = ResidualManager(cluster.num_workers, num_elements, residual_policy)
-        if num_bits is not None:
-            self.compressor = QuantizedCompressor(num_bits, cluster.num_workers)
+        self.adopt_stack(CompressorStack.from_config(
+            cluster.num_workers, momentum=momentum, num_bits=num_bits,
+            sparsify=True))
 
     def set_sparsity(self, k: int) -> None:
         """Adopt a per-step ``k`` (schedule resolution)."""
@@ -89,19 +97,21 @@ class SparseBaseline(GradientSynchronizer):
     def stage_compress(self, context: StepContext) -> None:
         """Wire encoding of the per-worker selections.
 
-        Identity without a compressor.  With one, every worker's sparse
-        selection is quantized using that worker's independent random
-        stream — so results do not depend on iteration order — and the
-        exact quantization error of the draw is collected as that worker's
-        local residual (error feedback over the message actually sent).
+        Identity without a wire-transforming stack stage.  With a quantize
+        stage, every worker's sparse selection is folded through the stack
+        using that worker's independent random stream — so results do not
+        depend on iteration order — and the exact error of the draw is
+        collected as that worker's local residual (error feedback over the
+        message actually sent).  Declarative stages (momentum correction)
+        act through the residual manager and leave the wire untouched.
         """
-        if self.compressor is None:
+        if self.stack is None or not self.stack.transforms_wire:
             context.wire = context.selected
             return
         wire: Dict[int, SparseGradient] = {}
         for rank, sparse in context.selected.items():
-            quantized, quantization_error = self.compressor.compress_sparse(rank, sparse)
-            self.residuals.collect_local_sparse(rank, quantization_error)
+            quantized, compression_error = self.stack.compress_sparse(rank, sparse)
+            self.residuals.collect_local_sparse(rank, compression_error)
             wire[rank] = quantized
         context.wire = wire
 

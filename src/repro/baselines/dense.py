@@ -18,6 +18,13 @@ of the draw is kept in a per-worker residual store and re-applied at the
 next step's ``select``, and every All-Reduce message is billed at
 ``num_bits/32`` elements per value.  Without ``num_bits`` the method is the
 pre-quantization dense baseline, bit for bit.
+
+With ``momentum`` set the residual manager accumulates DGC velocity
+(``u = m*u + g``).  Because a dense step transmits *everything*, the method
+never calls ``finalize`` and the velocity is never masked — which makes the
+corrected dense method mathematically equivalent to naive momentum SGD
+(averaging commutes with the velocity recursion).  This is the reference
+point the momentum-correction convergence bench compares against.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import numpy as np
 
 from ..comm.transport import Transport
 from ..comm.collectives import allreduce_dense
-from ..compression.quantization import QuantizedCompressor
+from ..compression.stack import CompressorStack
 from ..core.base import GradientSynchronizer
 from ..core.pipeline import StepContext
 from ..core.residuals import ResidualManager, ResidualPolicy
@@ -42,21 +49,37 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
     name = "Dense"
 
     def __init__(self, cluster: Transport, num_elements: int, *,
-                 num_bits: Optional[int] = None) -> None:
+                 num_bits: Optional[int] = None,
+                 momentum: Optional[float] = None) -> None:
         super().__init__(cluster, num_elements)
+        self._num_bits = num_bits
+        self._momentum = momentum
         self.residuals: Optional[ResidualManager] = None
-        if num_bits is not None:
-            self.compressor = QuantizedCompressor(num_bits, cluster.num_workers)
+        if num_bits is not None or momentum is not None:
             self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                              ResidualPolicy.GLOBAL)
+        self.adopt_stack(CompressorStack.from_config(
+            cluster.num_workers, momentum=momentum, num_bits=num_bits))
+
+    def enable_momentum_correction(self, factor: float) -> None:
+        """Trainer handoff: dense needs an error-feedback path only for the
+        velocity state, so one is created on demand (plain dense All-Reduce
+        keeps ``residuals=None`` and its stateless pre-momentum path)."""
+        if self.residuals is None:
+            self.residuals = ResidualManager(self.num_workers,
+                                             self.num_elements,
+                                             ResidualPolicy.GLOBAL)
+        self.residuals.set_momentum(factor)
 
     def apply_membership(self, num_workers: int, mapping: Dict[int, int]) -> None:
         """Dense All-Reduce has no per-rank state beyond the optional QSGD
-        error-feedback stores, which hand off like any other residuals."""
+        error-feedback stores and momentum velocity, which hand off like any
+        other residual state."""
         if self.residuals is not None:
             self.residuals.remap_workers(num_workers, mapping)
-            self.compressor = QuantizedCompressor(self.compressor.num_bits,
-                                                  num_workers)
+        if self.stack is not None:
+            self.adopt_stack(CompressorStack.from_config(
+                num_workers, momentum=self._momentum, num_bits=self._num_bits))
         super().apply_membership(num_workers, mapping)
 
     def stage_select(self, context: StepContext) -> None:
@@ -66,12 +89,12 @@ class DenseAllReduceSynchronizer(GradientSynchronizer):
             context.selected = self.residuals.apply(context.gradients)
 
     def stage_compress(self, context: StepContext) -> None:
-        if self.compressor is None:
+        if self.stack is None or not self.stack.transforms_wire:
             context.wire = context.selected
             return
         wire = {}
         for rank, corrected in context.selected.items():
-            quantized, error = self.compressor.compress_dense(rank, corrected)
+            quantized, error = self.stack.compress_dense(rank, corrected)
             self.residuals.collect_local(rank, error)
             wire[rank] = quantized
         context.wire = wire

@@ -35,7 +35,8 @@ class GTopkSynchronizer(SparseBaseline):
     def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
-                 num_bits: Optional[int] = None) -> None:
+                 num_bits: Optional[int] = None,
+                 momentum: Optional[float] = None) -> None:
         if not is_power_of_two(cluster.num_workers):
             raise ValueError(
                 "gTopk requires a power-of-two number of workers "
@@ -43,7 +44,7 @@ class GTopkSynchronizer(SparseBaseline):
             )
         super().__init__(cluster, num_elements, k=k, density=density,
                          schedule=schedule, residual_policy=ResidualPolicy.PARTIAL,
-                         num_bits=num_bits)
+                         num_bits=num_bits, momentum=momentum)
 
     # ------------------------------------------------------------------
     def stage_select(self, context: StepContext) -> None:

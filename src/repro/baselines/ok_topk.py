@@ -56,10 +56,11 @@ class OkTopkSynchronizer(SparseBaseline):
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
                  rebalance_period: Optional[int] = None,
-                 num_bits: Optional[int] = None) -> None:
+                 num_bits: Optional[int] = None,
+                 momentum: Optional[float] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
                          schedule=schedule, residual_policy=ResidualPolicy.PARTIAL,
-                         num_bits=num_bits)
+                         num_bits=num_bits, momentum=momentum)
         self.rebalance_period = rebalance_period or self.REBALANCE_PERIOD
         #: Current owner-region boundaries (P + 1 cut points over [0, n]).
         self.boundaries = self._even_boundaries()

@@ -38,10 +38,11 @@ class TopkDSASynchronizer(SparseBaseline):
     def __init__(self, cluster: Transport, num_elements: int, *,
                  k: Optional[int] = None, density: Optional[float] = None,
                  schedule: Optional[KSchedule | str] = None,
-                 num_bits: Optional[int] = None) -> None:
+                 num_bits: Optional[int] = None,
+                 momentum: Optional[float] = None) -> None:
         super().__init__(cluster, num_elements, k=k, density=density,
                          schedule=schedule, residual_policy=ResidualPolicy.LOCAL,
-                         num_bits=num_bits)
+                         num_bits=num_bits, momentum=momentum)
         self.layout = BlockLayout(num_elements, cluster.num_workers)
 
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from .schedules import KSchedule, resolve_k
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compression.quantization import QuantizedCompressor
+    from ..compression.stack import CompressorStack
 
 __all__ = ["SyncResult", "GradientSynchronizer", "resolve_k"]
 
@@ -86,10 +87,13 @@ class GradientSynchronizer(ABC):
         #: Sparsity schedule consulted at the start of every step
         #: (``None`` for methods without a sparsity knob, e.g. Dense).
         self.schedule: Optional[KSchedule] = schedule
-        #: Value quantization driving the ``compress`` stage (``None`` keeps
-        #: the identity compress stage and the full-precision accounting —
-        #: the pre-quantization pipeline, bit for bit).
-        self.compressor: Optional["QuantizedCompressor"] = None
+        #: The composable compressor stack driving the ``compress`` stage
+        #: (``None`` keeps the identity compress stage and the
+        #: full-precision accounting — the pre-compression pipeline, bit for
+        #: bit).  Built by subclasses via
+        #: :meth:`~repro.compression.stack.CompressorStack.from_config` and
+        #: bound to the method's residual manager through :meth:`adopt_stack`.
+        self.stack: Optional["CompressorStack"] = None
         #: Tracer installed by ``repro.obs.attach_tracer`` / ``trace=`` on
         #: the facade spec (``None`` keeps the untraced code path).
         self.tracer: Optional[Any] = None
@@ -100,6 +104,49 @@ class GradientSynchronizer(ABC):
     @property
     def num_workers(self) -> int:
         return self.cluster.num_workers
+
+    @property
+    def compressor(self) -> Optional["QuantizedCompressor"]:
+        """The stack's quantize-stage compressor, or ``None``.
+
+        Read-only backward-compatible accessor: pre-stack code (tests,
+        benchmarks, diagnostics) inspected ``sync.compressor`` directly; the
+        quantizer now lives inside :attr:`stack`.
+        """
+        return self.stack.quantize if self.stack is not None else None
+
+    # ------------------------------------------------------------------
+    # compressor stack plumbing
+    # ------------------------------------------------------------------
+    def adopt_stack(self, stack: Optional["CompressorStack"]) -> None:
+        """Install ``stack`` and bind its declarative stages to the method's
+        residual manager (momentum correction configures the manager's
+        velocity mode here).  ``None`` uninstalls — full precision, no
+        momentum, the pre-stack pipeline bit for bit."""
+        self.stack = stack
+        if stack is None:
+            return
+        residuals = getattr(self, "residuals", None)
+        if residuals is not None:
+            stack.bind_residuals(residuals)
+        elif stack.momentum is not None:
+            raise ValueError(
+                f"{type(self).__name__} has no residual manager; momentum "
+                "correction requires an error-feedback path")
+
+    def enable_momentum_correction(self, factor: float) -> None:
+        """Turn on DGC momentum correction at ``factor`` (trainer handoff).
+
+        Idempotent at the same factor; raises if a different factor is
+        already active (e.g. spec ``momentum=`` disagreeing with
+        ``TrainerConfig.momentum``) or the method has no residual manager.
+        """
+        residuals = getattr(self, "residuals", None)
+        if residuals is None:
+            raise ValueError(
+                f"{type(self).__name__} has no residual manager; momentum "
+                "correction requires an error-feedback path")
+        residuals.set_momentum(factor)
 
     # ------------------------------------------------------------------
     # the staged pipeline
@@ -136,14 +183,15 @@ class GradientSynchronizer(ABC):
             k=getattr(self, "k", None),
             iteration=self.iteration,
         )
-        # A compression stage re-prices every wire message of this step at
-        # its compressed accounting.  The pricer is scoped to the step (and
-        # the previous one restored) because the cluster is shared — e.g. by
-        # the buckets of a BucketedSynchronizer, which may mix quantized and
-        # full-precision buckets.
+        # A pricing compressor stack re-prices every wire message of this
+        # step at its compressed accounting.  The pricer is scoped to the
+        # step (and the previous one restored) because the cluster is shared
+        # — e.g. by the buckets of a BucketedSynchronizer, which may mix
+        # quantized and full-precision buckets.
+        prices = self.stack is not None and self.stack.prices
         previous_pricer = None
-        if self.compressor is not None:
-            previous_pricer = self.cluster.install_pricer(self.compressor.price_message)
+        if prices:
+            previous_pricer = self.cluster.install_pricer(self.stack.price_message)
         try:
             for stage in PIPELINE_STAGES:
                 getattr(self, f"stage_{stage.value}")(context)
@@ -156,10 +204,15 @@ class GradientSynchronizer(ABC):
                 if observer is not None:
                     observer(stage, context)
         finally:
-            if self.compressor is not None:
+            if prices:
                 self.cluster.install_pricer(previous_pricer)
-        if self.compressor is not None:
-            context.info.setdefault("quantized_bits", self.compressor.num_bits)
+        if prices:
+            context.info.setdefault("quantized_bits", self.stack.num_bits)
+        residuals = getattr(self, "residuals", None)
+        if residuals is not None and residuals.momentum:
+            # Only added when momentum correction is active, so momentum-off
+            # runs keep their info dicts (and bit-identity gates) unchanged.
+            context.info.setdefault("momentum", residuals.momentum)
         if "lost_messages" in context.scratch:
             # Copied from scratch because combine stages may rebuild
             # ``context.info`` wholesale after the exchange absorbed losses.
@@ -275,8 +328,8 @@ class GradientSynchronizer(ABC):
         ``size_final=True`` because the pricer cannot reconstruct the
         adjustment from the payload alone.
         """
-        if self.compressor is not None:
-            return self.compressor.price(payload)
+        if self.stack is not None and self.stack.prices:
+            return self.stack.price(payload)
         return payload_size(payload)
 
     # ------------------------------------------------------------------

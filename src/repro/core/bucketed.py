@@ -29,6 +29,7 @@ assert alongside exact equality on the dense path.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,8 +41,25 @@ from .pipeline import SyncSession
 
 __all__ = ["BucketedSynchronizer", "layer_buckets", "fuse_buckets"]
 
-#: Builds one bucket's synchroniser: ``factory(cluster, bucket_elements)``.
-BucketFactory = Callable[[Transport, int], GradientSynchronizer]
+#: Builds one bucket's synchroniser: ``factory(cluster, bucket_elements)``,
+#: or ``factory(cluster, bucket_elements, bucket_name)`` for per-bucket
+#: policies (hybrid dense/sparse switching, per-bucket ``bits=`` overrides).
+BucketFactory = Callable[..., GradientSynchronizer]
+
+
+def _factory_takes_name(factory: BucketFactory) -> bool:
+    """True when ``factory`` accepts a third positional (name) argument."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / odd callables: stay binary
+        return False
+    positional = [
+        p for p in parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind is p.VAR_POSITIONAL for p in parameters.values()):
+        return True
+    return len(positional) >= 3
 
 
 def layer_buckets(module) -> List[Tuple[str, int]]:
@@ -101,7 +119,12 @@ class BucketedSynchronizer(GradientSynchronizer):
     factory:
         ``factory(cluster, bucket_elements)`` building one bucket's
         synchroniser.  Each bucket gets its own instance — and therefore
-        its own residual state and schedule position.
+        its own residual state and schedule position.  A factory accepting
+        a third positional argument is additionally handed the bucket's
+        *name* (``factory(cluster, bucket_elements, bucket_name)``), which
+        per-bucket policies key on: the hybrid dense/sparse switch picks
+        the method per bucket size, and per-bucket ``bits=`` overrides
+        match name patterns.
     bucket_names:
         Optional display names (defaults to ``bucket0..``).
     plan:
@@ -137,13 +160,26 @@ class BucketedSynchronizer(GradientSynchronizer):
             (int(offsets[i]), int(offsets[i + 1])) for i in range(len(sizes))
         ]
         #: One session per bucket, each wrapping its own synchroniser.
-        self.sessions: List[SyncSession] = [
-            SyncSession(factory(cluster, size)) for size in sizes
-        ]
+        if _factory_takes_name(factory):
+            self.sessions: List[SyncSession] = [
+                SyncSession(factory(cluster, size, name))
+                for size, name in zip(sizes, self.bucket_names)
+            ]
+        else:
+            self.sessions = [
+                SyncSession(factory(cluster, size)) for size in sizes
+            ]
         #: The fusion plan behind this layout, when one was used.
         self.fusion_plan = plan
         inner = self.sessions[0].synchronizer.name
         self.name = f"Bucketed[{len(sizes)}]({inner})"
+
+    # ------------------------------------------------------------------
+    def enable_momentum_correction(self, factor: float) -> None:
+        """Trainer handoff: momentum correction is enabled on every bucket's
+        synchroniser (each owns its own residual manager and velocity)."""
+        for session in self.sessions:
+            session.synchronizer.enable_momentum_correction(factor)
 
     # ------------------------------------------------------------------
     @property
@@ -187,6 +223,11 @@ class BucketedSynchronizer(GradientSynchronizer):
             "buckets": self.num_buckets,
             "bucket_names": list(self.bucket_names),
             "bucket_sizes": list(self.bucket_sizes),
+            # Per-bucket method labels: under the hybrid dense/sparse policy
+            # (and per-bucket bits overrides) buckets run different methods,
+            # and the volume accounting is audited per bucket against them.
+            "bucket_methods": [session.synchronizer.name
+                               for session in self.sessions],
             "k": self._total_or_none("k", results),
             "final_nnz": self._total_or_none("final_nnz", results),
             "per_bucket_info": [outcome.info for outcome in results],

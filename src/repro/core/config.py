@@ -118,6 +118,16 @@ class SparDLConfig:
         per-message quantization error joins the residual error-feedback
         path, and every message is billed at the ``(1 + num_bits/32)/2``
         COO accounting (dense-fallback values at ``num_bits/32`` apiece).
+    momentum:
+        DGC momentum-correction factor (Lin et al., ICLR'18): ``None``
+        (default) keeps plain error feedback — the pre-momentum pipeline bit
+        for bit — while a factor in ``(0, 1)`` makes the residual manager
+        accumulate *velocity* (``u = m*u + g``) with momentum factor masking
+        at the final global indices, so delayed coordinates keep their
+        momentum history.  Coordinate with the trainer: when the
+        synchroniser corrects momentum, the optimizer must run momentum-free
+        (see ``TrainerConfig.momentum_correction``), otherwise velocity is
+        applied twice.
     """
 
     k: Optional[int] = None
@@ -132,6 +142,7 @@ class SparDLConfig:
     deferred_residuals: bool = False
     schedule: Optional[KSchedule | str] = None
     num_bits: Optional[int] = None
+    momentum: Optional[float] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.schedule, KSchedule):
@@ -158,6 +169,13 @@ class SparDLConfig:
             raise ValueError("dense_fallback_ratio must be positive")
         if self.num_bits is not None and not 1 <= int(self.num_bits) <= 32:
             raise ValueError("num_bits must be between 1 and 32 (or None)")
+        if self.momentum is not None and not 0 < float(self.momentum) < 1:
+            raise ValueError("momentum must be in (0, 1) (or None)")
+        if self.momentum is not None and ResidualPolicy.coerce(
+                self.residual_policy) is ResidualPolicy.NONE:
+            raise ValueError(
+                "momentum correction accumulates velocity in the residual "
+                "stores; residual_policy='none' would discard it")
         self.sag_mode = SAGMode.coerce(self.sag_mode)
         self.residual_policy = ResidualPolicy.coerce(self.residual_policy)
 
@@ -233,4 +251,6 @@ class SparDLConfig:
             parts.append(f"d={self.num_teams}")
         if self.num_bits is not None:
             parts.append(f"{self.num_bits}bit")
+        if self.momentum is not None:
+            parts.append(f"m={self.momentum:g}")
         return f"SparDL({', '.join(parts)})"

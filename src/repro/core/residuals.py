@@ -194,11 +194,25 @@ class ResidualManager:
         When True, batch sparse discards per worker and fold them at flush
         points instead of scattering eagerly.  Default False (the eager
         reference path).
+    momentum:
+        DGC momentum-correction factor ``m`` in ``[0, 1)`` (Lin et al.,
+        ICLR'18).  When positive, :meth:`apply` accumulates a per-worker
+        *velocity* ``u = m * u + gradient`` and corrects with
+        ``velocity + residual`` instead of ``gradient + residual``, so the
+        residual store accumulates velocity rather than raw gradient — the
+        momentum history of delayed coordinates survives sparsification.
+        :meth:`finalize` applies DGC's *momentum factor masking*: velocity
+        is zeroed at the final global index set (those coordinates were just
+        applied, so their momentum restarts).  Dense synchronisation paths
+        never call :meth:`finalize`, leave the velocity unmasked, and are
+        therefore mathematically equivalent to naive momentum SGD.  The
+        default 0.0 disables the mode and keeps every code path bit-identical
+        to a manager built without the argument.
     """
 
     def __init__(self, num_workers: int, num_elements: int,
                  policy: ResidualPolicy | str = ResidualPolicy.GLOBAL,
-                 deferred: bool = False) -> None:
+                 deferred: bool = False, momentum: float = 0.0) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.policy = ResidualPolicy.coerce(policy)
@@ -213,6 +227,56 @@ class ResidualManager:
         self._buffered: Dict[int, List[Tuple[SparseGradient, float]]] = {
             worker: [] for worker in range(num_workers)
         }
+        self.momentum = 0.0
+        #: Per-worker velocity ``u`` (allocated only when momentum > 0, so
+        #: the momentum-off paths stay exactly the pre-momentum code).
+        self._velocity: Optional[Dict[int, np.ndarray]] = None
+        if momentum:
+            self.set_momentum(momentum)
+
+    # ------------------------------------------------------------------
+    # DGC momentum correction
+    # ------------------------------------------------------------------
+    def set_momentum(self, momentum: float) -> None:
+        """Enable (or re-confirm) momentum correction at factor ``momentum``.
+
+        Idempotent when called again with the same factor; raises
+        ``ValueError`` if a *different* non-zero factor is already active —
+        two owners disagreeing on the momentum factor is always a
+        configuration bug (e.g. spec ``momentum=`` vs trainer handoff).
+        """
+        momentum = float(momentum)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self._velocity is not None and momentum != self.momentum:
+            raise ValueError(
+                f"momentum correction already active at factor "
+                f"{self.momentum}; cannot change it to {momentum}")
+        self.momentum = momentum
+        if momentum and self._velocity is None:
+            self._velocity = {
+                worker: np.zeros(self.num_elements, dtype=np.float64)
+                for worker in range(self.num_workers)
+            }
+
+    def velocity(self, worker: int) -> Optional[np.ndarray]:
+        """The worker's momentum velocity ``u`` (copy), or ``None`` when
+        momentum correction is off."""
+        if self._velocity is None:
+            return None
+        return self._velocity[worker].copy()
+
+    def total_velocity(self) -> np.ndarray:
+        """Coordinate-wise sum of all workers' velocities (zeros when
+        momentum correction is off).  Used by the momentum conservation
+        tests: with correction on, the invariant becomes
+        ``global + residual_after == residual_before
+        + momentum * velocity_before + sum_w gradient_w``."""
+        total = np.zeros(self.num_elements, dtype=np.float64)
+        if self._velocity is not None:
+            for velocity in self._velocity.values():
+                total += velocity
+        return total
 
     # ------------------------------------------------------------------
     def store(self, worker: int) -> ResidualStore:
@@ -238,15 +302,27 @@ class ResidualManager:
                 buffered.clear()
 
     def apply(self, gradients: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
-        """Return ``gradient + residual`` per worker and reset the stores.
+        """Return the error-corrected gradient per worker and reset the stores.
 
+        Without momentum correction this is ``gradient + residual``.  With
+        ``momentum > 0`` the per-worker velocity is advanced first
+        (``u = m * u + gradient``) and the correction becomes
+        ``u + residual`` — the DGC recursion ``v_t = v_{t-1} + u_t`` with the
+        residual store playing the role of the unsent accumulator ``v``.
         A flush point: buffered discards are folded in before draining.
         """
         self.flush()
         corrected = {}
         for worker, gradient in gradients.items():
             residual = self._stores[worker].drain()
-            corrected[worker] = np.asarray(gradient, dtype=np.float64) + residual
+            gradient = np.asarray(gradient, dtype=np.float64)
+            if self._velocity is not None:
+                velocity = self._velocity[worker]
+                velocity *= self.momentum
+                velocity += gradient
+                corrected[worker] = velocity + residual
+            else:
+                corrected[worker] = gradient + residual
         return corrected
 
     # ------------------------------------------------------------------
@@ -301,37 +377,53 @@ class ResidualManager:
         ``final_indices`` is the index set of the final global gradient (an
         ``np.ndarray`` or iterable of ints; ``None`` means empty).  A flush
         point in deferred mode, for every policy.
+
+        With momentum correction active, also applies DGC's *momentum factor
+        masking*: every worker's velocity is zeroed at the final global
+        indices, because those coordinates were just applied to the model and
+        their momentum history must restart.  Dense paths (pure dense
+        allreduce, SparDL dense-fallback steps) do not call :meth:`finalize`
+        and so keep their velocity — which is exactly what makes the dense
+        path equal to naive momentum SGD.
         """
-        if self.policy is not ResidualPolicy.PARTIAL:
-            self._pending.clear()
-            self.flush()
-            return
-        if final_indices is None:
-            final = np.empty(0, dtype=np.int64)
-        elif isinstance(final_indices, np.ndarray):
-            final = final_indices.astype(np.int64, copy=False)
-        else:
-            final = np.fromiter((int(i) for i in final_indices), dtype=np.int64)
-        # Uniquify once so every membership test below can use the fast
-        # assume_unique path (pending indices are unique by invariant).
-        final = np.unique(final)
-        for pending in self._pending:
-            if pending.sparse.nnz == 0:
-                continue
-            mask = ~np.isin(pending.sparse.indices, final, assume_unique=True)
-            if not mask.any():
-                continue
-            # Masking a sorted-unique index array preserves the invariant.
-            end_procedure = SparseGradient.from_sorted_unique(
-                pending.sparse.indices[mask], pending.sparse.values[mask],
-                pending.sparse.length,
-            )
-            if self.deferred:
-                self._buffered[pending.worker].append((end_procedure, pending.share))
+        final: Optional[np.ndarray] = None
+        needs_final = (self.policy is ResidualPolicy.PARTIAL
+                       or self._velocity is not None)
+        if needs_final:
+            if final_indices is None:
+                final = np.empty(0, dtype=np.int64)
+            elif isinstance(final_indices, np.ndarray):
+                final = final_indices.astype(np.int64, copy=False)
             else:
-                self._stores[pending.worker].add_sparse(end_procedure, pending.share)
+                final = np.fromiter((int(i) for i in final_indices),
+                                    dtype=np.int64)
+            # Uniquify once so every membership test below can use the fast
+            # assume_unique path (pending indices are unique by invariant).
+            final = np.unique(final)
+        if self.policy is ResidualPolicy.PARTIAL:
+            for pending in self._pending:
+                if pending.sparse.nnz == 0:
+                    continue
+                mask = ~np.isin(pending.sparse.indices, final,
+                                assume_unique=True)
+                if not mask.any():
+                    continue
+                # Masking a sorted-unique index array preserves the invariant.
+                end_procedure = SparseGradient.from_sorted_unique(
+                    pending.sparse.indices[mask], pending.sparse.values[mask],
+                    pending.sparse.length,
+                )
+                if self.deferred:
+                    self._buffered[pending.worker].append(
+                        (end_procedure, pending.share))
+                else:
+                    self._stores[pending.worker].add_sparse(
+                        end_procedure, pending.share)
         self._pending.clear()
         self.flush()
+        if self._velocity is not None and final is not None and final.size:
+            for velocity in self._velocity.values():
+                velocity[final] = 0.0
 
     # ------------------------------------------------------------------
     # elastic membership
@@ -346,6 +438,10 @@ class ResidualManager:
         rank starts empty).  Buffered discards are flushed first and
         PRES-pending discards follow their worker, so conservation holds
         exactly across the transition in both eager and deferred modes.
+        Momentum-correction velocity state is handed off the same way: a
+        crashed rank's velocity is summed onto its successor's (momentum
+        history is conserved alongside the residual mass) and joining ranks
+        start from zero velocity.
         """
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -353,6 +449,12 @@ class ResidualManager:
         new_stores: Dict[int, ResidualStore] = {
             worker: ResidualStore(self.num_elements) for worker in range(num_workers)
         }
+        new_velocity: Optional[Dict[int, np.ndarray]] = None
+        if self._velocity is not None:
+            new_velocity = {
+                worker: np.zeros(self.num_elements, dtype=np.float64)
+                for worker in range(num_workers)
+            }
         for old, store in self._stores.items():
             if old not in mapping:
                 raise ValueError(f"mapping does not cover old rank {old}")
@@ -362,9 +464,12 @@ class ResidualManager:
                     f"old rank {old} maps to {new}, outside the new "
                     f"membership of {num_workers} workers")
             new_stores[new]._data += store._data
+            if new_velocity is not None:
+                new_velocity[new] += self._velocity[old]
         for pending in self._pending:
             pending.worker = mapping[pending.worker]
         self._stores = new_stores
+        self._velocity = new_velocity
         self._buffered = {worker: [] for worker in range(num_workers)}
         self.num_workers = num_workers
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..comm.transport import Transport
 from ..comm.collectives import allgather_bruck_grouped, allreduce_dense
-from ..compression.quantization import QuantizedCompressor
+from ..compression.stack import CompressorStack
 from ..sparse.blocks import BlockLayout
 from ..sparse.vector import SparseGradient
 from .base import GradientSynchronizer
@@ -96,9 +96,9 @@ class SparDLSynchronizer(GradientSynchronizer):
         self.residuals = ResidualManager(cluster.num_workers, num_elements,
                                          config.residual_policy,
                                          deferred=config.deferred_residuals)
-        if config.num_bits is not None:
-            self.compressor = QuantizedCompressor(config.num_bits,
-                                                  cluster.num_workers)
+        self.adopt_stack(CompressorStack.from_config(
+            cluster.num_workers, momentum=config.momentum,
+            num_bits=config.num_bits, sparsify=True))
         #: Crossover density at which the dense fallback engages.
         self.dense_crossover = config.resolve_dense_crossover()
         self.set_sparsity(self.schedule.resolve(0, num_elements))
@@ -144,8 +144,10 @@ class SparDLSynchronizer(GradientSynchronizer):
         re-resolved as the largest divisor of the new ``P`` not exceeding
         the configured ``num_teams`` — Theorem 1 requires teams of equal
         size, and crashes rarely preserve divisibility.  A quantizing
-        synchroniser rebuilds its compressor (per-worker random streams
-        restart, deterministically, at the transition).
+        synchroniser rebuilds its compressor stack (per-worker random
+        streams restart, deterministically, at the transition); the
+        residual remap hands momentum-correction velocity state to the
+        surviving ranks first.
         """
         self.residuals.remap_workers(num_workers, mapping)
         super().apply_membership(num_workers, mapping)
@@ -158,9 +160,10 @@ class SparDLSynchronizer(GradientSynchronizer):
         self.team_size = num_workers // num_teams
         self.teams = make_teams(num_workers, num_teams)
         self.layout = BlockLayout(self.num_elements, self.team_size)
-        if self.compressor is not None:
-            self.compressor = QuantizedCompressor(self.config.num_bits,
-                                                  num_workers)
+        if self.stack is not None:
+            self.adopt_stack(CompressorStack.from_config(
+                num_workers, momentum=self.config.momentum,
+                num_bits=self.config.num_bits, sparsify=True))
         self.set_sparsity(self.k)
         if self.num_teams > 1 and self.config.effective_sag_mode() is SAGMode.BSAG:
             self._controller = CompressionRatioController(
@@ -172,22 +175,25 @@ class SparDLSynchronizer(GradientSynchronizer):
     # the staged pipeline
     # ------------------------------------------------------------------
     def stage_compress(self, context: StepContext) -> None:
-        """Wire encoding of the step.
+        """Wire encoding of the step, driven by the compressor stack.
 
-        Without quantization this is the identity.  With
-        ``config.num_bits`` set, the dense-fallback path quantizes every
-        worker's corrected gradient here (one draw per worker, exact error
-        into that worker's residual store); on the sparse path the selection
-        is interleaved with the SRS transmissions, so the compressor is
-        applied inside :meth:`stage_exchange` instead — right after each
-        block-wise top-k, i.e. the moment a value first reaches the wire.
+        Without a wire-transforming stage this is the identity.  With
+        ``config.num_bits`` set, the dense-fallback path folds every
+        worker's corrected gradient through the stack here (one draw per
+        worker, exact error into that worker's residual store); on the
+        sparse path the selection is interleaved with the SRS transmissions,
+        so the stack is applied inside :meth:`stage_exchange` instead —
+        right after each block-wise top-k, i.e. the moment a value first
+        reaches the wire.  Declarative stages (momentum correction) act
+        through the residual manager and leave the wire untouched.
         """
-        if self.compressor is None or not self.uses_dense_fallback:
+        if (self.stack is None or not self.stack.transforms_wire
+                or not self.uses_dense_fallback):
             context.wire = context.selected
             return
         wire = {}
         for rank, corrected in context.selected.items():
-            quantized, error = self.compressor.compress_dense(rank, corrected)
+            quantized, error = self.stack.compress_dense(rank, corrected)
             self.residuals.collect_local(rank, error)
             wire[rank] = quantized
         context.wire = wire
@@ -215,7 +221,8 @@ class SparDLSynchronizer(GradientSynchronizer):
             residuals=self.residuals,
             sparsify_all=self.config.sparsify_all_blocks,
             wire_format=self.config.wire_format,
-            compressor=self.compressor,
+            compressor=(self.stack if self.stack is not None
+                        and self.stack.transforms_wire else None),
         )
         sag_out = self._run_sag(srs_out.reduced_blocks)
         context.scratch["srs"] = srs_out

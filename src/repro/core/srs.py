@@ -53,7 +53,7 @@ from .partition import BagPlan, plan_bags, transmission_distances
 from .residuals import ResidualManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..compression.quantization import QuantizedCompressor
+    from ..compression.stack import CompressorStack
 
 __all__ = ["SRSOutput", "spar_reduce_scatter", "WIRE_FORMATS"]
 
@@ -88,7 +88,7 @@ def spar_reduce_scatter(
     residuals: ResidualManager,
     sparsify_all: bool = False,
     wire_format: str = "packed",
-    compressor: Optional["QuantizedCompressor"] = None,
+    compressor: Optional["CompressorStack"] = None,
 ) -> SRSOutput:
     """Run SRS concurrently inside every team.
 
@@ -115,14 +115,16 @@ def spar_reduce_scatter(
         wiring, kept for the batching benchmark).  Both move identical
         element counts and produce bit-identical results.
     compressor:
-        Optional :class:`~repro.compression.quantization.QuantizedCompressor`.
-        When given, every block is quantized immediately after its local
-        top-k — the moment its values first reach the wire — using the
+        Optional wire-transforming
+        :class:`~repro.compression.stack.CompressorStack` (or any object
+        honouring its ``compress_sparse -> (payload, error)`` contract).
+        When given, every block is folded through it immediately after its
+        local top-k — the moment its values first reach the wire — using the
         owning worker's independent random stream, and the exact
-        quantization error of that draw is collected as a local residual.
-        Later transmission steps forward merge-sums of the quantized blocks
+        compression error of that draw is collected as a local residual.
+        Later transmission steps forward merge-sums of the compressed blocks
         unchanged; the synchroniser's installed pricer bills them at the
-        quantized accounting.
+        compressed accounting.
     """
     team_size = _validate_teams(cluster, teams, layout)
     if k_block <= 0:

@@ -84,6 +84,14 @@ class TrainerConfig:
     batch_size: int = 32
     learning_rate: float = 0.1
     momentum: float = 0.0
+    #: Apply :attr:`momentum` as DGC momentum *correction* inside the
+    #: synchroniser instead of locally in each optimizer.  The trainer calls
+    #: ``synchronizer.enable_momentum_correction(momentum)`` and constructs
+    #: the per-replica SGD optimizers with ``momentum=0.0``, so the velocity
+    #: recursion runs exactly once — on the gradients *before* sparsification
+    #: (Lin et al., ICLR'18) — rather than once per side.  Requires a
+    #: synchroniser with an error-feedback residual path.
+    momentum_correction: bool = False
     weight_decay: float = 0.0
     lr_step_epochs: Optional[int] = None
     lr_gamma: float = 0.1
@@ -264,6 +272,15 @@ class DistributedTrainer:
                 f"model has {self.num_elements} parameters"
             )
         self.synchronizer = synchronizer
+        # DGC momentum-correction handoff: the synchroniser runs the velocity
+        # recursion on pre-sparsification gradients, so the optimizers must
+        # not apply momentum a second time.
+        if self.config.momentum_correction:
+            if not self.config.momentum > 0.0:
+                raise ValueError(
+                    "momentum_correction=True requires momentum > 0 "
+                    f"(got {self.config.momentum})")
+            synchronizer.enable_momentum_correction(self.config.momentum)
         # Tracing: adopt a tracer the synchroniser already carries (from a
         # ``trace=`` facade spec) or build one from the config level; either
         # way it is installed across the synchroniser, its inner bucketed
@@ -286,9 +303,11 @@ class DistributedTrainer:
                 raise RuntimeError("model_factory must produce identical replicas for a fixed seed")
 
         self._schedule = self.config.schedule()
+        optimizer_momentum = (0.0 if self.config.momentum_correction
+                              else self.config.momentum)
         self.optimizers: List[SGD] = [
             SGD(replica.parameters(), learning_rate=self.config.learning_rate,
-                momentum=self.config.momentum, weight_decay=self.config.weight_decay)
+                momentum=optimizer_momentum, weight_decay=self.config.weight_decay)
             for replica in self.replicas
         ]
         self.shards = [shard_dataset(train_dataset, num_workers, worker)

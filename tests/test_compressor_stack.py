@@ -1,0 +1,324 @@
+"""The composable CompressorStack: construction, the (payload, error)
+contract, conservation across every stage combination, momentum-off
+bit-identity, and per-bucket ``bits=`` override composition.
+
+The stack is the single compression object a synchroniser owns (PR 10).
+Its invariants:
+
+* stage order is validated against the canonical momentum -> sparsify ->
+  quantize chain (any other order is mathematically wrong);
+* ``compress_*`` returns ``(payload, error)`` with ``payload + error ==
+  input`` exactly, so the conservation ledger ``global + residual_after ==
+  residual_before + m * velocity_before + sum_w gradient_w`` holds to 1e-9
+  for every combination of momentum x sparsify x quantize x deferred;
+* with momentum and bits both unset, ``from_config`` returns ``None`` and
+  every synchroniser keeps its pre-stack code path bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import describe, make, parse_spec
+from repro.baselines.registry import make_synchronizer
+from repro.comm.cluster import SimulatedCluster
+from repro.compression import (
+    CompressorStack,
+    CompressorStage,
+    MomentumCorrection,
+    QuantizeStage,
+    TopKSparsifier,
+)
+from repro.compression.quantization import QuantizedCompressor, quantized_sparse_cost
+from repro.core.config import SparDLConfig
+from repro.core.residuals import ResidualManager
+from repro.core.spardl import SparDLSynchronizer
+from repro.nn.models import build_mlp
+from repro.sparse.vector import SparseGradient
+
+from tests.helpers import random_gradients
+
+
+def _quantize(bits: int, workers: int = 2) -> QuantizeStage:
+    return QuantizeStage(QuantizedCompressor(bits, workers, seed=0))
+
+
+class TestStackConstruction:
+    def test_canonical_order_accepted(self):
+        stack = CompressorStack([MomentumCorrection(0.9), TopKSparsifier(),
+                                 _quantize(8)])
+        assert stack.describe() == "momentum(0.9) -> topk -> quantize(8)"
+        assert stack.momentum == 0.9
+        assert stack.num_bits == 8
+        assert stack.transforms_wire
+        assert stack.prices
+
+    def test_wrong_order_raises(self):
+        with pytest.raises(ValueError, match="stage order"):
+            CompressorStack([_quantize(8), MomentumCorrection(0.9)])
+        with pytest.raises(ValueError, match="stage order"):
+            CompressorStack([TopKSparsifier(), MomentumCorrection(0.9)])
+
+    def test_duplicate_stage_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CompressorStack([TopKSparsifier(), TopKSparsifier()])
+
+    def test_empty_stack_raises(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            CompressorStack([])
+
+    def test_unknown_kind_raises(self):
+        class Bogus(CompressorStage):
+            kind = "frobnicate"
+
+        with pytest.raises(ValueError, match="unknown stage kind"):
+            CompressorStack([Bogus()])
+
+    def test_momentum_factor_validated(self):
+        with pytest.raises(ValueError):
+            MomentumCorrection(0.0)
+        with pytest.raises(ValueError):
+            MomentumCorrection(1.0)
+
+    def test_from_config_trivial_is_none(self):
+        assert CompressorStack.from_config(4) is None
+        assert CompressorStack.from_config(4, sparsify=True) is None
+
+    def test_from_config_momentum_only(self):
+        stack = CompressorStack.from_config(4, momentum=0.9, sparsify=True)
+        assert stack.describe() == "momentum(0.9) -> topk"
+        assert not stack.transforms_wire
+        assert not stack.prices
+        assert stack.num_bits is None
+        assert stack.quantize is None
+
+    def test_from_config_full(self):
+        stack = CompressorStack.from_config(4, momentum=0.5, num_bits=4,
+                                            sparsify=True)
+        assert stack.describe() == "momentum(0.5) -> topk -> quantize(4)"
+        assert stack.stage("sparsify") is not None
+
+    def test_pricing_without_quantize_raises(self):
+        stack = CompressorStack.from_config(4, momentum=0.9, sparsify=True)
+        assert stack.sparse_cost(10) == 20.0
+        assert stack.dense_cost(10) == 10.0
+        with pytest.raises(RuntimeError, match="stack.prices"):
+            stack.price(np.zeros(4))
+        with pytest.raises(RuntimeError, match="stack.prices"):
+            stack.price_message(None)
+
+    def test_pricing_with_quantize_delegates(self):
+        stack = CompressorStack.from_config(4, num_bits=8, sparsify=True)
+        assert stack.sparse_cost(10) == quantized_sparse_cost(10, 8)
+        assert stack.dense_cost(32) == 32 * 8 / 32
+
+
+class TestPayloadErrorContract:
+    def test_declarative_stack_is_identity(self):
+        stack = CompressorStack.from_config(2, momentum=0.9, sparsify=True)
+        sparse = SparseGradient(np.array([1, 5, 9]), np.array([1.0, -2.0, 0.5]), 12)
+        payload, error = stack.compress_sparse(0, sparse)
+        assert payload is sparse
+        assert error.nnz == 0
+        dense = np.linspace(-1.0, 1.0, 8)
+        out, err = stack.compress_dense(0, dense)
+        np.testing.assert_array_equal(out, dense)
+        np.testing.assert_array_equal(err, np.zeros(8))
+
+    def test_sparse_payload_plus_error_reconstructs_exactly(self):
+        stack = CompressorStack.from_config(2, momentum=0.9, num_bits=3,
+                                            sparsify=True)
+        rng = np.random.default_rng(7)
+        dense = rng.normal(size=40)
+        sparse, _ = SparseGradient.top_k_of_dense(dense, 10, length=40)
+        payload, error = stack.compress_sparse(1, sparse)
+        np.testing.assert_array_equal(payload.to_dense() + error.to_dense(),
+                                      sparse.to_dense())
+
+    def test_dense_payload_plus_error_reconstructs_exactly(self):
+        stack = CompressorStack.from_config(2, num_bits=4)
+        dense = np.random.default_rng(3).normal(size=25)
+        payload, error = stack.compress_dense(0, dense)
+        # The dense error is computed in the quantizer's scaled space, so
+        # reconstruction is exact up to one float64 rounding per value.
+        np.testing.assert_allclose(payload + error, dense, rtol=0, atol=1e-14)
+
+    def test_bind_residuals_installs_momentum(self):
+        stack = CompressorStack.from_config(3, momentum=0.7, sparsify=True)
+        manager = ResidualManager(3, 20)
+        stack.bind_residuals(manager)
+        assert manager.momentum == 0.7
+        assert manager.velocity(0) is not None
+
+
+class TestConservationProperty:
+    """ISSUE gate: ``sent + error + discards == input`` to 1e-9 across
+    momentum x sparsify x quantize x deferred.  With momentum correction the
+    ledger gains the re-fed velocity term:
+    ``global + residual_after == residual_before + m * velocity_before +
+    sum_w gradient_w``  (``m = 0`` reduces it to plain GRES conservation)."""
+
+    @given(momentum=st.sampled_from([None, 0.5, 0.9]),
+           bits=st.sampled_from([None, 8, 4]),
+           deferred=st.booleans(),
+           seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_spardl_ledger_all_stage_combinations(self, momentum, bits,
+                                                  deferred, seed):
+        num_workers, num_elements = 4, 120
+        cluster = SimulatedCluster(num_workers)
+        sync = SparDLSynchronizer(cluster, num_elements, SparDLConfig(
+            density=0.05, num_bits=bits, momentum=momentum,
+            deferred_residuals=deferred))
+        factor = momentum or 0.0
+        for i in range(3):
+            grads = random_gradients(num_workers, num_elements, seed=seed + 7 * i)
+            residual_before = sync.residuals.total_residual()
+            velocity_before = sync.residuals.total_velocity()
+            result = sync.synchronize(grads)
+            assert result.is_consistent
+            lhs = result.gradient(0) + sync.residuals.total_residual()
+            rhs = residual_before + factor * velocity_before + sum(grads.values())
+            np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    @given(method=st.sampled_from(["TopkA", "Dense"]),
+           momentum=st.sampled_from([0.5, 0.9]),
+           bits=st.sampled_from([None, 8]),
+           seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_baseline_ledger_with_momentum(self, method, momentum, bits, seed):
+        num_workers, num_elements = 4, 90
+        cluster = SimulatedCluster(num_workers)
+        kwargs = {} if method == "Dense" else {"density": 0.1}
+        sync = make_synchronizer(method, cluster, num_elements,
+                                 momentum=momentum, num_bits=bits, **kwargs)
+        for i in range(3):
+            grads = random_gradients(num_workers, num_elements, seed=seed + 11 * i)
+            residual_before = sync.residuals.total_residual()
+            velocity_before = sync.residuals.total_velocity()
+            result = sync.synchronize(grads)
+            lhs = result.gradient(0) + sync.residuals.total_residual()
+            rhs = residual_before + momentum * velocity_before + sum(grads.values())
+            np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+ALL_METHODS = ["SparDL", "TopkA", "TopkDSA", "gTopk", "Ok-Topk", "Dense"]
+
+
+class TestMomentumOffBitIdentity:
+    """With ``momentum=`` unset the stack machinery must be invisible: no
+    velocity is allocated, no ``momentum`` info key appears, and two
+    identical builds produce byte-identical gradients, residual stores and
+    communication statistics (the PR 9 behaviour)."""
+
+    def _build(self, method):
+        cluster = SimulatedCluster(4)
+        kwargs = {} if method == "Dense" else {"density": 0.05}
+        return make_synchronizer(method, cluster, 160, **kwargs)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_no_stack_no_momentum_key(self, method):
+        sync = self._build(method)
+        assert sync.stack is None
+        assert sync.compressor is None
+        result = sync.synchronize(random_gradients(4, 160, seed=3))
+        assert "momentum" not in result.info
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_two_builds_byte_identical(self, method):
+        a, b = self._build(method), self._build(method)
+        for i in range(2):
+            grads = random_gradients(4, 160, seed=17 + i)
+            result_a = a.synchronize(grads)
+            result_b = b.synchronize({w: g.copy() for w, g in grads.items()})
+            for rank in range(4):
+                np.testing.assert_array_equal(result_a.gradient(rank),
+                                              result_b.gradient(rank))
+            assert result_a.stats.total_volume == result_b.stats.total_volume
+            assert result_a.stats.rounds == result_b.stats.rounds
+            residuals_a = getattr(a, "residuals", None)
+            if residuals_a is not None:
+                np.testing.assert_array_equal(residuals_a.total_residual(),
+                                              b.residuals.total_residual())
+
+    def test_momentum_zero_manager_matches_plain_manager(self):
+        plain = ResidualManager(3, 50)
+        zero = ResidualManager(3, 50, momentum=0.0)
+        assert zero.velocity(0) is None
+        grads = random_gradients(3, 50, seed=5)
+        corrected_plain = plain.apply(grads)
+        corrected_zero = zero.apply({w: g.copy() for w, g in grads.items()})
+        for worker in range(3):
+            np.testing.assert_array_equal(corrected_plain[worker],
+                                          corrected_zero[worker])
+        np.testing.assert_array_equal(zero.total_velocity(), np.zeros(50))
+
+
+class TestPerBucketBits:
+    """Satellite 1: ``bits=8,emb:32`` per-bucket overrides — grammar
+    round-trip and mixed-bucket pricer composition."""
+
+    def test_spec_round_trips(self):
+        spec = "spardl?density=0.2&buckets=layer&bits=8,out:32"
+        parsed = parse_spec(spec)
+        assert parsed.bits == "8,out:32"
+        assert parsed.canonical() == spec
+        assert parse_spec(parsed.canonical()).canonical() == spec
+
+    def test_plain_bits_canonicalizes_to_int(self):
+        assert parse_spec("spardl?density=0.1&bits=8").bits == 8
+
+    @pytest.mark.parametrize("bad,match", [
+        ("spardl?density=0.1&buckets=layer&bits=emb:q,8", "integer between"),
+        ("spardl?density=0.1&buckets=layer&bits=emb:32,8", "must come before"),
+        ("spardl?density=0.1&buckets=layer&bits=8,emb:32,emb:16", "duplicate bits"),
+        ("spardl?density=0.1&buckets=layer&bits=8,:16", "bucket-name pattern"),
+        ("spardl?density=0.1&buckets=layer&bits=8,16", "one default"),
+    ])
+    def test_malformed_overrides_raise(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_spec(bad)
+
+    def test_overrides_on_flat_layout_raise(self):
+        with pytest.raises(ValueError, match="non-flat buckets"):
+            make("spardl?density=0.1&bits=8,emb:32", SimulatedCluster(4),
+                 num_elements=100)
+
+    def test_mixed_bucket_pricer_composition(self):
+        """Each bucket prices its own wire: ``out``-matching buckets carry a
+        32-bit compressor, the rest the 8-bit default, and the per-bucket
+        info reports the mix after a live step."""
+        model = build_mlp(8, [8], 2, seed=0)
+        cluster = SimulatedCluster(4)
+        spec = "spardl?density=0.2&buckets=layer&bits=8,out:32"
+        sync = make(spec, cluster, model=model)
+        assert describe(sync) == spec
+        widths = {}
+        for name, session in zip(sync.bucket_names, sync.sessions):
+            widths[name] = session.synchronizer.compressor.num_bits
+        for name, bits in widths.items():
+            assert bits == (32 if "out" in name else 8), name
+        assert sorted(set(widths.values())) == [8, 32]
+
+        grads = random_gradients(4, model.num_parameters(), seed=9)
+        result = sync.synchronize(grads)
+        reported = [info.get("quantized_bits")
+                    for info in result.info["per_bucket_info"]]
+        expected = [32 if "out" in name else 8 for name in sync.bucket_names]
+        assert reported == expected
+        # Conservation survives the mixed-precision composition.
+        recon = result.gradient(0) + sync.total_residual()
+        np.testing.assert_allclose(recon, sum(grads.values()), atol=1e-9)
+
+    def test_override_matches_fused_bucket_by_member_tensor(self):
+        model = build_mlp(8, [8], 2, seed=0)
+        cluster = SimulatedCluster(2)
+        sync = make("spardl?density=0.2&buckets=size:100000&bits=8,out:32",
+                    cluster, model=model)
+        # Everything fuses into one bucket whose name joins all tensors with
+        # "+"; the "out" pattern matches a member, so the override applies.
+        assert sync.num_buckets == 1
+        assert sync.sessions[0].synchronizer.compressor.num_bits == 32

@@ -41,7 +41,8 @@ def test_readme_documents_the_bench_trajectory():
     readme = (REPO_ROOT / "README.md").read_text()
     for artifact in ("BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json",
                      "BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR6.json",
-                     "BENCH_PR7.json", "BENCH_PR8.json", "BENCH_PR9.json"):
+                     "BENCH_PR7.json", "BENCH_PR8.json", "BENCH_PR9.json",
+                     "BENCH_PR10.json"):
         assert artifact in readme, f"README must reference {artifact}"
         assert (REPO_ROOT / artifact).is_file(), f"{artifact} is missing"
 
@@ -136,6 +137,23 @@ def test_configuration_doc_covers_overlap_and_fusion():
     doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
     for token in ("buckets=auto", "overlap_comm", "ComputeProfile",
                   "hidden_comm_time", "BENCH_PR8.json"):
+        assert token in doc, (
+            f"docs/configuration.md does not mention {token!r}")
+
+
+def test_api_doc_covers_momentum_and_hybrid():
+    doc = (REPO_ROOT / "docs" / "api.md").read_text()
+    for token in ("`momentum`", "`hybrid`", "dense<SIZE", "CompressorStack",
+                  "momentum_correction", "velocity", "2 * n * (P - 1)",
+                  "BENCH_PR10.json"):
+        assert token in doc, f"docs/api.md does not mention {token!r}"
+
+
+def test_configuration_doc_covers_momentum():
+    doc = (REPO_ROOT / "docs" / "configuration.md").read_text()
+    for token in ("`momentum`", "momentum_correction",
+                  "enable_momentum_correction", "velocity",
+                  "BENCH_PR10.json"):
         assert token in doc, (
             f"docs/configuration.md does not mention {token!r}")
 

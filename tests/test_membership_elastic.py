@@ -264,3 +264,81 @@ class TestCommStatsExpand:
         stats = CommStats(num_workers=4)
         with pytest.raises(ValueError):
             stats.expand(3)
+
+
+class TestMomentumChurn:
+    """Satellite PR 10: momentum-correction velocity hands off across
+    membership transitions exactly like the residual stores — a crashed
+    rank's velocity is summed onto its successor (momentum history is
+    conserved), joining ranks start from zero velocity, and the per-step
+    conservation ledger holds to 1e-9 across the transition."""
+
+    def test_remap_sums_crashed_velocity_onto_successor(self):
+        manager = ResidualManager(4, 10, momentum=0.9)
+        manager.apply(random_gradients(4, 10, seed=3))
+        before = {w: manager.velocity(w) for w in range(4)}
+        # Crash of rank 1: survivors 0,2,3 -> 0,1,2; the crashed store (and
+        # velocity) joins old rank 2's successor, exactly like the residuals.
+        manager.remap_workers(3, {0: 0, 1: 1, 2: 1, 3: 2})
+        np.testing.assert_array_equal(manager.velocity(0), before[0])
+        np.testing.assert_allclose(manager.velocity(1),
+                                   before[1] + before[2], atol=1e-12)
+        np.testing.assert_array_equal(manager.velocity(2), before[3])
+
+    def test_remap_join_starts_with_zero_velocity(self):
+        manager = ResidualManager(2, 8, momentum=0.9)
+        manager.apply(random_gradients(2, 8, seed=5))
+        manager.remap_workers(3, {0: 0, 1: 1})
+        np.testing.assert_array_equal(manager.velocity(2), np.zeros(8))
+        assert manager.velocity(0) is not None
+
+    def test_remap_without_momentum_keeps_velocity_off(self):
+        manager = ResidualManager(2, 8)
+        manager.remap_workers(3, {0: 0, 1: 1})
+        assert manager.velocity(0) is None
+
+    @pytest.mark.parametrize("deferred", [False, True])
+    def test_churn_conserves_momentum_ledger(self, deferred):
+        """Crash then join under momentum correction: every step satisfies
+        ``delivered + residual_after == residual_before
+        + m * velocity_before + injected`` to 1e-9, including the steps
+        straddling the membership transitions (remap preserves the residual
+        and velocity totals)."""
+        factor = 0.9
+        events = [MembershipEvent(iteration=1, kind="crash", worker=1),
+                  MembershipEvent(iteration=3, kind="join")]
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(events=events))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS, SparDLConfig(
+            density=0.05, momentum=factor, deferred_residuals=deferred))
+        session = SyncSession(sync)
+        memberships = []
+        for iteration in range(5):
+            session.poll_membership()
+            memberships.append(session.num_workers)
+            grads = random_gradients(session.num_workers, NUM_ELEMENTS,
+                                     seed=19 * iteration)
+            residual_before = sync.residuals.total_residual()
+            velocity_before = sync.residuals.total_velocity()
+            result = session.step(grads)
+            assert result.is_consistent
+            lhs = result.gradient(0) + sync.residuals.total_residual()
+            rhs = (residual_before + factor * velocity_before
+                   + sum(grads.values()))
+            np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+        assert memberships == [4, 3, 3, 4, 4]
+
+    def test_crashed_velocity_hand_off_through_the_synchroniser(self):
+        cluster = SimulatedCluster(4)
+        cluster.install_fault_plan(FaultPlan(
+            events=[MembershipEvent(iteration=1, kind="crash", worker=1)]))
+        sync = SparDLSynchronizer(cluster, NUM_ELEMENTS, SparDLConfig(
+            density=0.05, momentum=0.9))
+        session = SyncSession(sync)
+        session.step(random_gradients(4, NUM_ELEMENTS))
+        before = {w: sync.residuals.velocity(w) for w in range(4)}
+        assert session.poll_membership()
+        np.testing.assert_array_equal(sync.residuals.velocity(0), before[0])
+        np.testing.assert_allclose(sync.residuals.velocity(1),
+                                   before[1] + before[2], atol=1e-12)
+        np.testing.assert_array_equal(sync.residuals.velocity(2), before[3])
